@@ -1,0 +1,57 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every benchmark regenerates one figure or Section 7 statistic at paper
+scale, prints the rows/series the paper reports, and asserts the shape
+criteria from DESIGN.md.  Timings come from pytest-benchmark
+(``--benchmark-only``); each experiment runs once via
+``benchmark.pedantic(..., rounds=1, iterations=1)`` because a 10-run
+averaged simulation is already its own repetition protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import shared_trace
+from repro.models.base import Trajectory
+
+
+@pytest.fixture(scope="session")
+def campus_trace():
+    """The Section 7 synthetic campus trace (1,128 hosts, 600 s)."""
+    return shared_trace(duration=600.0, seed=0)
+
+
+def print_series(
+    title: str,
+    curves: dict[str, Trajectory],
+    *,
+    num_samples: int = 9,
+    of_ever: bool = False,
+) -> None:
+    """Print each curve as a compact row of (time: fraction) samples."""
+    print(f"\n=== {title} ===")
+    t_max = max(float(c.times[-1]) for c in curves.values())
+    sample_times = np.linspace(0.0, t_max, num_samples)
+    header = "  ".join(f"t={t:8.1f}" for t in sample_times)
+    print(f"{'case':<26} {header}")
+    for label, curve in curves.items():
+        series = (
+            curve.fraction_ever_infected if of_ever else curve.fraction_infected
+        )
+        values = np.interp(
+            sample_times,
+            curve.times,
+            series,
+            right=float(series[-1]),
+        )
+        row = "  ".join(f"{v:10.3f}" for v in values)
+        print(f"{label:<26} {row}")
+
+
+def print_rows(title: str, rows: list[tuple[str, object]]) -> None:
+    """Print labeled scalar results (the in-text statistics)."""
+    print(f"\n=== {title} ===")
+    for label, value in rows:
+        print(f"{label:<52} {value}")

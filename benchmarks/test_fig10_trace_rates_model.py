@@ -1,0 +1,34 @@
+"""E14 — Figure 10: propagation under trace-derived rate limits (log-t).
+
+Paper shape, on a log time axis: no RL saturates almost immediately;
+host-based RL (every host throttled) is exponential but slower; the
+aggregate edge-router schemes flatten the curve by orders of magnitude,
+with the DNS-based scheme (gamma:beta = 1:2) beating the plain IP
+throttle (1:6) because the traces admit a lower aggregate budget for
+non-DNS contacts.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.scenarios import fig10_trace_rate_models
+from repro.core.slowdown import compare_times
+
+
+def test_fig10_trace_rates_model(benchmark):
+    curves = benchmark.pedantic(
+        fig10_trace_rate_models, rounds=1, iterations=1
+    )
+    report = compare_times(curves, baseline="no_rl", level=0.5)
+    print_series("Figure 10: trace-derived rate limits (note: log-t in paper)",
+                 curves)
+    print(report.format_table())
+
+    t = report.times
+    # Ordering on the log-time axis: no RL < host RL < IP 1:6 < DNS 1:2.
+    assert t["no_rl"] < t["host_based_rl"]
+    assert t["host_based_rl"] < t["ip_throttle_1_to_6"]
+    assert t["ip_throttle_1_to_6"] < t["dns_scheme_1_to_2"]
+    # Aggregate schemes beat per-host limits by an order of magnitude.
+    assert t["ip_throttle_1_to_6"] > 10 * t["host_based_rl"]

@@ -1,0 +1,26 @@
+"""E01 — Figure 1(a): analytical rate limiting on a 200-node star.
+
+Paper shape: hub RL ≫ 30% leaf RL > 10% leaf RL ≈ no RL; reaching 60%
+infection under hub RL takes roughly 3x the 30%-leaf time.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.scenarios import fig1a_star_analytical
+from repro.core.slowdown import compare_times
+
+
+def test_fig1a_star_analytical(benchmark):
+    curves = benchmark.pedantic(
+        fig1a_star_analytical, rounds=1, iterations=1
+    )
+    report = compare_times(curves, baseline="no_rl", level=0.6)
+    print_series("Figure 1(a): star graph, analytical", curves)
+    print(report.format_table())
+
+    factors = report.factors
+    assert factors["leaf_rl_10pct"] < 1.5
+    assert factors["leaf_rl_10pct"] < factors["leaf_rl_30pct"]
+    assert factors["hub_rl"] > 2.5 * factors["leaf_rl_30pct"]

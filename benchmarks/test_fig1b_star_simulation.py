@@ -1,0 +1,29 @@
+"""E02 — Figure 1(b): simulated rate limiting on a 200-node star.
+
+Paper protocol: 10-run averages; links through the hub limited, hub node
+budget capped.  Shape: the simulation confirms the analytical ordering,
+with hub RL roughly 3x slower than 30% leaf RL to the 60% level.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.scenarios import fig1b_star_simulation
+from repro.core.slowdown import compare_times
+
+
+def test_fig1b_star_simulation(benchmark):
+    curves = benchmark.pedantic(
+        lambda: fig1b_star_simulation(num_runs=10, max_ticks=60),
+        rounds=1,
+        iterations=1,
+    )
+    report = compare_times(curves, baseline="no_rl", level=0.6)
+    print_series("Figure 1(b): star graph, simulated (10-run mean)", curves)
+    print(report.format_table())
+
+    factors = report.factors
+    assert factors["leaf_rl_10pct"] < 2.0
+    assert factors["leaf_rl_10pct"] <= factors["leaf_rl_30pct"]
+    assert factors["hub_rl"] > 2.0 * factors["leaf_rl_30pct"]

@@ -1,0 +1,29 @@
+"""E03 — Figure 2: analytical host-based rate limiting.
+
+Paper shape: the slowdown is linear in deployed fraction q (lambda =
+q*beta2 + (1-q)*beta1), so partial deployment barely helps, and only the
+jump from 80% to 100% coverage changes the regime.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_series
+
+from repro.core.scenarios import fig2_host_analytical
+from repro.core.slowdown import compare_times
+
+
+def test_fig2_host_analytical(benchmark):
+    curves = benchmark.pedantic(fig2_host_analytical, rounds=1, iterations=1)
+    report = compare_times(curves, baseline="no_rl", level=0.5)
+    print_series("Figure 2: host-based RL, analytical", curves)
+    print(report.format_table())
+
+    factors = report.factors
+    # Early-phase slowdown follows 1/(1-q): 5% ~ 1.05x, 50% ~ 2x, 80% ~ 5x.
+    assert factors["host_rl_5pct"] == pytest.approx(1 / 0.95, rel=0.05)
+    assert factors["host_rl_50pct"] == pytest.approx(2.0, rel=0.10)
+    assert factors["host_rl_80pct"] == pytest.approx(5.0, rel=0.15)
+    # The 100% cliff: full deployment runs at beta2, ~80x slower.
+    assert factors["host_rl_100pct"] > 10 * factors["host_rl_80pct"]

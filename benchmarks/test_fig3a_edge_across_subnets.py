@@ -1,0 +1,29 @@
+"""E04 — Figure 3(a): analytical worm spread ACROSS subnets, edge RL.
+
+Paper shape: edge-router filters cap the cross-subnet rate, slowing the
+across-subnet curve relative to the unthrottled local-pref baseline; the
+two throttled worms (random and local-pref) cross subnets at the same
+capped rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_series
+
+from repro.core.scenarios import fig3_edge_analytical
+
+
+def test_fig3a_edge_across_subnets(benchmark):
+    result = benchmark.pedantic(fig3_edge_analytical, rounds=1, iterations=1)
+    across = result["across"]
+    print_series("Figure 3(a): fraction of subnets infected", across)
+
+    t_no_rl = across["local_pref_no_rl"].time_to_fraction(0.5)
+    t_rl = across["local_pref_rl"].time_to_fraction(0.5)
+    assert t_rl > 2 * t_no_rl
+    np.testing.assert_allclose(
+        across["local_pref_rl"].fraction_infected,
+        across["random_rl"].fraction_infected,
+        atol=1e-9,
+    )

@@ -1,0 +1,29 @@
+"""E05 — Figure 3(b): analytical worm spread WITHIN a subnet, edge RL.
+
+Paper shape: the edge filter never sees intra-subnet traffic, so the
+local-preferential worm blazes inside a subnet (large beta1) while the
+random worm's within-subnet growth is much slower — which is why edge RL
+loses its value against local-preferential propagation.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.scenarios import fig3_edge_analytical
+
+
+def test_fig3b_edge_within_subnet(benchmark):
+    result = benchmark.pedantic(fig3_edge_analytical, rounds=1, iterations=1)
+    within = result["within"]
+    print_series("Figure 3(b): fraction of subnet hosts infected", within)
+
+    t_local = within["local_pref_rl"].time_to_fraction(0.5)
+    t_random = within["random_rl"].time_to_fraction(0.5)
+    # Local-pref spreads within the subnet far faster than random.
+    assert t_random > 10 * t_local
+    # The filter leaves intra-subnet spread untouched: with and without
+    # RL, the local-pref within-subnet curves coincide.
+    no_rl = within["local_pref_no_rl"].fraction_infected
+    with_rl = within["local_pref_rl"].fraction_infected
+    assert abs(float(no_rl[-1] - with_rl[-1])) < 1e-9

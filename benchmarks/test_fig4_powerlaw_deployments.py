@@ -1,0 +1,34 @@
+"""E06 — Figure 4: simulated deployments on the 1,000-node power-law graph.
+
+Paper shape: no RL ≈ 5% host RL; edge RL a slight improvement; backbone
+RL takes ~5x as long to reach 50% infection as the host/edge cases.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.scenarios import fig4_powerlaw_simulation
+from repro.core.slowdown import compare_times
+
+
+def test_fig4_powerlaw_deployments(benchmark):
+    curves = benchmark.pedantic(
+        lambda: fig4_powerlaw_simulation(
+            num_nodes=1000, num_runs=10, max_ticks=400
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = compare_times(curves, baseline="no_rl", level=0.5)
+    print_series("Figure 4: power-law 1000 nodes, simulated", curves)
+    print(report.format_table())
+
+    factors = report.factors
+    # 5% host deployment is negligible.
+    assert factors["host_rl_5pct"] < 1.3
+    # Edge RL: slight improvement.
+    assert 1.05 < factors["edge_rl"] < 3.0
+    # Backbone RL: the headline ~5x over the host/edge cases.
+    assert factors["backbone_rl"] > 3.0 * factors["edge_rl"]
+    assert factors["backbone_rl"] > 3.0 * factors["host_rl_5pct"]

@@ -1,0 +1,41 @@
+"""E07 — Figure 5: edge-router RL vs worm strategy (simulated).
+
+Paper shape: edge RL yields ~50% slowdown against random-propagation
+worms but "very little perceivable benefit" against local-preferential
+worms.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.scenarios import fig5_edge_localpref_simulation
+
+
+def test_fig5_edge_local_pref(benchmark):
+    curves = benchmark.pedantic(
+        lambda: fig5_edge_localpref_simulation(
+            num_nodes=1000, num_runs=10, max_ticks=150
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_series("Figure 5: edge RL, random vs local-preferential", curves)
+
+    random_slowdown = curves["random_edge_rl"].time_to_fraction(
+        0.5
+    ) / curves["random_no_rl"].time_to_fraction(0.5)
+    local_slowdown = curves["local_pref_edge_rl"].time_to_fraction(
+        0.5
+    ) / curves["local_pref_no_rl"].time_to_fraction(0.5)
+    print(
+        f"\nslowdown to 50%: random={random_slowdown:.2f}x "
+        f"local_pref={local_slowdown:.2f}x"
+    )
+
+    # ~50% slowdown for random worms (band: 1.2x - 3x).
+    assert 1.2 < random_slowdown < 3.5
+    # "Very little perceivable benefit" against local-pref worms: their
+    # within-subnet spread is essentially untouched by the edge filter.
+    assert local_slowdown < 1.15
+    assert local_slowdown < random_slowdown - 0.1

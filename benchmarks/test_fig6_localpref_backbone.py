@@ -1,0 +1,32 @@
+"""E08 — Figure 6: local-preferential worm vs host and backbone RL.
+
+Paper shape: even 30% host deployment is close to no RL for a
+local-preferential worm; backbone deployment is substantially better.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.scenarios import fig6_localpref_deployments
+from repro.core.slowdown import compare_times
+
+
+def test_fig6_localpref_backbone(benchmark):
+    curves = benchmark.pedantic(
+        lambda: fig6_localpref_deployments(
+            num_nodes=1000, num_runs=10, max_ticks=400
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = compare_times(curves, baseline="no_rl", level=0.5)
+    print_series("Figure 6: local-pref worm, host vs backbone RL", curves)
+    print(report.format_table())
+
+    factors = report.factors
+    # Host RL: near-negligible even at 30% coverage.
+    assert factors["host_rl_5pct"] < 1.4
+    assert factors["host_rl_30pct"] < 2.2
+    # Backbone RL: substantially more effective.
+    assert factors["backbone_rl"] > 1.8 * factors["host_rl_30pct"]

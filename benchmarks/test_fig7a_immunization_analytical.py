@@ -1,0 +1,44 @@
+"""E09 — Figure 7(a): analytical delayed immunization (no rate limiting).
+
+Paper shape: with beta = 0.8 and mu = 0.1, starting immunization when the
+worm reaches 20% / 50% / 80% produces successively worse outbreaks, each
+peaking and then declining as patching outpaces infection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_series
+
+from repro.core.scenarios import fig7a_immunization_analytical
+
+
+def test_fig7a_immunization_analytical(benchmark):
+    curves = benchmark.pedantic(
+        fig7a_immunization_analytical, rounds=1, iterations=1
+    )
+    print_series("Figure 7(a): delayed immunization, analytical", curves)
+
+    peaks = {
+        label: float(curve.fraction_infected.max())
+        for label, curve in curves.items()
+    }
+    finals = {
+        label: float(curve.fraction_infected[-1])
+        for label, curve in curves.items()
+    }
+    # Earlier immunization caps the peak lower.
+    assert (
+        peaks["immunize_at_20pct"]
+        < peaks["immunize_at_50pct"]
+        < peaks["immunize_at_80pct"]
+    )
+    # Every immunized curve eventually declines toward extinction.
+    for label, curve in curves.items():
+        if label == "no_immunization":
+            assert finals[label] > 0.99
+        else:
+            assert finals[label] < 0.5 * peaks[label]
+            # Declining tail.
+            tail = curve.fraction_infected[-50:]
+            assert np.all(np.diff(tail) <= 1e-9)

@@ -1,0 +1,44 @@
+"""E10 — Figure 7(b): analytical delayed immunization + backbone RL.
+
+Paper protocol: immunization starts at the ticks where the *unlimited*
+worm hit 20%/50%/80% (≈ ticks 6/8/10 for beta = 0.8, N = 1000), while the
+worm itself is slowed by backbone filters — so every curve sits below its
+Figure 7(a) counterpart.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.scenarios import (
+    fig7a_immunization_analytical,
+    fig7b_immunization_rl_analytical,
+)
+
+
+def test_fig7b_immunization_rl_analytical(benchmark):
+    curves = benchmark.pedantic(
+        fig7b_immunization_rl_analytical, rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 7(b): delayed immunization + backbone RL, analytical",
+        curves,
+    )
+
+    # The start ticks anchor to the unlimited model: ~6 / 8 / 10.
+    tick_labels = sorted(
+        label for label in curves if label.startswith("immunize_at_tick_")
+    )
+    ticks = sorted(int(label.rsplit("_", 1)[1]) for label in tick_labels)
+    assert ticks[0] in (6, 7)
+    assert ticks[-1] in (9, 10, 11)
+
+    # With rate limiting, peak infection is lower than without, case by
+    # case (compare against Figure 7(a) at the same wall clock).
+    without = fig7a_immunization_analytical()
+    peak_without = float(
+        without["immunize_at_20pct"].fraction_infected.max()
+    )
+    earliest = curves[f"immunize_at_tick_{ticks[0]}"]
+    peak_with = float(earliest.fraction_infected.max())
+    assert peak_with < peak_without

@@ -1,0 +1,43 @@
+"""E11a — Figure 8(a): simulated ever-infected under delayed immunization.
+
+Paper shape (beta = 0.8, mu = 0.1, 1,000-node power-law graph): total
+ever-infected plateaus near 80% / 90% / 98% for immunization starting at
+20% / 50% / 80% infection.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.scenarios import fig8a_immunization_simulation
+
+
+def test_fig8a_immunization_sim(benchmark):
+    curves = benchmark.pedantic(
+        lambda: fig8a_immunization_simulation(
+            num_nodes=1000, num_runs=10, max_ticks=120
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_series(
+        "Figure 8(a): ever-infected, delayed immunization (sim)",
+        curves,
+        of_ever=True,
+    )
+
+    finals = {
+        label: curve.final_fraction_ever_infected()
+        for label, curve in curves.items()
+    }
+    print("\nfinal ever-infected:", {k: round(v, 3) for k, v in finals.items()})
+
+    # Paper bands: ~80% / ~90% / ~98%.
+    assert 0.60 <= finals["immunize_at_20pct"] <= 0.92
+    assert 0.80 <= finals["immunize_at_50pct"] <= 0.97
+    assert 0.90 <= finals["immunize_at_80pct"] <= 1.00
+    assert (
+        finals["immunize_at_20pct"]
+        < finals["immunize_at_50pct"]
+        < finals["immunize_at_80pct"]
+    )

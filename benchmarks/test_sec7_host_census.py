@@ -1,0 +1,39 @@
+"""E15 — Section 7 census: 999 normal / 17 servers / 33 P2P / 79 infected.
+
+The behavioural classifier must recover the generator's ground truth the
+way the paper's analysts partitioned the ECE subnet.
+"""
+
+from __future__ import annotations
+
+from conftest import print_rows
+
+from repro.core.scenarios import sec7_host_census
+from repro.traces.classify import classify_hosts
+from repro.traces.records import HostClass
+
+
+def test_sec7_host_census(benchmark, campus_trace):
+    counts = benchmark.pedantic(
+        lambda: sec7_host_census(campus_trace), rounds=1, iterations=1
+    )
+    classes = classify_hosts(campus_trace)
+    errors = sum(
+        1
+        for host, truth in campus_trace.labels.items()
+        if classes[host] is not truth
+    )
+    rows = [(cls.value, counts.get(cls, 0)) for cls in HostClass]
+    rows.append(("total", sum(counts.values())))
+    rows.append(("misclassified vs ground truth", errors))
+    print_rows("Section 7 census (paper: 999 / 17 / 33 / 79)", rows)
+
+    assert sum(counts.values()) == 1128
+    assert abs(counts.get(HostClass.NORMAL, 0) - 999) <= 10
+    assert abs(counts.get(HostClass.SERVER, 0) - 17) <= 3
+    assert abs(counts.get(HostClass.P2P, 0) - 33) <= 6
+    infected = counts.get(HostClass.WORM_BLASTER, 0) + counts.get(
+        HostClass.WORM_WELCHIA, 0
+    )
+    assert abs(infected - 79) <= 4
+    assert errors <= 0.02 * 1128

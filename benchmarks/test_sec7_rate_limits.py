@@ -1,0 +1,70 @@
+"""E16 — Section 7 practical rate limits.
+
+Paper numbers at 99.9% coverage, 5-second windows:
+  normal clients (aggregate): 16 / 14 / 9   (all / no-prior / no-DNS)
+  P2P clients   (aggregate): 89 / 61 / 26
+  per normal host:            ~4 all, ~1 non-DNS
+  window study (non-DNS):     5 per 1 s, 12 per 5 s, 50 per 60 s
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import print_rows
+
+from repro.core.scenarios import (
+    sec7_rate_limit_tables,
+    sec7_window_size_study,
+)
+from repro.traces.records import HostClass
+from repro.traces.windows import Refinement, per_host_counts
+
+
+def _pooled_percentile(per_host: dict, q: float) -> int:
+    pooled = sorted(c for wc in per_host.values() for c in wc.counts)
+    index = min(math.ceil(q * len(pooled)) - 1, len(pooled) - 1)
+    return pooled[max(index, 0)]
+
+
+def test_sec7_rate_limits(benchmark, campus_trace):
+    tables = benchmark.pedantic(
+        lambda: sec7_rate_limit_tables(campus_trace), rounds=1, iterations=1
+    )
+    normal_hosts = campus_trace.hosts_of_class(HostClass.NORMAL)
+    per_host_all = per_host_counts(
+        campus_trace, normal_hosts[:300], refinement=Refinement.ALL
+    )
+    per_host_nodns = per_host_counts(
+        campus_trace, normal_hosts[:300], refinement=Refinement.NO_DNS
+    )
+    host_all = _pooled_percentile(per_host_all, 0.999)
+    host_nodns = _pooled_percentile(per_host_nodns, 0.999)
+    windows = sec7_window_size_study(campus_trace)
+
+    normal, p2p = tables["normal"], tables["p2p"]
+    rows = [
+        ("normal aggregate all/no-prior/no-DNS (paper 16/14/9)",
+         f"{normal.all_contacts}/{normal.no_prior_contact}/{normal.no_dns}"),
+        ("p2p aggregate all/no-prior/no-DNS (paper 89/61/26)",
+         f"{p2p.all_contacts}/{p2p.no_prior_contact}/{p2p.no_dns}"),
+        ("per-host all / non-DNS (paper ~4 / ~1)",
+         f"{host_all} / {host_nodns}"),
+        ("window study 1s/5s/60s non-DNS (paper 5/12/50)",
+         "/".join(str(windows[w]) for w in sorted(windows))),
+    ]
+    print_rows("Section 7 practical rate limits", rows)
+
+    # Normal aggregate bands around 16 / 14 / 9.
+    assert 8 <= normal.all_contacts <= 32
+    assert normal.no_prior_contact <= normal.all_contacts
+    assert 3 <= normal.no_dns <= 16
+    # P2P limits several times the normal limits (paper: 89 vs 16).
+    assert p2p.all_contacts > 2.5 * normal.all_contacts
+    assert p2p.no_dns > normal.no_dns
+    # Per-host limits: a handful of contacts, ~1 non-DNS.
+    assert 1 <= host_all <= 8
+    assert host_nodns <= 3
+    # Window sizes: sublinear growth of the admitted budget.
+    assert windows[1.0] <= windows[5.0] <= windows[60.0]
+    assert windows[60.0] < 60 * max(windows[1.0], 1)

@@ -1,0 +1,29 @@
+"""E17 — Section 7 footnote: worm peak scanning rates.
+
+Paper: "We discovered an instance of Welchia that scanned 7068 hosts in a
+minute.  By contrast, Blaster's peak scanning rate was only 671 hosts in
+a minute" — Welchia's peak is an order of magnitude above Blaster's.
+"""
+
+from __future__ import annotations
+
+from conftest import print_rows
+
+from repro.core.scenarios import sec7_worm_peak_rates
+
+
+def test_sec7_worm_rates(benchmark, campus_trace):
+    peaks = benchmark.pedantic(
+        lambda: sec7_worm_peak_rates(campus_trace), rounds=1, iterations=1
+    )
+    rows = [
+        ("Blaster peak hosts/minute (paper ~671)", peaks["blaster"]),
+        ("Welchia peak hosts/minute (paper ~7068)", peaks["welchia"]),
+        ("ratio (paper ~10x)",
+         round(peaks["welchia"] / max(peaks["blaster"], 1), 1)),
+    ]
+    print_rows("Section 7 worm peak scan rates", rows)
+
+    assert 300 <= peaks["blaster"] <= 1100
+    assert 4000 <= peaks["welchia"] <= 9000
+    assert peaks["welchia"] > 5 * peaks["blaster"]

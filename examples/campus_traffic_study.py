@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""The Section 7 trace study, end to end, on synthetic campus traffic.
+
+Generates a calibrated campus trace (999 normal clients, 17 servers, 33
+P2P clients, 79 worm-infected hosts), then:
+
+1. classifies every host from behaviour alone and checks the census;
+2. derives practical 99.9%-coverage rate limits per host class;
+3. measures the worms' peak scanning rates;
+4. replays the traffic through the Williamson IP throttle and the
+   DNS-based throttle to quantify the protection/pain tradeoff.
+
+Run:  python examples/campus_traffic_study.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.traces import (
+    HostClass,
+    TraceConfig,
+    census,
+    classify_hosts,
+    generate_trace,
+    peak_scan_rate,
+    recommend_rate_limits,
+    window_size_study,
+)
+from repro.throttle import (
+    DnsThrottle,
+    WilliamsonThrottle,
+    replay_class,
+    worm_slowdown,
+)
+
+
+def main() -> None:
+    print("generating 10 minutes of campus traffic (1,128 hosts) ...")
+    trace = generate_trace(TraceConfig(duration=600.0, seed=0))
+    print(f"  {len(trace):,} flow records\n")
+
+    # 1. Behavioural census ------------------------------------------------
+    classes = classify_hosts(trace)
+    counts = census(classes)
+    errors = sum(
+        1 for host, truth in trace.labels.items() if classes[host] is not truth
+    )
+    print("host census (paper found 999 / 17 / 33 / 79):")
+    for host_class in HostClass:
+        print(f"  {host_class.value:<16} {counts.get(host_class, 0):>5}")
+    print(f"  misclassified vs ground truth: {errors}\n")
+
+    # 2. Practical rate limits ----------------------------------------------
+    for group in (HostClass.NORMAL, HostClass.P2P):
+        table = recommend_rate_limits(
+            trace, trace.hosts_of_class(group), group=group.value
+        )
+        print(f"99.9% rate limits, {group.value} hosts (per 5 s window):")
+        for label, limit in table.as_rows():
+            print(f"  {label:<44} {limit:>4}")
+    windows = window_size_study(trace, trace.hosts_of_class(HostClass.NORMAL))
+    formatted = ", ".join(
+        f"{limit} per {int(w)} s" for w, limit in sorted(windows.items())
+    )
+    print(f"window-size study (non-DNS aggregate): {formatted}\n")
+
+    # 3. Worm peaks ----------------------------------------------------------
+    blaster = max(
+        peak_scan_rate(trace, h)
+        for h in trace.hosts_of_class(HostClass.WORM_BLASTER)
+    )
+    welchia = max(
+        peak_scan_rate(trace, h)
+        for h in trace.hosts_of_class(HostClass.WORM_WELCHIA)
+    )
+    print(
+        f"worm peak scan rates: Blaster {blaster}/min, Welchia "
+        f"{welchia}/min (paper: 671 and 7,068)\n"
+    )
+
+    # 4. Throttle replay -----------------------------------------------------
+    print("replaying traffic through the proposed throttles:")
+    for factory in (WilliamsonThrottle, DnsThrottle):
+        name = factory().name
+        normal = [
+            r
+            for r in replay_class(
+                trace, HostClass.NORMAL, factory, limit_hosts=40
+            )
+            if r.contacts
+        ]
+        mean_delay = statistics.mean(r.mean_delay for r in normal)
+        blaster_slow = worm_slowdown(
+            replay_class(trace, HostClass.WORM_BLASTER, factory)
+        )
+        welchia_slow = worm_slowdown(
+            replay_class(trace, HostClass.WORM_WELCHIA, factory)
+        )
+        print(
+            f"  {name:<24} normal delay {mean_delay:6.3f} s | "
+            f"Blaster {blaster_slow:5.1f}x | Welchia {welchia_slow:6.1f}x"
+        )
+
+    print(
+        "\nThe DNS-based scheme never touches resolved traffic, yet slows\n"
+        "the scanners an order of magnitude harder — the paper's case for\n"
+        "DNS-aware rate limiting."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Sensitivity study: how robust are the paper's operating points?
+
+The paper reports single operating points (one backbone budget, a few
+host coverages).  This script sweeps around them with
+:mod:`repro.core.sweeps` and prints the resulting response surfaces —
+useful before trusting any single number from a simulation study.
+
+Run:  python examples/parameter_sensitivity.py
+"""
+
+from __future__ import annotations
+
+from repro.core.sweeps import (
+    sweep_backbone_rate,
+    sweep_detection_latency,
+    sweep_host_coverage,
+)
+
+
+def main() -> None:
+    print("1) Backbone filter budget (smaller = tighter quarantine)\n")
+    print(sweep_backbone_rate(num_nodes=500, num_runs=3).format_table())
+
+    print("\n2) Host-filter coverage q (Eq. 3 predicts 1/(1-q))\n")
+    print(sweep_host_coverage(num_nodes=500, num_runs=3).format_table())
+
+    print("\n3) Dynamic quarantine: reaction delay after detection\n")
+    print(sweep_detection_latency(num_nodes=500, num_runs=3).format_table())
+
+    print(
+        "\nTakeaways: the backbone result is robust across an order of\n"
+        "magnitude of budget; host coverage only pays near totality; and\n"
+        "detection is worthless without a fast deployment path."
+    )
+
+
+if __name__ == "__main__":
+    main()

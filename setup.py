@@ -1,0 +1,6 @@
+"""Thin setup.py shim so editable installs work in offline environments
+that lack the `wheel` package (PEP 517 editable builds need bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,233 @@
+"""Command-line interface: regenerate paper experiments from the shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro figure fig4 --runs 5 --ticks 300
+    python -m repro compare --nodes 500 --strategy none \\
+        --strategy backbone:0.02 --strategy hosts:0.3:0.01 --level 0.5
+    python -m repro trace --duration 300 --seed 1
+
+``figure`` runs one canned scenario from :mod:`repro.core.scenarios` and
+prints its series/report; ``compare`` runs an ad-hoc deployment
+comparison; ``trace`` runs the Section 7 pipeline on a fresh synthetic
+trace.  Exit code is 0 on success, 2 on bad arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from .core import scenarios
+from .core.policy import DeploymentStrategy
+from .core.quarantine import QuarantineStudy
+from .core.slowdown import compare_times
+from .models.base import Trajectory
+from .traces.analysis import recommend_rate_limits
+from .traces.classify import census, classify_hosts
+from .traces.records import HostClass
+from .traces.synth import TraceConfig, generate_trace
+
+__all__ = ["main", "build_parser"]
+
+#: figure id -> (scenario callable, kwargs accepted, baseline label, level)
+_SIM_FIGURES = {
+    "fig1b": (scenarios.fig1b_star_simulation, "no_rl", 0.6),
+    "fig4": (scenarios.fig4_powerlaw_simulation, "no_rl", 0.5),
+    "fig6": (scenarios.fig6_localpref_deployments, "no_rl", 0.5),
+    "fig8a": (scenarios.fig8a_immunization_simulation, None, 0.5),
+    "fig8b": (scenarios.fig8b_immunization_rl_simulation, None, 0.5),
+}
+_ANALYTIC_FIGURES = {
+    "fig1a": (scenarios.fig1a_star_analytical, "no_rl", 0.6),
+    "fig2": (scenarios.fig2_host_analytical, "no_rl", 0.5),
+    "fig7a": (scenarios.fig7a_immunization_analytical, None, 0.5),
+    "fig7b": (scenarios.fig7b_immunization_rl_analytical, None, 0.5),
+    "fig10": (scenarios.fig10_trace_rate_models, "no_rl", 0.5),
+}
+
+
+def _print_curves(
+    curves: dict[str, Trajectory],
+    baseline: str | None,
+    level: float,
+    *,
+    out=sys.stdout,
+) -> None:
+    t_max = max(float(c.times[-1]) for c in curves.values())
+    samples = np.linspace(0.0, t_max, 9)
+    header = "  ".join(f"t={t:7.1f}" for t in samples)
+    print(f"{'case':<24} {header}", file=out)
+    for label, curve in curves.items():
+        values = np.interp(samples, curve.times, curve.fraction_infected)
+        row = "  ".join(f"{v:9.3f}" for v in values)
+        print(f"{label:<24} {row}", file=out)
+    if baseline is not None and baseline in curves:
+        print(file=out)
+        print(
+            compare_times(curves, baseline=baseline, level=level).format_table(),
+            file=out,
+        )
+
+
+def _parse_strategy(text: str) -> DeploymentStrategy:
+    """Parse ``none`` / ``hosts:Q:RATE`` / ``edge:RATE`` / ``backbone:RATE``
+    / ``hub:LINK:BUDGET``."""
+    parts = text.split(":")
+    kind = parts[0]
+    try:
+        if kind == "none":
+            return DeploymentStrategy.none()
+        if kind == "hosts":
+            return DeploymentStrategy.hosts(float(parts[1]), float(parts[2]))
+        if kind == "edge":
+            return DeploymentStrategy.edge(float(parts[1]))
+        if kind == "backbone":
+            return DeploymentStrategy.backbone(float(parts[1]))
+        if kind == "hub":
+            return DeploymentStrategy.hub(float(parts[1]), float(parts[2]))
+    except (IndexError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad strategy {text!r}: {exc}"
+        ) from exc
+    raise argparse.ArgumentTypeError(
+        f"unknown strategy kind {kind!r} "
+        "(expected none / hosts:Q:RATE / edge:RATE / backbone:RATE / "
+        "hub:LINK:BUDGET)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Dynamic Quarantine of Internet Worms' "
+        "(DSN 2004) experiments.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list reproducible figures")
+
+    figure = commands.add_parser("figure", help="regenerate one figure")
+    figure.add_argument(
+        "figure_id", choices=sorted(_SIM_FIGURES | _ANALYTIC_FIGURES)
+    )
+    figure.add_argument("--runs", type=int, default=10,
+                        help="simulation runs to average (sim figures)")
+    figure.add_argument("--ticks", type=int, default=None,
+                        help="tick horizon (sim figures)")
+    figure.add_argument("--nodes", type=int, default=1000,
+                        help="topology size (sim figures)")
+
+    compare = commands.add_parser(
+        "compare", help="ad-hoc deployment comparison"
+    )
+    compare.add_argument("--nodes", type=int, default=1000)
+    compare.add_argument("--beta", type=float, default=0.8)
+    compare.add_argument("--runs", type=int, default=5)
+    compare.add_argument("--ticks", type=int, default=400)
+    compare.add_argument("--level", type=float, default=0.5)
+    compare.add_argument("--seed", type=int, default=42)
+    compare.add_argument("--local-preference", type=float, default=None)
+    compare.add_argument(
+        "--strategy",
+        dest="strategies",
+        action="append",
+        type=_parse_strategy,
+        required=True,
+        help="repeatable: none | hosts:Q:RATE | edge:RATE | backbone:RATE "
+        "| hub:LINK:BUDGET",
+    )
+
+    trace = commands.add_parser(
+        "trace", help="run the Section 7 trace pipeline"
+    )
+    trace.add_argument("--duration", type=float, default=300.0)
+    trace.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_list(out=sys.stdout) -> int:
+    print("analytical figures:", ", ".join(sorted(_ANALYTIC_FIGURES)), file=out)
+    print("simulated figures: ", ", ".join(sorted(_SIM_FIGURES)), file=out)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace, out=sys.stdout) -> int:
+    figure_id = args.figure_id
+    if figure_id in _ANALYTIC_FIGURES:
+        builder, baseline, level = _ANALYTIC_FIGURES[figure_id]
+        curves = builder()
+    else:
+        builder, baseline, level = _SIM_FIGURES[figure_id]
+        kwargs: dict[str, int] = {"num_runs": args.runs}
+        if args.ticks is not None:
+            kwargs["max_ticks"] = args.ticks
+        if figure_id != "fig1b":
+            kwargs["num_nodes"] = args.nodes
+        curves = builder(**kwargs)
+    print(f"=== {figure_id} ===", file=out)
+    _print_curves(curves, baseline, level, out=out)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace, out=sys.stdout) -> int:
+    study = QuarantineStudy(
+        args.nodes,
+        scan_rate=args.beta,
+        local_preference=args.local_preference,
+        seed=args.seed,
+    )
+    curves = study.simulate_deployments(
+        args.strategies, max_ticks=args.ticks, num_runs=args.runs
+    )
+    baseline = args.strategies[0].label
+    _print_curves(curves, baseline, args.level, out=out)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace, out=sys.stdout) -> int:
+    trace = generate_trace(
+        TraceConfig(duration=args.duration, seed=args.seed)
+    )
+    print(f"{len(trace):,} records over {trace.duration:.0f} s", file=out)
+    counts = census(classify_hosts(trace))
+    for host_class in HostClass:
+        print(f"  {host_class.value:<16} {counts.get(host_class, 0):>5}",
+              file=out)
+    for group in (HostClass.NORMAL, HostClass.P2P):
+        table = recommend_rate_limits(
+            trace, trace.hosts_of_class(group), group=group.value
+        )
+        print(
+            f"{group.value}: 99.9% limits per 5 s = "
+            f"{table.all_contacts} / {table.no_prior_contact} / "
+            f"{table.no_dns} (all / no-prior / no-DNS)",
+            file=out,
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out=out)
+    if args.command == "figure":
+        return _cmd_figure(args, out=out)
+    if args.command == "compare":
+        return _cmd_compare(args, out=out)
+    if args.command == "trace":
+        return _cmd_trace(args, out=out)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

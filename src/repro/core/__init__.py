@@ -1,0 +1,29 @@
+"""The paper's primary contribution as a library: deployment-strategy
+analysis for worm rate limiting (policies, the QuarantineStudy front door,
+slowdown metrics, and canned per-figure scenarios)."""
+
+from .policy import DeploymentLocation, DeploymentStrategy, RateLimitPolicy
+from .quarantine import QuarantineStudy
+from .slowdown import SlowdownReport, compare_times, slowdown_factor
+from .sweeps import (
+    SweepPoint,
+    SweepResult,
+    sweep_backbone_rate,
+    sweep_detection_latency,
+    sweep_host_coverage,
+)
+
+__all__ = [
+    "DeploymentLocation",
+    "DeploymentStrategy",
+    "RateLimitPolicy",
+    "QuarantineStudy",
+    "SlowdownReport",
+    "compare_times",
+    "slowdown_factor",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_backbone_rate",
+    "sweep_detection_latency",
+    "sweep_host_coverage",
+]

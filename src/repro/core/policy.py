@@ -1,0 +1,138 @@
+"""Deployment-policy descriptions: the paper's design space as data.
+
+A :class:`RateLimitPolicy` says *how hard* a filter throttles; a
+:class:`DeploymentStrategy` says *where* filters go.  Together they
+parameterize both the analytical models and the simulator through
+:mod:`repro.core.quarantine`, so a study can sweep the same policy across
+deployment locations — the paper's central experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["DeploymentLocation", "RateLimitPolicy", "DeploymentStrategy"]
+
+
+class DeploymentLocation(Enum):
+    """Where rate-limiting filters are installed."""
+
+    NONE = "none"
+    HOSTS = "hosts"
+    HUB = "hub"
+    EDGE_ROUTERS = "edge_routers"
+    BACKBONE_ROUTERS = "backbone_routers"
+
+
+@dataclass(frozen=True)
+class RateLimitPolicy:
+    """How a deployed filter throttles.
+
+    Attributes
+    ----------
+    rate:
+        Allowed contact/packet rate per tick: the analytical ``beta2`` for
+        host filters, or the per-link base rate for router filters.
+    node_budget:
+        Optional node-level forwarding budget (the star hub's ``beta``).
+    weighted:
+        Whether router-link capacities scale with routing-table occupancy
+        (the paper's scheme); ignored for host filters.
+    """
+
+    rate: float
+    node_budget: float | None = None
+    weighted: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.node_budget is not None and self.node_budget <= 0:
+            raise ValueError(
+                f"node_budget must be positive, got {self.node_budget}"
+            )
+
+
+@dataclass(frozen=True)
+class DeploymentStrategy:
+    """A (location, coverage, policy) triple.
+
+    Attributes
+    ----------
+    location:
+        Where the filters go.
+    coverage:
+        Fraction of eligible nodes that get a filter (only meaningful for
+        host deployment; router deployments are all-or-nothing in the
+        paper).
+    policy:
+        The throttle strength.
+    """
+
+    location: DeploymentLocation
+    policy: RateLimitPolicy | None = None
+    coverage: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError(
+                f"coverage must be in [0, 1], got {self.coverage}"
+            )
+        if self.location is not DeploymentLocation.NONE and self.policy is None:
+            raise ValueError(f"{self.location} deployment needs a policy")
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``host_rl_30pct`` or ``backbone_rl``."""
+        if self.location is DeploymentLocation.NONE:
+            return "no_rl"
+        if self.location is DeploymentLocation.HOSTS:
+            return f"host_rl_{int(round(self.coverage * 100))}pct"
+        return {
+            DeploymentLocation.HUB: "hub_rl",
+            DeploymentLocation.EDGE_ROUTERS: "edge_rl",
+            DeploymentLocation.BACKBONE_ROUTERS: "backbone_rl",
+        }[self.location]
+
+    # Convenience constructors for the paper's standard cases ------------
+
+    @classmethod
+    def none(cls) -> "DeploymentStrategy":
+        """No rate limiting anywhere (the baseline)."""
+        return cls(location=DeploymentLocation.NONE)
+
+    @classmethod
+    def hosts(cls, coverage: float, rate: float) -> "DeploymentStrategy":
+        """Filters on a fraction of end hosts."""
+        return cls(
+            location=DeploymentLocation.HOSTS,
+            policy=RateLimitPolicy(rate=rate),
+            coverage=coverage,
+        )
+
+    @classmethod
+    def hub(cls, link_rate: float, node_budget: float) -> "DeploymentStrategy":
+        """Star-topology hub filters (link rate + node budget)."""
+        return cls(
+            location=DeploymentLocation.HUB,
+            policy=RateLimitPolicy(rate=link_rate, node_budget=node_budget),
+        )
+
+    @classmethod
+    def edge(cls, base_rate: float, *, weighted: bool = True) -> "DeploymentStrategy":
+        """Filters on edge routers' subnet-boundary links."""
+        return cls(
+            location=DeploymentLocation.EDGE_ROUTERS,
+            policy=RateLimitPolicy(rate=base_rate, weighted=weighted),
+        )
+
+    @classmethod
+    def backbone(
+        cls, base_rate: float, *, weighted: bool = True
+    ) -> "DeploymentStrategy":
+        """Filters on all backbone-router links."""
+        return cls(
+            location=DeploymentLocation.BACKBONE_ROUTERS,
+            policy=RateLimitPolicy(rate=base_rate, weighted=weighted),
+        )

@@ -1,0 +1,55 @@
+"""Analytical epidemic models from the paper.
+
+One class per published equation system:
+
+=====================================  =========================================
+Class                                  Paper section / equation
+=====================================  =========================================
+:class:`HomogeneousSIModel`            Sec. 3, Eq. (1)–(2) — baseline SI
+:class:`LeafRateLimitModel`            Sec. 4 & 5.1, Eq. (3) — host/leaf filters
+:class:`HubRateLimitModel`             Sec. 4, Eq. (4)–(5) — hub filters
+:class:`EdgeRouterModel`               Sec. 5.2 — two-level subnet logistics
+:class:`CoupledSubnetModel`            Sec. 5.2 extension — coupled dynamics
+:class:`BackboneRateLimitModel`        Sec. 5.3, Eq. (6) — path-coverage filter
+:class:`DelayedImmunizationModel`      Sec. 6.1 — patching from time ``d``
+:class:`BellCurveImmunizationModel`    Sec. 6.1 remark — bell-curve ``mu(t)``
+:class:`BackboneImmunizationModel`     Sec. 6.2 — filters + immunization
+=====================================  =========================================
+"""
+
+from .backbone import ADDRESS_SPACE, BackboneRateLimitModel
+from .base import EpidemicModel, ModelError, Trajectory, logistic_fraction
+from .combined import BackboneImmunizationModel
+from .edge import CoupledSubnetModel, EdgeRouterModel, WormKind
+from .fitting import (
+    LogisticFit,
+    effective_rate_reduction,
+    fit_exponential_rate,
+    fit_logistic,
+)
+from .homogeneous import HomogeneousSIModel
+from .hub import HubRateLimitModel
+from .immunization import BellCurveImmunizationModel, DelayedImmunizationModel
+from .leaf import LeafRateLimitModel
+
+__all__ = [
+    "ADDRESS_SPACE",
+    "EpidemicModel",
+    "ModelError",
+    "Trajectory",
+    "logistic_fraction",
+    "LogisticFit",
+    "effective_rate_reduction",
+    "fit_exponential_rate",
+    "fit_logistic",
+    "HomogeneousSIModel",
+    "LeafRateLimitModel",
+    "HubRateLimitModel",
+    "EdgeRouterModel",
+    "CoupledSubnetModel",
+    "WormKind",
+    "BackboneRateLimitModel",
+    "DelayedImmunizationModel",
+    "BellCurveImmunizationModel",
+    "BackboneImmunizationModel",
+]

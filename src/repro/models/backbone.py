@@ -1,0 +1,120 @@
+"""Section 5.3: rate limiting at backbone routers (Equation 6).
+
+If rate-limiting filters cover a fraction ``alpha`` of all IP-to-IP paths,
+the uncovered traffic spreads the worm at rate ``beta(1 - alpha)`` while
+the covered paths leak at most the routers' residual budget:
+
+    dI/dt = I*beta*(1-alpha)*(N-I)/N + delta*(N-I)/N        (paper Eq. 6)
+    delta = min(I*beta*alpha, r*N / 2^32)
+
+where ``r`` is the average allowable rate of the filtered routers.  For
+small ``r`` the leak term vanishes and the infection is logistic with
+``lambda = beta*(1-alpha)`` — so covering most paths (alpha near 1, which a
+few hundred core routers achieve) beats any realistic host deployment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import EpidemicModel, ModelError, logistic_fraction
+
+__all__ = ["BackboneRateLimitModel", "ADDRESS_SPACE"]
+
+#: Size of the IPv4 address space; scaling constant in the paper's leak term.
+ADDRESS_SPACE = 2.0**32
+
+
+class BackboneRateLimitModel(EpidemicModel):
+    """Worm propagation with rate limiting at backbone routers (Eq. 6).
+
+    Parameters
+    ----------
+    population:
+        Total susceptible population ``N``.
+    beta:
+        Contact rate of one infected host.
+    path_coverage:
+        ``alpha`` — fraction of IP-to-IP paths crossing a filtered router.
+    residual_rate:
+        ``r`` — average allowable rate of the rate-limited routers; the
+        covered paths leak at most ``r*N/2^32`` successful contacts per
+        time unit in aggregate.
+    initial_infected:
+        Infected count at ``t = 0``.
+    """
+
+    def __init__(
+        self,
+        population: float,
+        beta: float,
+        path_coverage: float,
+        *,
+        residual_rate: float = 0.0,
+        initial_infected: float = 1.0,
+    ) -> None:
+        if population <= 1:
+            raise ModelError(f"population must exceed 1, got {population}")
+        if beta <= 0:
+            raise ModelError(f"beta must be positive, got {beta}")
+        if not 0.0 <= path_coverage <= 1.0:
+            raise ModelError(
+                f"path_coverage must be in [0, 1], got {path_coverage}"
+            )
+        if residual_rate < 0:
+            raise ModelError(
+                f"residual_rate must be non-negative, got {residual_rate}"
+            )
+        if not 0 < initial_infected < population:
+            raise ModelError(
+                f"initial_infected must be in (0, population), "
+                f"got {initial_infected}"
+            )
+        self._n = float(population)
+        self._beta = float(beta)
+        self._alpha = float(path_coverage)
+        self._r = float(residual_rate)
+        self._i0 = float(initial_infected)
+
+    # -- EpidemicModel interface ---------------------------------------
+
+    @property
+    def population(self) -> float:
+        return self._n
+
+    @property
+    def path_coverage(self) -> float:
+        """``alpha`` — covered fraction of IP-to-IP paths."""
+        return self._alpha
+
+    @property
+    def effective_rate(self) -> float:
+        """``lambda = beta * (1 - alpha)`` — growth rate when ``r`` is small."""
+        return self._beta * (1.0 - self._alpha)
+
+    def leak_rate(self, infected: float) -> float:
+        """``delta = min(I*beta*alpha, r*N/2^32)`` — covered-path leakage."""
+        return min(
+            infected * self._beta * self._alpha,
+            self._r * self._n / ADDRESS_SPACE,
+        )
+
+    def initial_state(self) -> np.ndarray:
+        return np.array([self._i0])
+
+    def state_labels(self) -> tuple[str, ...]:
+        return ("infected",)
+
+    def derivatives(self, t: float, state: np.ndarray) -> np.ndarray:
+        infected = state[0]
+        susceptible_share = (self._n - infected) / self._n
+        uncovered = infected * self._beta * (1.0 - self._alpha)
+        return np.array(
+            [(uncovered + self.leak_rate(infected)) * susceptible_share]
+        )
+
+    # -- Closed form ------------------------------------------------------
+
+    def closed_form_fraction(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Small-``r`` approximation: logistic at rate ``beta*(1-alpha)``."""
+        return logistic_fraction(t, self.effective_rate, self._i0 / self._n)

@@ -1,0 +1,201 @@
+"""Section 6.2: backbone rate limiting combined with delayed immunization.
+
+The paper's final analytical model layers the Equation-6 backbone filter
+onto the delayed-immunization dynamics:
+
+    dI/dt = I*beta*(1-alpha)*(N-I)/N + delta*(N-I)/N            (t <= d)
+    dI/dt = I*beta*(1-alpha)*(N-I)/N + delta*(N-I)/N - mu*I     (t >  d)
+    dN/dt = -mu*N                                               (t >  d)
+    delta = min(I*beta*alpha, r*N/2^32)
+
+For small residual rate ``r`` the closed form is the immunization solution
+with ``gamma = beta*(1-alpha)`` substituted for ``beta``.  The headline
+measurement (Figure 8): with immunization starting at the tick where the
+undefended worm hits 20% infection, adding backbone rate limiting drops the
+ever-infected total from ~80% to ~72%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .backbone import ADDRESS_SPACE
+from .base import EpidemicModel, ModelError, Trajectory, logistic_fraction
+from .homogeneous import HomogeneousSIModel
+
+__all__ = ["BackboneImmunizationModel"]
+
+
+class BackboneImmunizationModel(EpidemicModel):
+    """Backbone rate limiting + delayed immunization (Sec. 6.2).
+
+    Parameters
+    ----------
+    population:
+        Initial susceptible population ``N0``.
+    beta:
+        Contact rate of one infected host.
+    path_coverage:
+        ``alpha`` — fraction of IP-to-IP paths crossing a filtered
+        backbone router.
+    mu:
+        Patch probability per time unit once immunization starts.
+    start_time:
+        ``d`` — when immunization begins.  The paper anchors this to the
+        tick where the *unlimited, un-immunized* worm reaches a given
+        infection level; :meth:`from_unlimited_infection_level` does that.
+    residual_rate:
+        ``r`` — residual rate of the filtered routers (leak term).
+    initial_infected:
+        Infected count at ``t = 0``.
+    """
+
+    def __init__(
+        self,
+        population: float,
+        beta: float,
+        path_coverage: float,
+        mu: float,
+        start_time: float,
+        *,
+        residual_rate: float = 0.0,
+        initial_infected: float = 1.0,
+    ) -> None:
+        if population <= 1:
+            raise ModelError(f"population must exceed 1, got {population}")
+        if beta <= 0:
+            raise ModelError(f"beta must be positive, got {beta}")
+        if not 0.0 <= path_coverage <= 1.0:
+            raise ModelError(
+                f"path_coverage must be in [0, 1], got {path_coverage}"
+            )
+        if mu < 0:
+            raise ModelError(f"mu must be non-negative, got {mu}")
+        if start_time < 0:
+            raise ModelError(
+                f"start_time must be non-negative, got {start_time}"
+            )
+        if residual_rate < 0:
+            raise ModelError(
+                f"residual_rate must be non-negative, got {residual_rate}"
+            )
+        if not 0 < initial_infected < population:
+            raise ModelError(
+                f"initial_infected must be in (0, population), "
+                f"got {initial_infected}"
+            )
+        self._n0 = float(population)
+        self._beta = float(beta)
+        self._alpha = float(path_coverage)
+        self._mu = float(mu)
+        self._d = float(start_time)
+        self._r = float(residual_rate)
+        self._i0 = float(initial_infected)
+
+    @classmethod
+    def from_unlimited_infection_level(
+        cls,
+        population: float,
+        beta: float,
+        path_coverage: float,
+        mu: float,
+        infection_level: float,
+        *,
+        residual_rate: float = 0.0,
+        initial_infected: float = 1.0,
+    ) -> "BackboneImmunizationModel":
+        """Anchor ``d`` to the undefended worm's time-to-level.
+
+        The paper compares defended and undefended runs at the *same wall
+        clock*: "the timeticks chosen ... are the timeticks at which
+        immunization started in our analytical model for delayed
+        immunization without rate limiting" (e.g. 20% → the 6th timetick).
+        """
+        baseline = HomogeneousSIModel(
+            population, beta, initial_infected=initial_infected
+        )
+        start = max(baseline.exact_time_to_fraction(infection_level), 0.0)
+        return cls(
+            population,
+            beta,
+            path_coverage,
+            mu,
+            start,
+            residual_rate=residual_rate,
+            initial_infected=initial_infected,
+        )
+
+    # -- EpidemicModel interface ---------------------------------------
+
+    @property
+    def population(self) -> float:
+        return self._n0
+
+    @property
+    def effective_rate(self) -> float:
+        """``gamma = beta * (1 - alpha)``."""
+        return self._beta * (1.0 - self._alpha)
+
+    @property
+    def start_time(self) -> float:
+        """``d`` — when immunization begins."""
+        return self._d
+
+    def initial_state(self) -> np.ndarray:
+        return np.array([self._i0, self._n0, self._i0, 0.0])
+
+    def state_labels(self) -> tuple[str, ...]:
+        return ("infected", "population_series", "ever_infected", "removed")
+
+    def derivatives(self, t: float, state: np.ndarray) -> np.ndarray:
+        infected, n, _ever, _removed = state
+        n = max(n, 1e-12)
+        infected = min(max(infected, 0.0), n)
+        mu = self._mu if t > self._d else 0.0
+        leak = min(
+            infected * self._beta * self._alpha,
+            self._r * n / ADDRESS_SPACE,
+        )
+        susceptible_share = (n - infected) / n
+        infection_flow = (
+            infected * self.effective_rate + leak
+        ) * susceptible_share
+        return np.array(
+            [
+                infection_flow - mu * infected,
+                -mu * n,
+                infection_flow,
+                mu * n,
+            ]
+        )
+
+    def _to_trajectory(self, times, states) -> Trajectory:
+        infected = np.clip(states[0], 0.0, None)
+        population_series = np.clip(states[1], 0.0, None)
+        return Trajectory(
+            times=times,
+            infected=infected,
+            population=self._n0,
+            susceptible=np.clip(population_series - infected, 0.0, None),
+            removed=np.clip(states[3], 0.0, None),
+            ever_infected=np.clip(states[2], 0.0, None),
+        )
+
+    # -- Paper closed form ------------------------------------------------
+
+    def closed_form_fraction(self, t: np.ndarray | float) -> np.ndarray:
+        """Small-``r`` piecewise closed form with ``gamma = beta(1-alpha)``."""
+        gamma = self.effective_rate
+        t_arr = np.asarray(t, dtype=float)
+        before = np.asarray(
+            logistic_fraction(
+                np.minimum(t_arr, self._d), gamma, self._i0 / self._n0
+            )
+        )
+        f_d = float(logistic_fraction(self._d, gamma, self._i0 / self._n0))
+        tau = np.maximum(t_arr - self._d, 0.0)
+        c0 = (1.0 - f_d) / f_d
+        after = np.exp((gamma - self._mu) * tau) / (
+            c0 + np.exp(gamma * tau)
+        )
+        return np.where(t_arr <= self._d, before, after)

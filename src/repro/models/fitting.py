@@ -1,0 +1,145 @@
+"""Fitting epidemic parameters to observed curves.
+
+The paper reasons about defenses through the logistic growth rate
+``lambda``: every deployment strategy's effect is, to first order, a
+change in the exponential slope of the early outbreak.  This module
+recovers that slope from data — simulated trajectories, model output, or
+(in principle) telescope measurements of a real worm — so experiments can
+compare *measured* effective rates against the rates the models predict:
+
+* :func:`fit_exponential_rate` — least-squares slope of ``log I(t)`` over
+  the early-growth window;
+* :func:`fit_logistic` — full logistic fit ``(rate, t_midpoint)`` via
+  scipy least squares;
+* :func:`effective_rate_reduction` — the headline metric: by what factor
+  did a defense cut the growth rate?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from .base import ModelError, Trajectory
+
+__all__ = [
+    "LogisticFit",
+    "fit_exponential_rate",
+    "fit_logistic",
+    "effective_rate_reduction",
+]
+
+
+def _growth_window(
+    trajectory: Trajectory, low: float, high: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Samples with infected fraction inside ``(low, high)``."""
+    fraction = trajectory.fraction_infected
+    mask = (fraction > low) & (fraction < high)
+    if int(mask.sum()) < 3:
+        raise ModelError(
+            f"need >= 3 samples with fraction in ({low}, {high}); "
+            f"got {int(mask.sum())} — is the curve flat or saturated?"
+        )
+    return trajectory.times[mask], trajectory.infected[mask]
+
+
+def fit_exponential_rate(
+    trajectory: Trajectory,
+    *,
+    low: float = 0.01,
+    high: float = 0.30,
+) -> float:
+    """Exponential growth rate from the early epidemic phase.
+
+    While ``I << N`` the logistic is ``I(t) ≈ I0 e^{lambda t}``, so
+    ``lambda`` is the least-squares slope of ``log I`` against ``t`` over
+    the window where the infected fraction lies in ``(low, high)``.
+    """
+    times, infected = _growth_window(trajectory, low, high)
+    slope, _intercept = np.polyfit(times, np.log(infected), 1)
+    return float(slope)
+
+
+@dataclass(frozen=True)
+class LogisticFit:
+    """Result of a full logistic fit ``I(t) = N / (1 + e^{-r (t - t0)})``.
+
+    Attributes
+    ----------
+    rate:
+        Growth rate ``r`` (the models' ``lambda``).
+    midpoint:
+        Time ``t0`` at which the curve crosses ``N/2``.
+    residual:
+        Root-mean-square error of the fit, in fraction-infected units.
+    """
+
+    rate: float
+    midpoint: float
+    residual: float
+
+    def fraction(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the fitted curve."""
+        return 1.0 / (1.0 + np.exp(-self.rate * (np.asarray(t) - self.midpoint)))
+
+
+def fit_logistic(trajectory: Trajectory) -> LogisticFit:
+    """Least-squares logistic fit of a whole infection curve.
+
+    More robust than :func:`fit_exponential_rate` when the curve includes
+    saturation; requires the epidemic to actually take off (final
+    fraction above 10%).
+    """
+    fraction = trajectory.fraction_infected
+    if float(fraction[-1]) < 0.10:
+        raise ModelError(
+            "logistic fit needs an outbreak that reaches at least 10%"
+        )
+    times = trajectory.times
+
+    rate_guess = 0.5
+    try:
+        rate_guess = max(fit_exponential_rate(trajectory), 1e-3)
+    except ModelError:
+        pass
+    midpoint_guess = trajectory.time_to_fraction(0.5)
+    if math.isinf(midpoint_guess):
+        midpoint_guess = float(times[-1])
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        rate, midpoint = params
+        model = 1.0 / (1.0 + np.exp(-rate * (times - midpoint)))
+        return model - fraction
+
+    solution = least_squares(
+        residuals,
+        x0=np.array([rate_guess, midpoint_guess]),
+        bounds=([1e-6, -np.inf], [np.inf, np.inf]),
+    )
+    rms = float(np.sqrt(np.mean(solution.fun**2)))
+    return LogisticFit(
+        rate=float(solution.x[0]),
+        midpoint=float(solution.x[1]),
+        residual=rms,
+    )
+
+
+def effective_rate_reduction(
+    baseline: Trajectory, defended: Trajectory, **window: float
+) -> float:
+    """Factor by which a defense cut the early growth rate.
+
+    Equals ``lambda_baseline / lambda_defended``; the analytical
+    prediction is ``1/(1-q)`` for host filters and ``1/(1-alpha)`` for
+    backbone filters, so this is the direct empirical check of the
+    paper's Equations (3) and (6).
+    """
+    base_rate = fit_exponential_rate(baseline, **window)
+    defended_rate = fit_exponential_rate(defended, **window)
+    if defended_rate <= 0:
+        return float("inf")
+    return base_rate / defended_rate

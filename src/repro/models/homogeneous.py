@@ -1,0 +1,114 @@
+"""Section 3: the basic homogeneous (uniform-mixing) epidemic model.
+
+The paper's Equation (1) is the classic logistic SI model
+
+    dI/dt = beta * I * (N - I) / N
+
+whose solution is ``I/N = e^{beta t} / (c + e^{beta t})`` with ``c``
+determined by the initial infection level (``c -> N - 1`` when one host
+starts infected).  Equation (2) gives the time to reach an infection level
+``alpha`` as ``t ≐ ln(alpha) / beta`` — an approximation valid in the
+early exponential phase; :meth:`HomogeneousSIModel.exact_time_to_fraction`
+provides the exact inverse of the logistic as well.
+
+Note on the paper's typography: Equation (1) is printed as
+``beta I (N - I/N)``, which is inconsistent with the printed solution; the
+standard form above *is* consistent with it and with every later equation
+in the paper, so that is what we implement.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import EpidemicModel, ModelError, logistic_fraction
+
+__all__ = ["HomogeneousSIModel"]
+
+
+class HomogeneousSIModel(EpidemicModel):
+    """Logistic SI worm-propagation model (paper Eq. 1).
+
+    Parameters
+    ----------
+    population:
+        Total susceptible population ``N``.
+    beta:
+        Average per-host contact (infection) rate across all links.
+    initial_infected:
+        Number of hosts infected at ``t = 0`` (default 1).
+    """
+
+    def __init__(
+        self,
+        population: float,
+        beta: float,
+        *,
+        initial_infected: float = 1.0,
+    ) -> None:
+        if population <= 1:
+            raise ModelError(f"population must exceed 1, got {population}")
+        if beta <= 0:
+            raise ModelError(f"beta must be positive, got {beta}")
+        if not 0 < initial_infected < population:
+            raise ModelError(
+                f"initial_infected must be in (0, population), "
+                f"got {initial_infected}"
+            )
+        self._n = float(population)
+        self._beta = float(beta)
+        self._i0 = float(initial_infected)
+
+    # -- EpidemicModel interface ---------------------------------------
+
+    @property
+    def population(self) -> float:
+        return self._n
+
+    @property
+    def beta(self) -> float:
+        """Infection rate ``beta``."""
+        return self._beta
+
+    @property
+    def initial_infected(self) -> float:
+        """Infected count at ``t = 0``."""
+        return self._i0
+
+    def initial_state(self) -> np.ndarray:
+        return np.array([self._i0])
+
+    def state_labels(self) -> tuple[str, ...]:
+        return ("infected",)
+
+    def derivatives(self, t: float, state: np.ndarray) -> np.ndarray:
+        infected = state[0]
+        return np.array(
+            [self._beta * infected * (self._n - infected) / self._n]
+        )
+
+    # -- Closed forms ---------------------------------------------------
+
+    def closed_form_fraction(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Exact logistic solution ``I(t)/N``."""
+        return logistic_fraction(t, self._beta, self._i0 / self._n)
+
+    def exact_time_to_fraction(self, level: float) -> float:
+        """Exact inverse of the logistic: time until ``I/N = level``."""
+        if not 0.0 < level < 1.0:
+            raise ModelError(f"level must be in (0, 1), got {level}")
+        c = self._n / self._i0 - 1.0
+        return math.log(c * level / (1.0 - level)) / self._beta
+
+    def paper_time_to_level(self, alpha: float) -> float:
+        """The paper's Eq. (2) approximation ``t ≐ ln(alpha) / beta``.
+
+        Here ``alpha`` is the target infected *count* relative to the
+        initial infection (growth factor), valid while growth is still
+        exponential.
+        """
+        if alpha <= 1.0:
+            raise ModelError(f"alpha must exceed 1, got {alpha}")
+        return math.log(alpha) / self._beta

@@ -1,0 +1,138 @@
+"""Sections 4 & 5.1: rate limiting at leaf nodes / individual hosts.
+
+With rate-limiting filters deployed on a fraction ``q`` of hosts, the
+infected population splits into unconfined hosts ``x1 = I(1-q)`` spreading
+at rate ``beta1`` and confined hosts ``x2 = Iq`` spreading at the throttled
+rate ``beta2``:
+
+    dI/dt = x1*beta1*(N-I)/N + x2*beta2*(N-I)/N          (paper Eq. 3)
+
+The solution is logistic with effective rate
+``lambda = q*beta2 + (1-q)*beta1``, so for ``beta1 >> beta2`` the slowdown
+is only *linear* in the deployed fraction — the paper's central negative
+result for host-based rate limiting (Figures 1a and 2).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import EpidemicModel, ModelError, logistic_fraction
+
+__all__ = ["LeafRateLimitModel"]
+
+
+class LeafRateLimitModel(EpidemicModel):
+    """Worm propagation with rate limiting at a fraction of hosts (Eq. 3).
+
+    Parameters
+    ----------
+    population:
+        Total susceptible population ``N``.
+    deployed_fraction:
+        ``q`` — fraction of hosts that run the rate-limiting filter,
+        in ``[0, 1]``.
+    beta_unlimited:
+        ``beta1`` — contact rate of an unconfined infected host.
+    beta_limited:
+        ``beta2`` — contact rate allowed by the filter
+        (``beta2 < beta1``).
+    initial_infected:
+        Infected count at ``t = 0``.
+    """
+
+    def __init__(
+        self,
+        population: float,
+        deployed_fraction: float,
+        beta_unlimited: float,
+        beta_limited: float,
+        *,
+        initial_infected: float = 1.0,
+    ) -> None:
+        if population <= 1:
+            raise ModelError(f"population must exceed 1, got {population}")
+        if not 0.0 <= deployed_fraction <= 1.0:
+            raise ModelError(
+                f"deployed_fraction must be in [0, 1], got {deployed_fraction}"
+            )
+        if beta_unlimited <= 0 or beta_limited < 0:
+            raise ModelError(
+                f"rates must be positive (beta1={beta_unlimited}, "
+                f"beta2={beta_limited})"
+            )
+        if beta_limited > beta_unlimited:
+            raise ModelError(
+                f"the filter must throttle: beta2={beta_limited} exceeds "
+                f"beta1={beta_unlimited}"
+            )
+        if not 0 < initial_infected < population:
+            raise ModelError(
+                f"initial_infected must be in (0, population), "
+                f"got {initial_infected}"
+            )
+        self._n = float(population)
+        self._q = float(deployed_fraction)
+        self._beta1 = float(beta_unlimited)
+        self._beta2 = float(beta_limited)
+        self._i0 = float(initial_infected)
+
+    # -- EpidemicModel interface ---------------------------------------
+
+    @property
+    def population(self) -> float:
+        return self._n
+
+    @property
+    def deployed_fraction(self) -> float:
+        """``q`` — fraction of hosts running the filter."""
+        return self._q
+
+    def initial_state(self) -> np.ndarray:
+        return np.array([self._i0])
+
+    def state_labels(self) -> tuple[str, ...]:
+        return ("infected",)
+
+    def derivatives(self, t: float, state: np.ndarray) -> np.ndarray:
+        infected = state[0]
+        unconfined = infected * (1.0 - self._q)
+        confined = infected * self._q
+        susceptible_share = (self._n - infected) / self._n
+        rate = (
+            unconfined * self._beta1 + confined * self._beta2
+        ) * susceptible_share
+        return np.array([rate])
+
+    # -- Closed forms ---------------------------------------------------
+
+    @property
+    def effective_rate(self) -> float:
+        """``lambda = q*beta2 + (1-q)*beta1`` — the logistic growth rate."""
+        return self._q * self._beta2 + (1.0 - self._q) * self._beta1
+
+    def closed_form_fraction(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Exact logistic solution ``I(t)/N`` at rate :attr:`effective_rate`."""
+        return logistic_fraction(t, self.effective_rate, self._i0 / self._n)
+
+    def paper_time_to_level(self, alpha: float) -> float:
+        """Paper approximation ``t = ln(alpha) / (beta1 * (1 - q))``.
+
+        Valid when ``beta1 >> beta2`` and growth is still exponential;
+        exhibits the linear ``1/(1-q)`` slowdown the paper highlights.
+        """
+        if alpha <= 1.0:
+            raise ModelError(f"alpha must exceed 1, got {alpha}")
+        if self._q >= 1.0:
+            return math.inf
+        return math.log(alpha) / (self._beta1 * (1.0 - self._q))
+
+    def slowdown_versus_undefended(self) -> float:
+        """Early-phase slowdown factor relative to no deployment.
+
+        Equals ``beta1 / lambda``; for ``beta2 → 0`` this tends to
+        ``1 / (1 - q)`` — linear in deployment, the headline result.
+        """
+        return self._beta1 / self.effective_rate

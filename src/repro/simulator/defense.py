@@ -1,0 +1,218 @@
+"""Rate-limiting deployment strategies (who gets the filters).
+
+Each function configures a :class:`~repro.simulator.network.Network` for
+one of the paper's deployment cases and returns a small descriptor for the
+experiment reports.  Strategies:
+
+* :func:`no_defense` — baseline.
+* :func:`deploy_host_rate_limit` — filters on a fraction ``q`` of end
+  hosts, throttling their *outgoing scans* (Sections 4 leaf / 5.1 host).
+* :func:`deploy_hub_rate_limit` — star topology: per-link limit ``gamma``
+  plus a node-level forwarding budget ``beta`` at the hub (Section 4).
+* :func:`deploy_edge_rate_limit` — limits on every link incident to an
+  edge router (Section 5.2).
+* :func:`deploy_backbone_rate_limit` — limits on every link incident to a
+  backbone router, each sized as ``base_rate x link_weight`` where the
+  weight is proportional to routing-table occupancy (Section 5.3/5.4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..topology.graphs import TopologyError
+from .network import Network
+
+__all__ = [
+    "DefenseDescriptor",
+    "no_defense",
+    "deploy_host_rate_limit",
+    "deploy_hub_rate_limit",
+    "deploy_edge_rate_limit",
+    "deploy_backbone_rate_limit",
+]
+
+
+@dataclass(frozen=True)
+class DefenseDescriptor:
+    """What was deployed, for labeling experiment outputs."""
+
+    name: str
+    limited_links: int = 0
+    throttled_hosts: int = 0
+    parameters: dict[str, float] = field(default_factory=dict)
+
+
+def no_defense(network: Network) -> DefenseDescriptor:
+    """Baseline: no filters anywhere."""
+    return DefenseDescriptor(name="no_rl")
+
+
+def deploy_host_rate_limit(
+    network: Network,
+    fraction: float,
+    rate: float,
+    *,
+    seed: int | None = None,
+) -> DefenseDescriptor:
+    """Install outgoing-scan throttles on a random ``fraction`` of hosts.
+
+    The filtered hosts' worm scans are capped at ``rate`` per tick (a
+    token bucket), matching the ``beta2`` of the analytical model; their
+    inbound traffic and transit traffic are untouched, exactly like a
+    host-resident filter.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    rng = random.Random(seed)
+    population = list(network.infectable)
+    count = round(fraction * len(population))
+    chosen = rng.sample(population, count) if count else []
+    for node in chosen:
+        network.host(node).install_throttle(rate)
+    return DefenseDescriptor(
+        name=f"host_rl_{int(round(fraction * 100))}pct",
+        throttled_hosts=len(chosen),
+        parameters={"fraction": fraction, "rate": rate},
+    )
+
+
+def deploy_hub_rate_limit(
+    network: Network,
+    *,
+    link_rate: float,
+    hub_budget: float,
+) -> DefenseDescriptor:
+    """Star-topology hub filters: per-link ``gamma`` + node budget ``beta``.
+
+    Mirrors the paper's star simulation ("we limited the links to 10
+    packets per second with the hub rate limit beta = 0.01"): every link
+    through the hub gets capacity ``link_rate``, and the hub's combined
+    forwarding is capped at ``hub_budget`` packets per tick.
+    """
+    if link_rate <= 0 or hub_budget <= 0:
+        raise ValueError(
+            f"rates must be positive (link_rate={link_rate}, "
+            f"hub_budget={hub_budget})"
+        )
+    if not network.roles.edge_routers:
+        raise TopologyError("hub rate limiting needs a hub (edge router)")
+    hub = network.roles.edge_routers[0]
+    limited = 0
+    for neighbor in network.topology.neighbors(hub):
+        network.set_link_rate(hub, neighbor, link_rate)
+        network.set_link_rate(neighbor, hub, link_rate)
+        limited += 2
+    network.set_node_forward_budget(hub, hub_budget)
+    return DefenseDescriptor(
+        name="hub_rl",
+        limited_links=limited,
+        parameters={"link_rate": link_rate, "hub_budget": hub_budget},
+    )
+
+
+def _deploy_router_limits(
+    network: Network,
+    routers: tuple[int, ...],
+    base_rate: float,
+    weighted: bool,
+    name: str,
+) -> DefenseDescriptor:
+    """Rate-limit every link incident to ``routers``.
+
+    When ``weighted`` is true each direction's capacity is
+    ``base_rate * link_weight`` — the paper's scheme: "compute a link
+    weight that is proportional to the number of routing table entries the
+    link occupies [and] multiply this weight to the base rate", so the
+    most utilized links get the highest throughput and normal traffic is
+    mostly unharmed.  A small floor of ``0.1 * base_rate`` keeps barely
+    used links usable.
+    """
+    if base_rate <= 0:
+        raise ValueError(f"base_rate must be positive, got {base_rate}")
+    limited = 0
+    seen: set[tuple[int, int]] = set()
+    for router in routers:
+        for neighbor in network.topology.neighbors(router):
+            for u, v in ((router, neighbor), (neighbor, router)):
+                if (u, v) in seen:
+                    continue
+                seen.add((u, v))
+                if weighted:
+                    weight = network.routing.link_weight(u, v)
+                    rate = max(base_rate * weight, 0.1 * base_rate)
+                else:
+                    rate = base_rate
+                network.set_link_rate(u, v, rate)
+                limited += 1
+    return DefenseDescriptor(
+        name=name,
+        limited_links=limited,
+        parameters={"base_rate": base_rate},
+    )
+
+
+def deploy_edge_rate_limit(
+    network: Network,
+    base_rate: float,
+    *,
+    weighted: bool = True,
+) -> DefenseDescriptor:
+    """Rate-limit edge routers' subnet-boundary links (Section 5.2).
+
+    An edge-router filter polices traffic *entering or leaving* the
+    subnet; it never sees intra-subnet traffic.  So only links from an
+    edge router to neighbors outside its own subnet are limited — which
+    is exactly why the paper finds edge filters nearly useless against
+    local-preferential worms: the intra-subnet spread bypasses them.
+    """
+    if not network.roles.edge_routers:
+        raise TopologyError("network has no edge routers to deploy on")
+    if base_rate <= 0:
+        raise ValueError(f"base_rate must be positive, got {base_rate}")
+    subnets = network.subnets
+    limited = 0
+    seen: set[tuple[int, int]] = set()
+    for router in network.roles.edge_routers:
+        own_subnet = (
+            subnets.subnet_of[router] if subnets is not None else -1
+        )
+        for neighbor in network.topology.neighbors(router):
+            if (
+                subnets is not None
+                and subnets.subnet_of[neighbor] == own_subnet
+            ):
+                continue  # intra-subnet link: the filter never sees it
+            for u, v in ((router, neighbor), (neighbor, router)):
+                if (u, v) in seen:
+                    continue
+                seen.add((u, v))
+                if weighted:
+                    weight = network.routing.link_weight(u, v)
+                    rate = max(base_rate * weight, 0.1 * base_rate)
+                else:
+                    rate = base_rate
+                network.set_link_rate(u, v, rate)
+                limited += 1
+    return DefenseDescriptor(
+        name="edge_rl",
+        limited_links=limited,
+        parameters={"base_rate": base_rate},
+    )
+
+
+def deploy_backbone_rate_limit(
+    network: Network,
+    base_rate: float,
+    *,
+    weighted: bool = True,
+) -> DefenseDescriptor:
+    """Rate-limit all links incident to backbone routers (Section 5.3)."""
+    if not network.roles.backbone:
+        raise TopologyError("network has no backbone routers to deploy on")
+    return _deploy_router_limits(
+        network, network.roles.backbone, base_rate, weighted, "backbone_rl"
+    )

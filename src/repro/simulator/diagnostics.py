@@ -1,0 +1,111 @@
+"""Post-run network diagnostics: where did the worm traffic pile up?
+
+After a simulated outbreak the interesting operational questions are the
+ones a backbone operator would ask: which links carried the load, where
+did queues build, how much was dropped, and how well do the hotspots
+match the routing-occupancy weights the defense was sized with.  This
+module summarizes a :class:`~repro.simulator.network.Network`'s link
+statistics into a printable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .network import Network
+
+__all__ = ["LinkHotspot", "NetworkReport", "network_report"]
+
+
+@dataclass(frozen=True)
+class LinkHotspot:
+    """One heavily used directed link."""
+
+    src: int
+    dst: int
+    forwarded: int
+    dropped: int
+    peak_queue: int
+    rate_limit: float | None
+
+    @property
+    def label(self) -> str:
+        """``u->v`` display form."""
+        return f"{self.src}->{self.dst}"
+
+
+@dataclass(frozen=True)
+class NetworkReport:
+    """Aggregate traffic/congestion summary of a finished run."""
+
+    packets_injected: int
+    packets_delivered: int
+    packets_dropped: int
+    total_forwarded: int
+    limited_links: int
+    hotspots: tuple[LinkHotspot, ...]
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered over injected (1.0 = nothing lost or still queued)."""
+        if self.packets_injected == 0:
+            return 1.0
+        return self.packets_delivered / self.packets_injected
+
+    def format_table(self) -> str:
+        """Fixed-width operator-style report."""
+        lines = [
+            f"injected={self.packets_injected}  "
+            f"delivered={self.packets_delivered}  "
+            f"dropped={self.packets_dropped}  "
+            f"delivery_ratio={self.delivery_ratio:.3f}",
+            f"rate-limited links: {self.limited_links}",
+            f"{'link':<14} {'forwarded':>10} {'dropped':>8} "
+            f"{'peak_q':>7} {'limit':>8}",
+        ]
+        for hotspot in self.hotspots:
+            limit = (
+                f"{hotspot.rate_limit:8.3f}"
+                if hotspot.rate_limit is not None
+                else "    none"
+            )
+            lines.append(
+                f"{hotspot.label:<14} {hotspot.forwarded:>10} "
+                f"{hotspot.dropped:>8} {hotspot.peak_queue:>7} {limit}"
+            )
+        return "\n".join(lines)
+
+
+def network_report(network: Network, *, top: int = 10) -> NetworkReport:
+    """Summarize a network's link statistics after a run.
+
+    Parameters
+    ----------
+    network:
+        The network a simulation just ran on.
+    top:
+        Number of hotspot links (by packets forwarded) to include.
+    """
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    links = list(network.links.values())
+    by_load = sorted(links, key=lambda l: l.stats.forwarded, reverse=True)
+    hotspots = tuple(
+        LinkHotspot(
+            src=link.src,
+            dst=link.dst,
+            forwarded=link.stats.forwarded,
+            dropped=link.stats.dropped,
+            peak_queue=link.stats.peak_queue,
+            rate_limit=link.rate_limit,
+        )
+        for link in by_load[:top]
+    )
+    return NetworkReport(
+        packets_injected=network.stats.packets_injected,
+        packets_delivered=network.stats.packets_delivered,
+        packets_dropped=network.stats.packets_dropped,
+        total_forwarded=sum(l.stats.forwarded for l in links),
+        limited_links=sum(1 for l in links if l.is_rate_limited),
+        hotspots=hotspots,
+    )

@@ -1,0 +1,120 @@
+"""Delayed dynamic immunization for the simulator (Section 6).
+
+The process starts at an absolute tick, or when the infection first
+reaches a trigger fraction (the paper parameterizes both ways).  Once
+active, every non-immune host — susceptible or infected — is patched with
+probability ``mu`` each tick.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .network import Network
+
+__all__ = ["ImmunizationPolicy", "ImmunizationProcess"]
+
+
+@dataclass(frozen=True)
+class ImmunizationPolicy:
+    """When and how fast patching happens.
+
+    Exactly one of ``start_tick`` / ``start_fraction`` must be set.
+
+    Attributes
+    ----------
+    mu:
+        Per-tick patch probability for each unpatched host.
+    start_tick:
+        Absolute tick at which patching begins.
+    start_fraction:
+        Begin patching the first tick the *ever-infected* fraction reaches
+        this level (the paper's "immunization at 20%").
+    patch_infected:
+        Whether infected hosts are patched too (the paper's model patches
+        both; disable for a susceptible-only ablation).
+    """
+
+    mu: float
+    start_tick: int | None = None
+    start_fraction: float | None = None
+    patch_infected: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mu <= 1.0:
+            raise ValueError(f"mu must be in [0, 1], got {self.mu}")
+        has_tick = self.start_tick is not None
+        has_fraction = self.start_fraction is not None
+        if has_tick == has_fraction:
+            raise ValueError(
+                "exactly one of start_tick / start_fraction must be set"
+            )
+        if has_tick and self.start_tick < 0:
+            raise ValueError(
+                f"start_tick must be non-negative, got {self.start_tick}"
+            )
+        if has_fraction and not 0.0 < self.start_fraction < 1.0:
+            raise ValueError(
+                f"start_fraction must be in (0, 1), got {self.start_fraction}"
+            )
+
+    @classmethod
+    def at_tick(cls, start_tick: int, mu: float) -> "ImmunizationPolicy":
+        """Patching begins at an absolute tick."""
+        return cls(mu=mu, start_tick=start_tick)
+
+    @classmethod
+    def at_fraction(cls, start_fraction: float, mu: float) -> "ImmunizationPolicy":
+        """Patching begins when infection reaches a fraction of hosts."""
+        return cls(mu=mu, start_fraction=start_fraction)
+
+
+class ImmunizationProcess:
+    """Executes an :class:`ImmunizationPolicy` against a network."""
+
+    def __init__(
+        self,
+        network: Network,
+        policy: ImmunizationPolicy,
+        rng: random.Random,
+    ) -> None:
+        self._network = network
+        self._policy = policy
+        self._rng = rng
+        self._active = False
+        self.started_at: int | None = None
+        self.patched = 0
+
+    @property
+    def is_active(self) -> bool:
+        """Whether patching has begun."""
+        return self._active
+
+    def _should_start(self, tick: int, ever_infected: int) -> bool:
+        if self._policy.start_tick is not None:
+            return tick >= self._policy.start_tick
+        fraction = ever_infected / self._network.num_infectable
+        return fraction >= self._policy.start_fraction
+
+    def step(self, tick: int, ever_infected: int) -> int:
+        """Run one tick of patching; returns the number patched this tick."""
+        if not self._active:
+            if not self._should_start(tick, ever_infected):
+                return 0
+            self._active = True
+            self.started_at = tick
+        rng = self._rng
+        mu = self._policy.mu
+        patched_now = 0
+        for node in self._network.infectable:
+            host = self._network.host(node)
+            if host.is_immune:
+                continue
+            if host.is_infected and not self._policy.patch_infected:
+                continue
+            if rng.random() < mu:
+                host.immunize(tick)
+                patched_now += 1
+        self.patched += patched_now
+        return patched_now

@@ -1,0 +1,111 @@
+"""Host state machines for the worm simulation.
+
+Each infectable node is a :class:`Host` in one of three states, following
+the SIR-with-delayed-patching dynamics of the paper: susceptible hosts can
+be infected; infected hosts scan; immunized hosts (patched susceptible
+*or* patched infected) are permanently out of the game.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .links import TokenBucket
+
+__all__ = ["HostState", "Host", "HostError"]
+
+
+class HostError(RuntimeError):
+    """Raised on invalid host state transitions."""
+
+
+class HostState(Enum):
+    """Epidemiological state of a host."""
+
+    SUSCEPTIBLE = "susceptible"
+    INFECTED = "infected"
+    IMMUNE = "immune"
+
+
+@dataclass
+class Host:
+    """One infectable end system.
+
+    Attributes
+    ----------
+    node:
+        Node id in the topology.
+    subnet:
+        Subnet id (``-1`` for hosts outside any subnet).
+    state:
+        Current :class:`HostState`.
+    infected_at:
+        Tick of infection, or ``None``.
+    immunized_at:
+        Tick of patching, or ``None``.
+    scan_throttle:
+        Optional host-level rate-limiting filter (Williamson-style): a
+        token bucket capping how many scans this host may emit per tick.
+        ``None`` means unthrottled.
+    """
+
+    node: int
+    subnet: int = -1
+    state: HostState = HostState.SUSCEPTIBLE
+    infected_at: int | None = None
+    immunized_at: int | None = None
+    scan_throttle: TokenBucket | None = field(default=None, repr=False)
+
+    @property
+    def is_susceptible(self) -> bool:
+        return self.state is HostState.SUSCEPTIBLE
+
+    @property
+    def is_infected(self) -> bool:
+        return self.state is HostState.INFECTED
+
+    @property
+    def is_immune(self) -> bool:
+        return self.state is HostState.IMMUNE
+
+    def infect(self, tick: int) -> bool:
+        """Attempt infection; returns True if the host became infected.
+
+        Infection attempts against infected or immune hosts are wasted
+        scans (the common case for a random worm late in an outbreak).
+        """
+        if self.state is not HostState.SUSCEPTIBLE:
+            return False
+        self.state = HostState.INFECTED
+        self.infected_at = tick
+        return True
+
+    def immunize(self, tick: int) -> bool:
+        """Patch the host; returns True if the state changed.
+
+        Both susceptible and infected hosts can be patched — the paper's
+        dynamic-immunization model removes either kind from play.
+        """
+        if self.state is HostState.IMMUNE:
+            return False
+        self.state = HostState.IMMUNE
+        self.immunized_at = tick
+        return True
+
+    def install_throttle(self, rate: float) -> None:
+        """Install a host-level scan-rate filter of ``rate`` scans/tick."""
+        if rate <= 0:
+            raise HostError(f"throttle rate must be positive, got {rate}")
+        self.scan_throttle = TokenBucket(rate)
+
+    def allow_scan(self) -> bool:
+        """Whether the host-level filter permits emitting one more scan."""
+        if self.scan_throttle is None:
+            return True
+        return self.scan_throttle.try_consume()
+
+    def tick_throttle(self) -> None:
+        """Advance the host filter's token bucket by one tick."""
+        if self.scan_throttle is not None:
+            self.scan_throttle.refill()

@@ -1,0 +1,44 @@
+"""Packet records carried through the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["PacketKind", "Packet"]
+
+
+class PacketKind(Enum):
+    """What a packet is trying to do when it arrives."""
+
+    #: A worm scan/exploit packet; infects a susceptible destination.
+    INFECTION = "infection"
+    #: Background traffic; used by the legitimate-traffic-impact ablation.
+    LEGITIMATE = "legitimate"
+
+
+@dataclass(slots=True)
+class Packet:
+    """One packet in flight.
+
+    Attributes
+    ----------
+    src, dst:
+        Origin and final destination node ids.
+    kind:
+        :class:`PacketKind` payload semantics.
+    created_tick:
+        Tick at which the packet entered the network.
+    hops:
+        Number of links traversed so far (updated by the network).
+    """
+
+    src: int
+    dst: int
+    kind: PacketKind
+    created_tick: int
+    hops: int = 0
+
+    def age(self, now: int) -> int:
+        """Ticks since the packet was created."""
+        return now - self.created_tick

@@ -1,0 +1,155 @@
+"""Shortest-path routing tables and link occupancy counts.
+
+The paper's simulator routes every infection packet over shortest paths
+(ns-2's static routing) and sizes each rate-limited link's budget by "the
+number of routing table entries the link occupies".  This module computes
+both from the topology:
+
+* next-hop tables — one deterministic BFS tree per destination, ties broken
+  toward the lowest-numbered neighbor (adjacency lists are sorted);
+* per-directed-link *occupancy* — the number of ordered (source,
+  destination) pairs whose shortest path crosses the link, computed from
+  BFS-tree subtree sizes in O(N^2) total.
+
+Tables are stored as compact ``array('i')`` vectors: ~4 MB for the paper's
+1,000-node topology.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+
+from ..topology.graphs import Topology, TopologyError
+
+__all__ = ["RoutingTables"]
+
+DirectedLink = tuple[int, int]
+
+
+class RoutingTables:
+    """All-pairs next-hop routing derived from per-destination BFS trees."""
+
+    def __init__(self, topology: Topology) -> None:
+        if not topology.is_connected():
+            raise TopologyError(
+                "routing requires a connected topology; got "
+                f"{len(topology.connected_components())} components"
+            )
+        self._topology = topology
+        n = topology.num_nodes
+        # _parent_toward[d][v] = next hop from v toward destination d.
+        self._parent_toward: list[array] = []
+        self._occupancy: dict[DirectedLink, int] = {}
+        for destination in range(n):
+            parents, order = self._bfs_tree_with_order(destination)
+            self._parent_toward.append(parents)
+            self._accumulate_occupancy(destination, parents, order)
+
+    def _bfs_tree_with_order(self, root: int) -> tuple[array, list[int]]:
+        """Deterministic BFS tree toward ``root`` plus the visit order."""
+        topology = self._topology
+        parents = array("i", [-1] * topology.num_nodes)
+        parents[root] = root
+        order: list[int] = [root]
+        queue: deque[int] = deque([root])
+        while queue:
+            node = queue.popleft()
+            for neighbor in topology.neighbors(node):
+                if parents[neighbor] < 0:
+                    parents[neighbor] = node
+                    order.append(neighbor)
+                    queue.append(neighbor)
+        return parents, order
+
+    def _accumulate_occupancy(
+        self, destination: int, parents: array, order: list[int]
+    ) -> None:
+        """Add this destination's path counts to the occupancy map.
+
+        The number of sources whose path to ``destination`` uses the
+        directed link ``(v, parents[v])`` equals the size of ``v``'s
+        subtree in the BFS tree; subtree sizes fall out of one reverse
+        sweep of the BFS visit order.
+        """
+        n = self._topology.num_nodes
+        subtree = array("i", [1] * n)
+        for node in reversed(order):
+            parent = parents[node]
+            if parent != node:
+                subtree[parent] += subtree[node]
+        occupancy = self._occupancy
+        for node in order:
+            parent = parents[node]
+            if parent == node:
+                continue
+            link = (node, parent)
+            occupancy[link] = occupancy.get(link, 0) + subtree[node]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        """The topology these tables were computed from."""
+        return self._topology
+
+    def next_hop(self, node: int, destination: int) -> int:
+        """Next hop from ``node`` toward ``destination``.
+
+        Returns ``destination`` itself when ``node == destination``.
+        """
+        hop = self._parent_toward[destination][node]
+        if hop < 0:
+            raise TopologyError(
+                f"no route from {node} to {destination}"
+            )
+        return hop
+
+    def path(self, src: int, dst: int) -> list[int]:
+        """Full node sequence of the routed path, endpoints included."""
+        path = [src]
+        node = src
+        limit = self._topology.num_nodes
+        while node != dst:
+            node = self.next_hop(node, dst)
+            path.append(node)
+            if len(path) > limit:
+                raise TopologyError(
+                    f"routing loop detected between {src} and {dst}"
+                )
+        return path
+
+    def path_length(self, src: int, dst: int) -> int:
+        """Hop count of the routed path."""
+        return len(self.path(src, dst)) - 1
+
+    def link_occupancy(self, u: int, v: int) -> int:
+        """Ordered (src, dst) pairs whose path crosses directed link u→v."""
+        return self._occupancy.get((u, v), 0)
+
+    def occupancy_map(self) -> dict[DirectedLink, int]:
+        """Copy of the full directed-link occupancy map."""
+        return dict(self._occupancy)
+
+    def total_occupancy(self) -> int:
+        """Sum of occupancy over all directed links.
+
+        Equals the sum of all pairwise shortest-path lengths, a useful
+        cross-check for the tests.
+        """
+        return sum(self._occupancy.values())
+
+    def link_weight(self, u: int, v: int) -> float:
+        """Occupancy of u→v relative to the mean used directed link.
+
+        This is the paper's "link weight proportional to the number of
+        routing table entries the link occupies", normalized so the mean
+        used link has weight 1.0 — multiply by a base rate to get the
+        simulated link rate.
+        """
+        if not self._occupancy:
+            return 0.0
+        mean = self.total_occupancy() / len(self._occupancy)
+        return self.link_occupancy(u, v) / mean

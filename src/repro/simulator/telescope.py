@@ -1,0 +1,143 @@
+"""Network telescope: worm detection from unused-address-space scans.
+
+The paper's related work (Zou et al. [18]) proposes monitoring unused
+address space for early worm warning; the paper itself assumes detection
+has already happened ("the knowledge of the worm disseminates").  This
+module closes that gap so the repository can simulate the full *dynamic*
+quarantine loop — detect, then deploy:
+
+* :class:`Telescope` — observes a fraction of the scans that miss real
+  hosts (a worm probing random 32-bit addresses mostly hits dark space)
+  and keeps a per-tick count;
+* :class:`ScanDetector` — flags an outbreak when the observed scan rate
+  exceeds an adaptive baseline for several consecutive ticks, and
+  estimates the infected population from the observation rate.
+
+Used by :class:`~repro.simulator.dynamic.DynamicQuarantine` to trigger
+rate-limiting mid-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Telescope", "ScanDetector", "DetectionReport"]
+
+
+class Telescope:
+    """A passive monitor covering a fraction of dark address space.
+
+    Parameters
+    ----------
+    coverage:
+        Fraction of *missed* worm scans the telescope observes.  A /8
+        telescope sees 1/256 of uniformly random scans; the default
+        matches that classic deployment.
+    """
+
+    def __init__(self, coverage: float = 1.0 / 256.0) -> None:
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+        self.coverage = coverage
+        self._current_tick_hits = 0
+        self.per_tick_hits: list[int] = []
+        self.total_hits = 0
+
+    def observe_missed_scan(self, rng) -> bool:
+        """Offer one dark-space scan; returns True if the telescope saw it."""
+        if rng.random() >= self.coverage:
+            return False
+        self._current_tick_hits += 1
+        self.total_hits += 1
+        return True
+
+    def end_tick(self) -> int:
+        """Close the current tick; returns its hit count."""
+        hits = self._current_tick_hits
+        self.per_tick_hits.append(hits)
+        self._current_tick_hits = 0
+        return hits
+
+    def estimated_scan_rate(self, window: int = 5) -> float:
+        """Estimated total dark-space scan rate from recent observations."""
+        if not self.per_tick_hits:
+            return 0.0
+        recent = self.per_tick_hits[-window:]
+        return (sum(recent) / len(recent)) / self.coverage
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """What the detector concluded and when."""
+
+    detected_at: int
+    observed_rate: float
+    estimated_infected: float
+
+
+@dataclass
+class ScanDetector:
+    """Threshold detector over telescope observations.
+
+    Fires when the telescope's per-tick hits exceed
+    ``max(min_hits, spike_factor * baseline)`` for ``consecutive_ticks``
+    ticks, where the baseline is an exponential moving average of the
+    quiet-time hit rate (background radiation).
+
+    Parameters
+    ----------
+    min_hits:
+        Absolute per-tick hit floor below which nothing triggers.
+    spike_factor:
+        Multiplier over the moving baseline that counts as anomalous.
+    consecutive_ticks:
+        Anomalous ticks required before declaring an outbreak (debounce).
+    scans_per_infected:
+        The worm scan rate assumed when estimating the infected
+        population from the observed rate.
+    warmup_ticks:
+        Initial ticks during which detection is disarmed and *every*
+        tick trains the baseline — this is how the detector learns the
+        site's background radiation level, so steady noise above
+        ``min_hits`` does not read as an outbreak.
+    """
+
+    min_hits: int = 2
+    spike_factor: float = 4.0
+    consecutive_ticks: int = 3
+    scans_per_infected: float = 1.0
+    warmup_ticks: int = 5
+    _baseline: float = field(default=0.5, repr=False)
+    _streak: int = field(default=0, repr=False)
+    report: DetectionReport | None = None
+
+    @property
+    def has_detected(self) -> bool:
+        """Whether the outbreak has been declared."""
+        return self.report is not None
+
+    def update(self, tick: int, telescope: Telescope) -> DetectionReport | None:
+        """Feed one closed tick; returns a report the moment it fires."""
+        if self.report is not None:
+            return None
+        hits = telescope.per_tick_hits[-1] if telescope.per_tick_hits else 0
+        if tick < self.warmup_ticks:
+            self._baseline = 0.9 * self._baseline + 0.1 * hits
+            return None
+        threshold = max(self.min_hits, self.spike_factor * self._baseline)
+        if hits >= threshold:
+            self._streak += 1
+        else:
+            self._streak = 0
+            # Post-warmup, only quiet ticks train the baseline, so the
+            # worm's own ramp-up cannot raise the bar it must clear.
+            self._baseline = 0.9 * self._baseline + 0.1 * hits
+        if self._streak >= self.consecutive_ticks:
+            rate = telescope.estimated_scan_rate()
+            self.report = DetectionReport(
+                detected_at=tick,
+                observed_rate=rate,
+                estimated_infected=rate / max(self.scans_per_infected, 1e-9),
+            )
+            return self.report
+        return None

@@ -1,0 +1,22 @@
+"""Working host-level rate limiters (Williamson IP throttle, Ganger DNS
+throttle, the hybrid dual-window proposal) and trace replay tooling."""
+
+from .base import Action, Decision, Throttle, ThrottleStats
+from .dns_throttle import DnsThrottle
+from .hybrid import HybridThrottle
+from .replay import ReplayResult, replay_class, replay_host, worm_slowdown
+from .williamson import WilliamsonThrottle
+
+__all__ = [
+    "Action",
+    "Decision",
+    "Throttle",
+    "ThrottleStats",
+    "DnsThrottle",
+    "HybridThrottle",
+    "ReplayResult",
+    "replay_class",
+    "replay_host",
+    "worm_slowdown",
+    "WilliamsonThrottle",
+]

@@ -1,0 +1,91 @@
+"""Hybrid dual-window throttle (the Section 7 proposal).
+
+The paper observes that long windows admit lower long-term rate limits
+(bursts average out: 5 per 1 s vs 12 per 5 s vs 50 per 60 s at 99.9%
+coverage) but risk long stalls once filled, and suggests "hybrid windows
+with, for example, one short window to prevent long delays and one longer
+window to provide better rate-limiting".  This throttle implements that: a
+contact passes only when *both* a short-window and a long-window sliding
+budget allow it; otherwise it is delayed to the earliest time both do.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .base import Action, Decision, Throttle
+
+__all__ = ["HybridThrottle"]
+
+
+class _SlidingBudget:
+    """Sliding-log budget: at most ``budget`` releases per ``window``."""
+
+    def __init__(self, budget: int, window: float) -> None:
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.budget = budget
+        self.window = window
+        self._log: deque[float] = deque()
+
+    def earliest_slot(self, t: float) -> float:
+        while self._log and self._log[0] <= t - self.window:
+            self._log.popleft()
+        if len(self._log) < self.budget:
+            return t
+        index = len(self._log) - self.budget
+        return self._log[index] + self.window
+
+    def commit(self, release: float) -> None:
+        self._log.append(release)
+
+
+class HybridThrottle(Throttle):
+    """Short + long sliding-window budgets combined.
+
+    Defaults follow the paper's trace-derived numbers: a short window of
+    5 contacts per second (prevents multi-second stalls) and a long window
+    of 50 contacts per minute (caps the sustained rate well below any
+    worm's).
+    """
+
+    def __init__(
+        self,
+        *,
+        short_budget: int = 5,
+        short_window: float = 1.0,
+        long_budget: int = 50,
+        long_window: float = 60.0,
+    ) -> None:
+        super().__init__()
+        if long_window <= short_window:
+            raise ValueError(
+                f"long window ({long_window}) must exceed short window "
+                f"({short_window})"
+            )
+        self._short = _SlidingBudget(short_budget, short_window)
+        self._long = _SlidingBudget(long_budget, long_window)
+
+    @property
+    def name(self) -> str:
+        return "hybrid_dual_window"
+
+    def _decide(self, t: float, dst: int, dns_valid: bool) -> Decision:
+        release = t
+        # Fixed-point: each budget may push the release later; two passes
+        # suffice because slots only move forward.
+        for _ in range(4):
+            pushed = max(
+                self._short.earliest_slot(release),
+                self._long.earliest_slot(release),
+            )
+            if pushed <= release:
+                break
+            release = pushed
+        self._short.commit(release)
+        self._long.commit(release)
+        if release <= t:
+            return Decision(action=Action.FORWARD, release_time=t)
+        return Decision(action=Action.DELAY, release_time=release)

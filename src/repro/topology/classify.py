@@ -1,0 +1,125 @@
+"""Degree-rank role classification: backbone routers, edge routers, hosts.
+
+Section 5.4 of the paper: "we designate the top 5% and 10% of nodes with the
+most number of connections as backbone and edge routers respectively.  The
+remaining nodes are end hosts."  Ties are broken by node id so the
+classification is deterministic for a given topology.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from .graphs import Topology, TopologyError
+
+__all__ = ["NodeRole", "RoleAssignment", "classify_roles"]
+
+
+class NodeRole(Enum):
+    """Role of a node in the simulated internet."""
+
+    BACKBONE = "backbone"
+    EDGE_ROUTER = "edge_router"
+    HOST = "host"
+
+
+@dataclass(frozen=True)
+class RoleAssignment:
+    """Immutable record of which node plays which role.
+
+    Attributes
+    ----------
+    roles:
+        ``roles[node]`` is the :class:`NodeRole` of that node.
+    backbone:
+        Sorted node ids of backbone routers (top ``backbone_fraction`` by
+        degree).
+    edge_routers:
+        Sorted node ids of edge routers (next ``edge_fraction`` by degree).
+    hosts:
+        Sorted node ids of end hosts (everything else).
+    """
+
+    roles: tuple[NodeRole, ...]
+    backbone: tuple[int, ...]
+    edge_routers: tuple[int, ...]
+    hosts: tuple[int, ...]
+
+    def role_of(self, node: int) -> NodeRole:
+        """Role of ``node``."""
+        return self.roles[node]
+
+    def counts(self) -> dict[NodeRole, int]:
+        """Number of nodes per role."""
+        return {
+            NodeRole.BACKBONE: len(self.backbone),
+            NodeRole.EDGE_ROUTER: len(self.edge_routers),
+            NodeRole.HOST: len(self.hosts),
+        }
+
+
+def classify_roles(
+    topology: Topology,
+    *,
+    backbone_fraction: float = 0.05,
+    edge_fraction: float = 0.10,
+) -> RoleAssignment:
+    """Assign roles by degree rank, per the paper's 5% / 10% split.
+
+    Parameters
+    ----------
+    topology:
+        The graph to classify.
+    backbone_fraction:
+        Fraction of highest-degree nodes designated backbone routers.
+    edge_fraction:
+        Fraction of next-highest-degree nodes designated edge routers.
+
+    Raises
+    ------
+    TopologyError
+        If the fractions are out of range or leave no end hosts.
+    """
+    if not 0.0 < backbone_fraction < 1.0:
+        raise TopologyError(
+            f"backbone_fraction must be in (0, 1), got {backbone_fraction}"
+        )
+    if not 0.0 < edge_fraction < 1.0:
+        raise TopologyError(
+            f"edge_fraction must be in (0, 1), got {edge_fraction}"
+        )
+    if backbone_fraction + edge_fraction >= 1.0:
+        raise TopologyError(
+            "backbone_fraction + edge_fraction must be < 1 so that end "
+            f"hosts exist, got {backbone_fraction} + {edge_fraction}"
+        )
+
+    n = topology.num_nodes
+    num_backbone = max(1, math.ceil(n * backbone_fraction))
+    num_edge = max(1, math.ceil(n * edge_fraction))
+    if num_backbone + num_edge >= n:
+        raise TopologyError(
+            f"graph with {n} nodes is too small for "
+            f"{num_backbone} backbone + {num_edge} edge routers"
+        )
+
+    # Sort by descending degree; ties broken by ascending node id so the
+    # assignment is a pure function of the topology.
+    by_rank = sorted(topology.nodes(), key=lambda v: (-topology.degree(v), v))
+    backbone = tuple(sorted(by_rank[:num_backbone]))
+    edge_routers = tuple(sorted(by_rank[num_backbone : num_backbone + num_edge]))
+    hosts = tuple(sorted(by_rank[num_backbone + num_edge :]))
+
+    roles: list[NodeRole] = [NodeRole.HOST] * n
+    for node in backbone:
+        roles[node] = NodeRole.BACKBONE
+    for node in edge_routers:
+        roles[node] = NodeRole.EDGE_ROUTER
+    return RoleAssignment(
+        roles=tuple(roles),
+        backbone=backbone,
+        edge_routers=edge_routers,
+        hosts=hosts,
+    )

@@ -1,0 +1,64 @@
+"""Trace study substrate (Section 7): flow records, DNS translation model,
+synthetic campus-trace generation, windowed contact counting, rate-limit
+derivation, and behavioural host classification."""
+
+from .analysis import (
+    RateLimitTable,
+    contact_rate_ratio,
+    empirical_cdf,
+    peak_scan_rate,
+    recommend_rate_limits,
+    window_size_study,
+)
+from .classify import HostProfile, census, classify_hosts, profile_hosts
+from .dns import DEFAULT_DNS_TTL, DnsCache
+from .records import (
+    DNS_PORT,
+    FlowRecord,
+    HostClass,
+    Protocol,
+    Trace,
+    TraceError,
+    ip_to_str,
+    str_to_ip,
+)
+from .synth import INTERNAL_BASE, RESOLVER_IP, TraceConfig, generate_trace
+from .windows import (
+    Refinement,
+    WindowCounts,
+    count_contacts,
+    per_host_counts,
+    sliding_counts,
+)
+
+__all__ = [
+    "RateLimitTable",
+    "contact_rate_ratio",
+    "empirical_cdf",
+    "peak_scan_rate",
+    "recommend_rate_limits",
+    "window_size_study",
+    "HostProfile",
+    "census",
+    "classify_hosts",
+    "profile_hosts",
+    "DEFAULT_DNS_TTL",
+    "DnsCache",
+    "DNS_PORT",
+    "FlowRecord",
+    "HostClass",
+    "Protocol",
+    "Trace",
+    "TraceError",
+    "ip_to_str",
+    "str_to_ip",
+    "INTERNAL_BASE",
+    "RESOLVER_IP",
+    "TraceConfig",
+    "generate_trace",
+    "Refinement",
+    "WindowCounts",
+    "count_contacts",
+    "per_host_counts",
+    "sliding_counts",
+]

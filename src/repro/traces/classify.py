@@ -1,0 +1,139 @@
+"""Behavioural host classification (how the paper found its 999/17/33/79).
+
+The paper partitioned the ECE subnet into normal clients, servers, P2P
+clients, and worm-infected systems by connectivity characteristics, and
+told Blaster from Welchia by "looking for a large amount of ICMP echo
+requests intermixed with TCP SYNs to port 135".  This module implements
+those heuristics over flow records so the synthetic generator's ground
+truth can validate them (and so the pipeline would work on real traces).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .records import DNS_PORT, HostClass, Protocol, Trace
+
+__all__ = ["HostProfile", "profile_hosts", "classify_hosts", "census"]
+
+#: Windows DCOM RPC port targeted by Blaster and Welchia.
+DCOM_PORT = 135
+#: Ports that mark a host as providing a well-known service.
+SERVICE_PORTS = frozenset({22, 25, 53, 80, 110, 143, 443, 993, 995})
+
+
+@dataclass
+class HostProfile:
+    """Connectivity features of one internal host."""
+
+    host: int
+    outbound_initiations: int = 0
+    distinct_destinations: int = 0
+    icmp_echoes: int = 0
+    dcom_syns: int = 0
+    dns_lookups: int = 0
+    inbound_initiations: int = 0
+    inbound_service_hits: int = 0
+    peak_per_minute: int = 0
+    #: Distinct destinations per active minute, destinations set internally.
+    _per_minute: dict[int, set[int]] = field(default_factory=dict, repr=False)
+
+    @property
+    def scans_dcom(self) -> bool:
+        """Whether the host SYN-scans the DCOM port at worm-like volume."""
+        return self.dcom_syns >= 30
+
+    @property
+    def dns_ratio(self) -> float:
+        """DNS lookups relative to outbound initiations."""
+        if self.outbound_initiations == 0:
+            return 1.0
+        return self.dns_lookups / self.outbound_initiations
+
+
+def profile_hosts(trace: Trace) -> dict[int, HostProfile]:
+    """One streaming pass computing a :class:`HostProfile` per host."""
+    profiles: dict[int, HostProfile] = {
+        host: HostProfile(host=host) for host in trace.internal_hosts
+    }
+    for record in trace:
+        internal_src = trace.is_internal(record.src)
+        internal_dst = trace.is_internal(record.dst)
+        if internal_src and not internal_dst:
+            profile = profiles[record.src]
+            if record.protocol is Protocol.UDP and record.dst_port == DNS_PORT:
+                profile.dns_lookups += 1
+                continue
+            if not record.initiates_contact:
+                continue
+            profile.outbound_initiations += 1
+            minute = int(record.time // 60.0)
+            bucket = profile._per_minute.setdefault(minute, set())
+            bucket.add(record.dst)
+            if record.protocol is Protocol.ICMP and record.icmp_echo:
+                profile.icmp_echoes += 1
+            if (
+                record.protocol is Protocol.TCP
+                and record.tcp_syn
+                and record.dst_port == DCOM_PORT
+            ):
+                profile.dcom_syns += 1
+        elif internal_dst and not internal_src and record.initiates_contact:
+            profile = profiles[record.dst]
+            profile.inbound_initiations += 1
+            if record.dst_port in SERVICE_PORTS:
+                profile.inbound_service_hits += 1
+
+    for profile in profiles.values():
+        all_destinations: set[int] = set()
+        for destinations in profile._per_minute.values():
+            all_destinations |= destinations
+        profile.distinct_destinations = len(all_destinations)
+        profile.peak_per_minute = max(
+            (len(d) for d in profile._per_minute.values()), default=0
+        )
+        profile._per_minute.clear()
+    return profiles
+
+
+def classify_hosts(trace: Trace) -> dict[int, HostClass]:
+    """Assign a :class:`HostClass` to every internal host.
+
+    Decision order mirrors the paper's reasoning:
+
+    1. heavy ICMP-echo scanning intermixed with TCP/135 → Welchia;
+    2. sustained TCP/135 SYN scanning of many addresses → Blaster;
+    3. inbound-dominated traffic on well-known service ports → server;
+    4. high-fanout, mostly DNS-less outbound → P2P;
+    5. everything else → normal client.
+    """
+    classes: dict[int, HostClass] = {}
+    for host, profile in profile_hosts(trace).items():
+        if profile.icmp_echoes >= 100 and profile.dcom_syns >= 5:
+            classes[host] = HostClass.WORM_WELCHIA
+        elif profile.scans_dcom and profile.distinct_destinations >= 50:
+            classes[host] = HostClass.WORM_BLASTER
+        elif (
+            profile.inbound_service_hits >= 20
+            and profile.inbound_initiations
+            > 2 * max(profile.outbound_initiations, 1)
+        ):
+            classes[host] = HostClass.SERVER
+        elif (
+            profile.distinct_destinations >= 25
+            and profile.dns_ratio < 0.80
+            and not profile.scans_dcom
+        ):
+            classes[host] = HostClass.P2P
+        else:
+            classes[host] = HostClass.NORMAL
+    return classes
+
+
+def census(classes: dict[int, HostClass]) -> dict[HostClass, int]:
+    """Host counts per class (the paper's 999 / 17 / 33 / 79 table)."""
+    counts: dict[HostClass, int] = defaultdict(int)
+    for host_class in classes.values():
+        counts[host_class] += 1
+    return dict(counts)

@@ -1,0 +1,81 @@
+"""DNS-translation cache model (the Ganger et al. refinement).
+
+The DNS-based rate-limiting refinement counts only contacts to addresses
+*without* a valid DNS translation: worms pick pseudo-random 32-bit targets
+and never resolve a name first, while almost all legitimate client traffic
+follows a lookup.  The cache here replays DNS answer records from a trace
+and answers the one question the analysis needs: *did this client hold a
+valid translation for that address at that moment?*
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .records import DNS_PORT, FlowRecord, Trace
+
+__all__ = ["DnsCache", "DEFAULT_DNS_TTL"]
+
+#: Default translation lifetime, seconds.  Generous on purpose: the scheme
+#: errs toward not penalizing legitimate traffic.
+DEFAULT_DNS_TTL = 1800.0
+
+
+class DnsCache:
+    """Per-client cache of (resolved address, expiry) pairs.
+
+    Feed it DNS answer records in time order (:meth:`observe`); query with
+    :meth:`has_valid_translation`.  ``build_from_trace`` replays a whole
+    trace in one call.
+    """
+
+    def __init__(self, ttl: float = DEFAULT_DNS_TTL) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        self._ttl = ttl
+        # client -> {resolved address -> expiry time}
+        self._entries: dict[int, dict[int, float]] = defaultdict(dict)
+        self.answers_observed = 0
+
+    @property
+    def ttl(self) -> float:
+        """Translation lifetime in seconds."""
+        return self._ttl
+
+    def observe(self, record: FlowRecord) -> bool:
+        """Ingest one record; returns True if it carried a DNS answer.
+
+        A DNS answer from a resolver (src port 53) to a client installs
+        the resolved address in that client's cache.
+        """
+        if record.dns_answer is None or record.src_port != DNS_PORT:
+            return False
+        client = record.dst
+        self._entries[client][record.dns_answer] = record.time + self._ttl
+        self.answers_observed += 1
+        return True
+
+    def has_valid_translation(self, client: int, address: int, now: float) -> bool:
+        """Whether ``client`` held a live translation for ``address``."""
+        expiry = self._entries.get(client, {}).get(address)
+        return expiry is not None and now <= expiry
+
+    def entries_for(self, client: int, now: float) -> set[int]:
+        """Addresses with live translations for ``client`` (diagnostics)."""
+        table = self._entries.get(client, {})
+        return {address for address, expiry in table.items() if now <= expiry}
+
+    @classmethod
+    def build_from_trace(
+        cls, trace: Trace, *, ttl: float = DEFAULT_DNS_TTL
+    ) -> "DnsCache":
+        """Replay every DNS answer in ``trace`` into a fresh cache.
+
+        Note: the resulting cache holds *final* state; for time-accurate
+        queries during a streaming pass, interleave :meth:`observe` calls
+        instead (the window counters do exactly that).
+        """
+        cache = cls(ttl=ttl)
+        for record in trace:
+            cache.observe(record)
+        return cache

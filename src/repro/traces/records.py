@@ -1,0 +1,327 @@
+"""Flow-record data model for the Section 7 trace study.
+
+The paper analyzed 23 days of anonymized IP/transport headers (plus full
+DNS payloads) from a departmental edge router.  Our records carry exactly
+the fields that analysis needs: timestamps, endpoints, protocol, ports,
+TCP SYN / ICMP echo flags (to recognize initiated contacts and worm
+scanning), and — for DNS answer packets — the resolved address, standing
+in for the recorded DNS payloads.
+
+Addresses are IPv4 integers; :func:`ip_to_str` / :func:`str_to_ip` convert
+for display and serialization.  A :class:`Trace` bundles time-sorted
+records with the set of internal hosts and optional ground-truth labels
+(the synthetic generator fills those in so classifier accuracy can be
+measured).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = [
+    "Protocol",
+    "HostClass",
+    "FlowRecord",
+    "Trace",
+    "TraceError",
+    "ip_to_str",
+    "str_to_ip",
+    "DNS_PORT",
+]
+
+#: Well-known DNS port.
+DNS_PORT = 53
+
+
+class TraceError(ValueError):
+    """Raised for malformed traces or records."""
+
+
+class Protocol(Enum):
+    """Transport / network protocol of a record."""
+
+    TCP = "tcp"
+    UDP = "udp"
+    ICMP = "icmp"
+
+
+class HostClass(Enum):
+    """The paper's four behavioural host categories (Section 7)."""
+
+    NORMAL = "normal"
+    SERVER = "server"
+    P2P = "p2p"
+    WORM_BLASTER = "worm_blaster"
+    WORM_WELCHIA = "worm_welchia"
+
+    @property
+    def is_worm(self) -> bool:
+        """Whether this class is one of the two worm infections."""
+        return self in (HostClass.WORM_BLASTER, HostClass.WORM_WELCHIA)
+
+
+def ip_to_str(ip: int) -> str:
+    """Render a 32-bit address as dotted quad."""
+    if not 0 <= ip <= 0xFFFFFFFF:
+        raise TraceError(f"not a 32-bit address: {ip}")
+    return ".".join(str((ip >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def str_to_ip(text: str) -> int:
+    """Parse a dotted quad into a 32-bit address."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise TraceError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError:
+            raise TraceError(f"bad octet {part!r} in {text!r}") from None
+        if not 0 <= octet <= 255:
+            raise TraceError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+@dataclass(slots=True, frozen=True)
+class FlowRecord:
+    """One captured packet/flow event.
+
+    Attributes
+    ----------
+    time:
+        Seconds since trace start.
+    src, dst:
+        32-bit addresses.
+    protocol:
+        :class:`Protocol`.
+    src_port, dst_port:
+        Transport ports (0 for ICMP).
+    tcp_syn:
+        True for a TCP connection-initiation packet.
+    icmp_echo:
+        True for an ICMP echo request (Welchia's scan probe).
+    dns_answer:
+        For a DNS response packet: the address the name resolved to
+        (stands in for the recorded DNS payload).  ``None`` otherwise.
+    """
+
+    time: float
+    src: int
+    dst: int
+    protocol: Protocol
+    src_port: int = 0
+    dst_port: int = 0
+    tcp_syn: bool = False
+    icmp_echo: bool = False
+    dns_answer: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise TraceError(f"negative timestamp: {self.time}")
+        for label, ip in (("src", self.src), ("dst", self.dst)):
+            if not 0 <= ip <= 0xFFFFFFFF:
+                raise TraceError(f"{label} is not a 32-bit address: {ip}")
+        for label, port in (("src_port", self.src_port),
+                            ("dst_port", self.dst_port)):
+            if not 0 <= port <= 65535:
+                raise TraceError(f"{label} out of range: {port}")
+        if self.dns_answer is not None and self.protocol is not Protocol.UDP:
+            raise TraceError("dns_answer only valid on UDP records")
+
+    @property
+    def is_dns_answer(self) -> bool:
+        """Whether this is a DNS response carrying a resolution."""
+        return self.dns_answer is not None
+
+    @property
+    def initiates_contact(self) -> bool:
+        """Whether this record *initiates* a contact with ``dst``.
+
+        TCP SYNs, ICMP echo requests, and non-DNS UDP packets count;
+        DNS queries/answers and non-SYN TCP segments do not (they are
+        part of established or infrastructure exchanges).
+        """
+        if self.protocol is Protocol.TCP:
+            return self.tcp_syn
+        if self.protocol is Protocol.ICMP:
+            return self.icmp_echo
+        # UDP: anything that is not DNS infrastructure traffic.
+        return self.dst_port != DNS_PORT and self.dns_answer is None
+
+
+_CSV_FIELDS = [
+    "time",
+    "src",
+    "dst",
+    "protocol",
+    "src_port",
+    "dst_port",
+    "tcp_syn",
+    "icmp_echo",
+    "dns_answer",
+]
+
+
+class Trace:
+    """A time-sorted sequence of flow records plus host metadata.
+
+    Parameters
+    ----------
+    records:
+        Flow records; sorted by time on construction.
+    internal_hosts:
+        Addresses on the inside of the monitored edge router.
+    labels:
+        Optional ground-truth ``address -> HostClass`` map (synthetic
+        traces carry one; real traces would not).
+    """
+
+    def __init__(
+        self,
+        records: Iterable[FlowRecord],
+        internal_hosts: Iterable[int],
+        *,
+        labels: dict[int, HostClass] | None = None,
+    ) -> None:
+        self._records: list[FlowRecord] = sorted(records, key=lambda r: r.time)
+        self._internal: frozenset[int] = frozenset(internal_hosts)
+        if not self._internal:
+            raise TraceError("a trace needs at least one internal host")
+        self.labels: dict[int, HostClass] = dict(labels or {})
+        unknown = set(self.labels) - self._internal
+        if unknown:
+            raise TraceError(
+                f"labels reference non-internal hosts: {sorted(unknown)[:5]}"
+            )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def records(self) -> Sequence[FlowRecord]:
+        """All records, time-sorted."""
+        return self._records
+
+    @property
+    def internal_hosts(self) -> frozenset[int]:
+        """Addresses inside the monitored network."""
+        return self._internal
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the records (0 for an empty trace)."""
+        if not self._records:
+            return 0.0
+        return self._records[-1].time - self._records[0].time
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(self._records)
+
+    def is_internal(self, ip: int) -> bool:
+        """Whether ``ip`` belongs to the monitored network."""
+        return ip in self._internal
+
+    def outbound_records(self) -> Iterator[FlowRecord]:
+        """Records leaving the network (internal src, external dst)."""
+        for record in self._records:
+            if record.src in self._internal and record.dst not in self._internal:
+                yield record
+
+    def inbound_records(self) -> Iterator[FlowRecord]:
+        """Records entering the network (external src, internal dst)."""
+        for record in self._records:
+            if record.src not in self._internal and record.dst in self._internal:
+                yield record
+
+    def records_from(self, host: int) -> list[FlowRecord]:
+        """All records originated by ``host``."""
+        return [r for r in self._records if r.src == host]
+
+    def hosts_of_class(self, host_class: HostClass) -> list[int]:
+        """Internal hosts labeled with ``host_class`` (ground truth)."""
+        return sorted(
+            host for host, label in self.labels.items() if label is host_class
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (CSV — the traces are header-only, CSV is faithful)
+    # ------------------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Serialize the records (not metadata) as CSV text."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for r in self._records:
+            writer.writerow(
+                {
+                    "time": repr(r.time),
+                    "src": ip_to_str(r.src),
+                    "dst": ip_to_str(r.dst),
+                    "protocol": r.protocol.value,
+                    "src_port": r.src_port,
+                    "dst_port": r.dst_port,
+                    "tcp_syn": int(r.tcp_syn),
+                    "icmp_echo": int(r.icmp_echo),
+                    "dns_answer": (
+                        ip_to_str(r.dns_answer)
+                        if r.dns_answer is not None
+                        else ""
+                    ),
+                }
+            )
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(
+        cls,
+        text: str,
+        internal_hosts: Iterable[int],
+        *,
+        labels: dict[int, HostClass] | None = None,
+    ) -> "Trace":
+        """Parse records from :meth:`to_csv` output.
+
+        Any malformed input — bad framing, missing or truncated fields,
+        unparseable values — raises :class:`TraceError`; no lower-level
+        exception type escapes.
+        """
+        reader = csv.DictReader(io.StringIO(text))
+        records: list[FlowRecord] = []
+        try:
+            for row in reader:
+                try:
+                    records.append(
+                        FlowRecord(
+                            time=float(row["time"]),
+                            src=str_to_ip(row["src"]),
+                            dst=str_to_ip(row["dst"]),
+                            protocol=Protocol(row["protocol"]),
+                            src_port=int(row["src_port"]),
+                            dst_port=int(row["dst_port"]),
+                            tcp_syn=bool(int(row["tcp_syn"])),
+                            icmp_echo=bool(int(row["icmp_echo"])),
+                            dns_answer=(
+                                str_to_ip(row["dns_answer"])
+                                if row["dns_answer"]
+                                else None
+                            ),
+                        )
+                    )
+                except (KeyError, ValueError, TypeError) as exc:
+                    raise TraceError(
+                        f"malformed CSV row {row!r}: {exc}"
+                    ) from exc
+        except csv.Error as exc:
+            raise TraceError(f"malformed CSV framing: {exc}") from exc
+        return cls(records, internal_hosts, labels=labels)

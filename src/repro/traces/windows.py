@@ -1,0 +1,293 @@
+"""Sliding/tumbling-window contact counting with the paper's refinements.
+
+Figure 9 plots, for a set of hosts and a 5-second window, the CDF of the
+number of distinct foreign addresses contacted, under three progressively
+tighter definitions of "contact":
+
+* ``ALL`` — every distinct destination of an initiated outbound flow;
+* ``NO_PRIOR`` — excluding destinations that had *initiated contact with
+  us first* (responses to inbound connections are not suspicious);
+* ``NO_DNS`` — additionally excluding destinations for which the source
+  held a *valid DNS translation* (worms contact raw addresses).
+
+Counts are produced for every window in the trace, including empty ones —
+the CDF's y axis is "fraction of time", so quiet windows matter.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from enum import Enum
+
+from .dns import DEFAULT_DNS_TTL, DnsCache
+from .records import Trace, TraceError
+
+__all__ = [
+    "Refinement",
+    "WindowCounts",
+    "count_contacts",
+    "per_host_counts",
+    "sliding_counts",
+]
+
+
+class Refinement(Enum):
+    """Contact-classification refinement (Figure 9's three lines)."""
+
+    ALL = "distinct_ips"
+    NO_PRIOR = "no_prior_contact"
+    NO_DNS = "no_prior_no_dns"
+
+
+@dataclass(frozen=True)
+class WindowCounts:
+    """Distinct-contact counts for consecutive windows of one size.
+
+    Attributes
+    ----------
+    window:
+        Window length in seconds.
+    refinement:
+        Which contact classification produced the counts.
+    counts:
+        One integer per window covering the whole trace (zeros included).
+    """
+
+    window: float
+    refinement: Refinement
+    counts: tuple[int, ...]
+
+    def fraction_of_time_at_or_below(self, limit: int) -> float:
+        """Fraction of windows with count <= ``limit`` (Figure 9 y-axis)."""
+        if not self.counts:
+            return 1.0
+        return sum(1 for c in self.counts if c <= limit) / len(self.counts)
+
+    def percentile(self, q: float) -> int:
+        """Smallest count covering fraction ``q`` of windows."""
+        if not 0.0 < q <= 1.0:
+            raise TraceError(f"q must be in (0, 1], got {q}")
+        if not self.counts:
+            return 0
+        ordered = sorted(self.counts)
+        index = min(math.ceil(q * len(ordered)) - 1, len(ordered) - 1)
+        return ordered[max(index, 0)]
+
+    def max(self) -> int:
+        """Largest windowed count."""
+        return max(self.counts) if self.counts else 0
+
+
+def _num_windows(end_time: float, window: float) -> int:
+    """Windows needed so a record at exactly ``end_time`` has a bucket.
+
+    ``end_time`` is the last record's timestamp: a record at t falls in
+    window ``floor(t / window)``, so ``floor(end / window) + 1`` windows
+    cover every record including one sitting exactly on a boundary.
+    """
+    if end_time <= 0:
+        return 1
+    return int(end_time // window) + 1
+
+
+def count_contacts(
+    trace: Trace,
+    hosts: set[int] | frozenset[int],
+    *,
+    window: float = 5.0,
+    refinement: Refinement = Refinement.ALL,
+    dns_ttl: float = DEFAULT_DNS_TTL,
+) -> WindowCounts:
+    """Aggregate distinct-destination counts over ``hosts`` per window.
+
+    One streaming pass: DNS answers update the translation cache, inbound
+    initiations update the prior-contact sets, and outbound initiations
+    from ``hosts`` to external destinations are counted after the
+    refinement filters.  Distinctness is per (source, destination) within
+    the window, matching an edge filter that tracks per-host contact sets.
+    """
+    if window <= 0:
+        raise TraceError(f"window must be positive, got {window}")
+    bad = hosts - trace.internal_hosts
+    if bad:
+        raise TraceError(f"hosts not internal to the trace: {sorted(bad)[:5]}")
+
+    end_time = trace.records[-1].time if len(trace) else 0.0
+    counts = [0] * _num_windows(end_time, window)
+
+    dns = DnsCache(ttl=dns_ttl)
+    prior_contacts: dict[int, set[int]] = defaultdict(set)
+    seen_in_window: set[tuple[int, int]] = set()
+    current_window = 0
+
+    for record in trace:
+        index = min(int(record.time // window), len(counts) - 1)
+        if index != current_window:
+            seen_in_window.clear()
+            current_window = index
+
+        dns.observe(record)
+
+        internal_src = trace.is_internal(record.src)
+        internal_dst = trace.is_internal(record.dst)
+
+        if not internal_src and internal_dst and record.initiates_contact:
+            prior_contacts[record.dst].add(record.src)
+            continue
+
+        if not (internal_src and not internal_dst):
+            continue
+        if record.src not in hosts or not record.initiates_contact:
+            continue
+        if refinement in (Refinement.NO_PRIOR, Refinement.NO_DNS):
+            if record.dst in prior_contacts[record.src]:
+                continue
+        if refinement is Refinement.NO_DNS:
+            if dns.has_valid_translation(record.src, record.dst, record.time):
+                continue
+        key = (record.src, record.dst)
+        if key in seen_in_window:
+            continue
+        seen_in_window.add(key)
+        counts[index] += 1
+
+    return WindowCounts(
+        window=window, refinement=refinement, counts=tuple(counts)
+    )
+
+
+def per_host_counts(
+    trace: Trace,
+    hosts: list[int],
+    *,
+    window: float = 5.0,
+    refinement: Refinement = Refinement.ALL,
+    dns_ttl: float = DEFAULT_DNS_TTL,
+) -> dict[int, WindowCounts]:
+    """Per-host windowed counts (the "individual host rates" analysis).
+
+    Equivalent to calling :func:`count_contacts` once per host but done in
+    a single streaming pass over the trace.
+    """
+    if window <= 0:
+        raise TraceError(f"window must be positive, got {window}")
+    host_set = set(hosts)
+    bad = host_set - trace.internal_hosts
+    if bad:
+        raise TraceError(f"hosts not internal to the trace: {sorted(bad)[:5]}")
+
+    end_time = trace.records[-1].time if len(trace) else 0.0
+    num_windows = _num_windows(end_time, window)
+    counts: dict[int, list[int]] = {h: [0] * num_windows for h in hosts}
+
+    dns = DnsCache(ttl=dns_ttl)
+    prior_contacts: dict[int, set[int]] = defaultdict(set)
+    seen_in_window: dict[int, set[int]] = {h: set() for h in hosts}
+    current_window = 0
+
+    for record in trace:
+        index = min(int(record.time // window), num_windows - 1)
+        if index != current_window:
+            for seen in seen_in_window.values():
+                seen.clear()
+            current_window = index
+
+        dns.observe(record)
+
+        internal_src = trace.is_internal(record.src)
+        internal_dst = trace.is_internal(record.dst)
+        if not internal_src and internal_dst and record.initiates_contact:
+            prior_contacts[record.dst].add(record.src)
+            continue
+        if not (internal_src and not internal_dst):
+            continue
+        if record.src not in host_set or not record.initiates_contact:
+            continue
+        if refinement in (Refinement.NO_PRIOR, Refinement.NO_DNS):
+            if record.dst in prior_contacts[record.src]:
+                continue
+        if refinement is Refinement.NO_DNS:
+            if dns.has_valid_translation(record.src, record.dst, record.time):
+                continue
+        if record.dst in seen_in_window[record.src]:
+            continue
+        seen_in_window[record.src].add(record.dst)
+        counts[record.src][index] += 1
+
+    return {
+        host: WindowCounts(
+            window=window, refinement=refinement, counts=tuple(counts[host])
+        )
+        for host in hosts
+    }
+
+
+def sliding_counts(
+    trace: Trace,
+    hosts: set[int] | frozenset[int],
+    *,
+    window: float = 5.0,
+    refinement: Refinement = Refinement.ALL,
+    dns_ttl: float = DEFAULT_DNS_TTL,
+) -> dict[int, list[int]]:
+    """Trailing-window distinct-contact counts, sampled at every contact.
+
+    Tumbling windows (the default analysis) understate worst-case bursts
+    that straddle a boundary; a throttle enforcing "at most L distinct
+    addresses in any 5-second period" sees the *sliding* count.  For each
+    counted outbound contact this returns the number of distinct
+    destinations the source contacted in the trailing ``window`` seconds
+    (including this one), per host.
+
+    A burst admissible under tumbling limit ``L`` can reach at most
+    ``2 L`` in a sliding window (two adjacent tumbling windows overlap
+    any sliding one) — the property the test suite verifies.
+    """
+    if window <= 0:
+        raise TraceError(f"window must be positive, got {window}")
+    host_set = set(hosts)
+    bad = host_set - trace.internal_hosts
+    if bad:
+        raise TraceError(f"hosts not internal to the trace: {sorted(bad)[:5]}")
+
+    dns = DnsCache(ttl=dns_ttl)
+    prior_contacts: dict[int, set[int]] = defaultdict(set)
+    # Per host: trailing-window event log and per-destination counts.
+    event_log: dict[int, deque[tuple[float, int]]] = {
+        h: deque() for h in host_set
+    }
+    active: dict[int, dict[int, int]] = {h: defaultdict(int) for h in host_set}
+    out: dict[int, list[int]] = {h: [] for h in host_set}
+
+    for record in trace:
+        dns.observe(record)
+        internal_src = trace.is_internal(record.src)
+        internal_dst = trace.is_internal(record.dst)
+        if not internal_src and internal_dst and record.initiates_contact:
+            prior_contacts[record.dst].add(record.src)
+            continue
+        if not (internal_src and not internal_dst):
+            continue
+        src = record.src
+        if src not in host_set or not record.initiates_contact:
+            continue
+        if refinement in (Refinement.NO_PRIOR, Refinement.NO_DNS):
+            if record.dst in prior_contacts[src]:
+                continue
+        if refinement is Refinement.NO_DNS:
+            if dns.has_valid_translation(src, record.dst, record.time):
+                continue
+        log = event_log[src]
+        counts = active[src]
+        cutoff = record.time - window
+        while log and log[0][0] <= cutoff:
+            _old_time, old_dst = log.popleft()
+            counts[old_dst] -= 1
+            if counts[old_dst] == 0:
+                del counts[old_dst]
+        log.append((record.time, record.dst))
+        counts[record.dst] += 1
+        out[src].append(len(counts))
+    return out

@@ -1,0 +1,43 @@
+"""Shared fixtures: small, seeded versions of the expensive substrates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.network import Network
+from repro.topology.powerlaw import barabasi_albert
+from repro.traces.records import Trace
+from repro.traces.synth import TraceConfig, generate_trace
+
+
+@pytest.fixture(scope="session")
+def small_powerlaw_topology():
+    """A 120-node BA graph shared across read-only tests."""
+    return barabasi_albert(120, 2, seed=7)
+
+
+@pytest.fixture()
+def small_network() -> Network:
+    """A fresh (mutable) 120-node network per test."""
+    return Network.from_powerlaw(120, seed=7)
+
+
+@pytest.fixture()
+def star_network() -> Network:
+    """A fresh 50-node star network per test."""
+    return Network.from_star(50)
+
+
+@pytest.fixture(scope="session")
+def small_trace() -> Trace:
+    """A small labeled synthetic trace shared across read-only tests."""
+    config = TraceConfig(
+        duration=120.0,
+        seed=11,
+        num_normal=80,
+        num_servers=4,
+        num_p2p=6,
+        num_blaster=4,
+        num_welchia=3,
+    )
+    return generate_trace(config)

@@ -1,0 +1,111 @@
+"""Tests for the repro command-line interface."""
+
+from __future__ import annotations
+
+import argparse
+import io
+
+import pytest
+
+from repro.cli import _parse_strategy, build_parser, main
+from repro.core.policy import DeploymentLocation
+
+
+def run_cli(*argv: str) -> str:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_compare_requires_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare"])
+
+
+class TestParseStrategy:
+    def test_all_kinds(self):
+        assert _parse_strategy("none").location is DeploymentLocation.NONE
+        hosts = _parse_strategy("hosts:0.3:0.01")
+        assert hosts.coverage == 0.3
+        assert hosts.policy.rate == 0.01
+        assert _parse_strategy("edge:0.02").policy.rate == 0.02
+        assert (
+            _parse_strategy("backbone:0.05").location
+            is DeploymentLocation.BACKBONE_ROUTERS
+        )
+        hub = _parse_strategy("hub:10:4")
+        assert hub.policy.node_budget == 4.0
+
+    def test_bad_inputs(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_strategy("teleport:1")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_strategy("hosts:0.3")  # missing rate
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_strategy("edge:not-a-number")
+
+
+class TestCommands:
+    def test_list(self):
+        output = run_cli("list")
+        assert "fig4" in output
+        assert "fig1a" in output
+
+    def test_analytic_figure(self):
+        output = run_cli("figure", "fig1a")
+        assert "hub_rl" in output
+        assert "slowdown" in output
+
+    def test_sim_figure_small(self):
+        output = run_cli(
+            "figure", "fig1b", "--runs", "2", "--ticks", "40"
+        )
+        assert "leaf_rl_30pct" in output
+
+    def test_compare(self):
+        output = run_cli(
+            "compare",
+            "--nodes", "200",
+            "--runs", "2",
+            "--ticks", "120",
+            "--strategy", "none",
+            "--strategy", "backbone:0.05",
+        )
+        assert "backbone_rl" in output
+        assert "1.00x" in output
+
+    def test_trace(self):
+        output = run_cli("trace", "--duration", "60", "--seed", "3")
+        assert "records" in output
+        assert "normal" in output
+        assert "99.9% limits" in output
+
+
+class TestMoreCommands:
+    def test_every_analytic_figure_renders(self):
+        for figure_id in ("fig1a", "fig2", "fig7a", "fig7b", "fig10"):
+            output = run_cli("figure", figure_id)
+            assert figure_id in output
+            assert "t=" in output
+
+    def test_compare_with_local_preference(self):
+        output = run_cli(
+            "compare",
+            "--nodes", "200",
+            "--runs", "2",
+            "--ticks", "150",
+            "--local-preference", "0.8",
+            "--strategy", "none",
+            "--strategy", "hosts:0.3:0.01",
+        )
+        assert "host_rl_30pct" in output

@@ -1,0 +1,97 @@
+"""Tests for hub rate limiting (Eqs. 4–5): piecewise link/node regimes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.models.base import ModelError
+from repro.models.hub import HubRateLimitModel
+from repro.models.leaf import LeafRateLimitModel
+
+
+class TestValidation:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ModelError):
+            HubRateLimitModel(100, 0.0, 1.0)
+        with pytest.raises(ModelError):
+            HubRateLimitModel(100, 0.1, 0.0)
+
+    def test_closed_form_node_limited_validates_anchor(self):
+        model = HubRateLimitModel(100, 0.1, 1.0)
+        with pytest.raises(ModelError):
+            model.closed_form_node_limited(1.0, infected_at_entry=0.0)
+
+
+class TestRegimes:
+    def test_saturation_point(self):
+        model = HubRateLimitModel(200, 0.05, 2.0)
+        assert model.saturation_infected() == pytest.approx(40.0)
+
+    def test_link_limited_matches_logistic_early(self):
+        """While gamma*I <= beta the ODE is exactly Eq. (4)."""
+        model = HubRateLimitModel(1000, 0.1, 1e9, initial_infected=1)
+        trajectory = model.solve(100)
+        closed = np.asarray(model.closed_form_link_limited(trajectory.times))
+        np.testing.assert_allclose(
+            trajectory.fraction_infected, closed, atol=1e-6
+        )
+
+    def test_node_limited_growth_is_linearish(self):
+        """Once saturated, dI/dt <= beta: growth bounded by a line."""
+        model = HubRateLimitModel(1000, 1.0, 2.0, initial_infected=10)
+        trajectory = model.solve(200, num_points=400)
+        increments = np.diff(trajectory.infected) / np.diff(trajectory.times)
+        assert np.all(increments <= 2.0 + 1e-6)
+
+    def test_node_limited_closed_form_anchored(self):
+        model = HubRateLimitModel(100, 10.0, 5.0)
+        value = model.closed_form_node_limited(
+            0.0, infected_at_entry=50.0, t_entry=0.0
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_paper_time_formula(self):
+        model = HubRateLimitModel(200, 0.1, 2.0)
+        assert model.paper_time_to_level(math.e) == pytest.approx(100.0)
+
+
+class TestHeadlineComparison:
+    def test_hub_comparable_to_full_leaf_deployment(self):
+        """The Section 4 claim: one filter at the hub, throttling each
+        link to beta2 with budget N*beta2, contains the worm like
+        throttling every leaf to beta2 would."""
+        n = 200
+        beta2 = 0.01
+        full_leaf = LeafRateLimitModel(n, 1.0, 0.8, beta2).solve(2000)
+        hub = HubRateLimitModel(n, beta2, n * beta2).solve(2000)
+        t_leaf = full_leaf.time_to_fraction(0.5)
+        t_hub = hub.time_to_fraction(0.5)
+        assert 0.5 < t_hub / t_leaf < 2.0
+
+    def test_paper_time_formulas_agree(self):
+        """The published approximations: N*ln(a)/beta [hub] equals
+        ln(a)/beta2 [all leaves] when beta = N*beta2."""
+        n, beta2 = 200, 0.01
+        hub = HubRateLimitModel(n, 0.8, n * beta2)
+        leaf = LeafRateLimitModel(n, 1.0, 0.8, beta2)
+        # leaf paper formula diverges at q=1; compare against ln(a)/beta2.
+        import numpy as np
+
+        alpha = 50.0
+        assert hub.paper_time_to_level(alpha) == pytest.approx(
+            np.log(alpha) / beta2
+        )
+
+    def test_hub_beats_partial_leaf(self):
+        """Figure 1(a): hub RL far slower than 30% leaf RL."""
+        leaf30 = LeafRateLimitModel(199, 0.30, 0.8, 0.01).solve(100)
+        hub = HubRateLimitModel(199, 0.8, 4.0).solve(100)
+        assert hub.time_to_fraction(0.6) > 2 * leaf30.time_to_fraction(0.6)
+
+    def test_tighter_hub_budget_slower(self):
+        loose = HubRateLimitModel(200, 0.8, 8.0).solve(300)
+        tight = HubRateLimitModel(200, 0.8, 2.0).solve(300)
+        assert tight.time_to_fraction(0.5) > loose.time_to_fraction(0.5)

@@ -1,0 +1,100 @@
+"""Tests for host/leaf rate limiting (Eq. 3) — the linear-slowdown result."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.base import ModelError
+from repro.models.homogeneous import HomogeneousSIModel
+from repro.models.leaf import LeafRateLimitModel
+
+
+class TestValidation:
+    def test_rejects_fraction_out_of_range(self):
+        with pytest.raises(ModelError):
+            LeafRateLimitModel(100, 1.5, 0.8, 0.01)
+
+    def test_rejects_filter_faster_than_worm(self):
+        with pytest.raises(ModelError, match="throttle"):
+            LeafRateLimitModel(100, 0.5, 0.1, 0.2)
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ModelError):
+            LeafRateLimitModel(100, 0.5, 0.0, 0.0)
+
+
+class TestEffectiveRate:
+    def test_formula(self):
+        model = LeafRateLimitModel(1000, 0.3, 0.8, 0.01)
+        assert model.effective_rate == pytest.approx(0.3 * 0.01 + 0.7 * 0.8)
+
+    def test_zero_deployment_equals_homogeneous(self):
+        undefended = LeafRateLimitModel(1000, 0.0, 0.8, 0.01)
+        baseline = HomogeneousSIModel(1000, 0.8)
+        t = np.linspace(0, 40, 100)
+        np.testing.assert_allclose(
+            np.asarray(undefended.closed_form_fraction(t)),
+            np.asarray(baseline.closed_form_fraction(t)),
+        )
+
+    def test_full_deployment_runs_at_beta2(self):
+        model = LeafRateLimitModel(1000, 1.0, 0.8, 0.01)
+        assert model.effective_rate == pytest.approx(0.01)
+
+
+class TestDynamics:
+    def test_numeric_matches_closed_form(self):
+        model = LeafRateLimitModel(1000, 0.5, 0.8, 0.01)
+        trajectory = model.solve(80)
+        np.testing.assert_allclose(
+            trajectory.fraction_infected,
+            np.asarray(model.closed_form_fraction(trajectory.times)),
+            atol=1e-6,
+        )
+
+    def test_linear_slowdown_in_coverage(self):
+        """The headline: time-to-level scales like 1/(1-q) for beta2→0."""
+        times = {}
+        for q in (0.0, 0.5, 0.75):
+            model = LeafRateLimitModel(10**6, q, 0.8, 1e-9)
+            times[q] = model.solve(400).time_to_fraction(0.5)
+        assert times[0.5] == pytest.approx(2 * times[0.0], rel=0.02)
+        assert times[0.75] == pytest.approx(4 * times[0.0], rel=0.02)
+
+    def test_80_vs_100_percent_gap_is_dramatic(self):
+        """Figure 2's point: only total deployment changes the regime."""
+        partial = LeafRateLimitModel(1000, 0.80, 0.8, 0.01).solve(1000)
+        total = LeafRateLimitModel(1000, 1.00, 0.8, 0.01).solve(1000)
+        t80 = partial.time_to_fraction(0.5)
+        t100 = total.time_to_fraction(0.5)
+        assert t100 > 4 * t80
+
+    def test_paper_time_formula(self):
+        model = LeafRateLimitModel(10**8, 0.5, 0.8, 1e-9)
+        # ln(alpha)/(beta1 (1-q))
+        assert model.paper_time_to_level(1000) == pytest.approx(
+            np.log(1000) / (0.8 * 0.5)
+        )
+
+    def test_paper_time_infinite_at_full_coverage(self):
+        model = LeafRateLimitModel(1000, 1.0, 0.8, 1e-9)
+        assert model.paper_time_to_level(10) == float("inf")
+
+    def test_slowdown_versus_undefended(self):
+        model = LeafRateLimitModel(1000, 0.5, 0.8, 1e-12)
+        assert model.slowdown_versus_undefended() == pytest.approx(2.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.95),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_more_coverage_never_speeds_worm(self, q, beta1):
+        lower = LeafRateLimitModel(1000, q, beta1, beta1 / 100)
+        higher = LeafRateLimitModel(
+            1000, min(q + 0.05, 1.0), beta1, beta1 / 100
+        )
+        assert higher.effective_rate <= lower.effective_rate + 1e-12

@@ -1,0 +1,72 @@
+"""Tests for post-run network diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.defense import deploy_backbone_rate_limit
+from repro.simulator.diagnostics import network_report
+from repro.simulator.network import Network
+from repro.simulator.simulation import WormSimulation
+from repro.simulator.worms import RandomScanWorm
+
+
+def run_outbreak(defended: bool) -> Network:
+    network = Network.from_powerlaw(150, seed=3)
+    if defended:
+        deploy_backbone_rate_limit(network, 0.05)
+    WormSimulation(
+        network, RandomScanWorm(), scan_rate=0.8,
+        initial_infections=3, seed=3,
+    ).run(100)
+    return network
+
+
+class TestNetworkReport:
+    def test_counters_consistent(self):
+        network = run_outbreak(defended=False)
+        report = network_report(network)
+        assert report.packets_injected > 0
+        assert 0 < report.delivery_ratio <= 1.0
+        assert report.packets_delivered <= report.packets_injected
+        assert report.limited_links == 0
+
+    def test_hotspots_sorted_by_load(self):
+        report = network_report(run_outbreak(defended=False), top=5)
+        loads = [h.forwarded for h in report.hotspots]
+        assert loads == sorted(loads, reverse=True)
+        assert len(report.hotspots) == 5
+
+    def test_hotspots_are_hub_links(self):
+        """The busiest links attach to the highest-degree nodes."""
+        network = run_outbreak(defended=False)
+        report = network_report(network, top=3)
+        degrees = network.topology.degrees()
+        hub_cutoff = sorted(degrees, reverse=True)[10]
+        for hotspot in report.hotspots:
+            assert max(degrees[hotspot.src], degrees[hotspot.dst]) >= hub_cutoff
+
+    def test_defended_run_reports_limits_and_queues(self):
+        network = run_outbreak(defended=True)
+        report = network_report(network)
+        assert report.limited_links > 0
+        # Rate-limited trunks accumulate queues under worm load.
+        assert any(h.peak_queue > 0 for h in report.hotspots)
+
+    def test_format_table(self):
+        report = network_report(run_outbreak(defended=True), top=3)
+        table = report.format_table()
+        assert "delivery_ratio" in table
+        assert "rate-limited links" in table
+        assert "->" in table
+
+    def test_empty_network_ratio(self):
+        network = Network.from_powerlaw(120, seed=7)
+        report = network_report(network)
+        assert report.delivery_ratio == 1.0
+        assert report.packets_injected == 0
+
+    def test_rejects_bad_top(self):
+        network = Network.from_powerlaw(120, seed=7)
+        with pytest.raises(ValueError):
+            network_report(network, top=0)

@@ -1,0 +1,167 @@
+"""Tests for the discrete-event engine and tick harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.engine import (
+    EventScheduler,
+    Phase,
+    SimulationError,
+    TickSimulation,
+)
+
+
+class TestEventScheduler:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        log: list[str] = []
+        scheduler.schedule(2.0, lambda: log.append("late"))
+        scheduler.schedule(1.0, lambda: log.append("early"))
+        scheduler.run()
+        assert log == ["early", "late"]
+
+    def test_ties_run_in_insertion_order(self):
+        scheduler = EventScheduler()
+        log: list[int] = []
+        for i in range(5):
+            scheduler.schedule(1.0, lambda i=i: log.append(i))
+        scheduler.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_clock_advances(self):
+        scheduler = EventScheduler()
+        seen: list[float] = []
+        scheduler.schedule(3.5, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [3.5]
+        assert scheduler.now == 3.5
+
+    def test_cancelled_events_skipped(self):
+        scheduler = EventScheduler()
+        log: list[str] = []
+        event = scheduler.schedule(1.0, lambda: log.append("cancelled"))
+        scheduler.schedule(2.0, lambda: log.append("kept"))
+        event.cancel()
+        scheduler.run()
+        assert log == ["kept"]
+
+    def test_run_until_stops_at_boundary(self):
+        scheduler = EventScheduler()
+        log: list[float] = []
+        for t in (1.0, 2.0, 3.0):
+            scheduler.schedule(t, lambda t=t: log.append(t))
+        scheduler.run_until(2.0)
+        assert log == [1.0, 2.0]
+        assert scheduler.now == 2.0
+
+    def test_schedule_in_past_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(SimulationError):
+            scheduler.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(5.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(SimulationError):
+            scheduler.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        scheduler = EventScheduler()
+        log: list[str] = []
+
+        def first():
+            log.append("first")
+            scheduler.schedule(1.0, lambda: log.append("second"))
+
+        scheduler.schedule(1.0, first)
+        scheduler.run()
+        assert log == ["first", "second"]
+
+    def test_runaway_guard(self):
+        scheduler = EventScheduler()
+
+        def forever():
+            scheduler.schedule(1.0, forever)
+
+        scheduler.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            scheduler.run(max_events=100)
+
+    def test_peek_time(self):
+        scheduler = EventScheduler()
+        assert scheduler.peek_time() is None
+        event = scheduler.schedule(4.0, lambda: None)
+        assert scheduler.peek_time() == 4.0
+        event.cancel()
+        assert scheduler.peek_time() is None
+
+
+class TestTickSimulation:
+    def test_phases_run_in_declared_order(self):
+        sim = TickSimulation()
+        log: list[str] = []
+        sim.on(Phase.DELIVER, lambda t: log.append(f"deliver@{t}"))
+        sim.on(Phase.SCAN, lambda t: log.append(f"scan@{t}"))
+        sim.run(2)
+        assert log == ["scan@0", "deliver@0", "scan@1", "deliver@1"]
+
+    def test_handlers_within_phase_keep_registration_order(self):
+        sim = TickSimulation()
+        log: list[int] = []
+        sim.on(Phase.SCAN, lambda t: log.append(1))
+        sim.on(Phase.SCAN, lambda t: log.append(2))
+        sim.run(1)
+        assert log == [1, 2]
+
+    def test_stop_condition_halts_after_tick(self):
+        sim = TickSimulation()
+        ticks: list[int] = []
+        sim.on(Phase.OBSERVE, ticks.append)
+        sim.add_stop_condition(lambda t: t >= 3)
+        executed = sim.run(100)
+        assert executed == 4
+        assert ticks == [0, 1, 2, 3]
+
+    def test_cannot_run_twice(self):
+        sim = TickSimulation()
+        sim.run(1)
+        with pytest.raises(SimulationError, match="fresh"):
+            sim.run(1)
+
+    def test_rejects_nonpositive_ticks(self):
+        with pytest.raises(SimulationError):
+            TickSimulation().run(0)
+
+    def test_scheduler_events_interleave_with_ticks(self):
+        sim = TickSimulation()
+        log: list[str] = []
+        sim.scheduler.schedule_at(1.0, lambda: log.append("event@1"))
+        sim.on(Phase.SCAN, lambda t: log.append(f"tick{t}"))
+        sim.run(3)
+        assert log == ["tick0", "event@1", "tick1", "tick2"]
+
+
+class TestEventBookkeeping:
+    def test_events_executed_counter(self):
+        scheduler = EventScheduler()
+        for i in range(5):
+            scheduler.schedule(float(i), lambda: None)
+        scheduler.run()
+        assert scheduler.events_executed == 5
+
+    def test_event_ordering_dataclass(self):
+        from repro.simulator.engine import Event
+
+        early = Event(1.0, 0, lambda: None)
+        late = Event(2.0, 0, lambda: None)
+        tie_first = Event(1.0, 1, lambda: None)
+        tie_second = Event(1.0, 2, lambda: None)
+        assert early < late
+        assert tie_first < tie_second
+
+    def test_run_until_advances_clock_even_when_idle(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(7.5)
+        assert scheduler.now == 7.5

@@ -1,0 +1,83 @@
+"""Tests for host state machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.nodes import Host, HostError, HostState
+
+
+class TestStateMachine:
+    def test_starts_susceptible(self):
+        host = Host(node=1)
+        assert host.is_susceptible
+        assert not host.is_infected
+        assert not host.is_immune
+
+    def test_infect_transitions_once(self):
+        host = Host(node=1)
+        assert host.infect(tick=3)
+        assert host.is_infected
+        assert host.infected_at == 3
+        # Re-infection is a wasted scan, not an error.
+        assert not host.infect(tick=4)
+        assert host.infected_at == 3
+
+    def test_immune_hosts_cannot_be_infected(self):
+        host = Host(node=1)
+        host.immunize(tick=1)
+        assert not host.infect(tick=2)
+        assert host.is_immune
+
+    def test_immunize_susceptible(self):
+        host = Host(node=1)
+        assert host.immunize(tick=5)
+        assert host.immunized_at == 5
+
+    def test_immunize_infected(self):
+        """The paper's model patches infected hosts too."""
+        host = Host(node=1)
+        host.infect(tick=1)
+        assert host.immunize(tick=2)
+        assert host.is_immune
+        assert not host.is_infected
+
+    def test_immunize_idempotent(self):
+        host = Host(node=1)
+        host.immunize(tick=1)
+        assert not host.immunize(tick=2)
+        assert host.immunized_at == 1
+
+
+class TestScanThrottle:
+    def test_unthrottled_always_allows(self):
+        host = Host(node=1)
+        assert all(host.allow_scan() for _ in range(100))
+
+    def test_throttle_caps_scans_per_tick(self):
+        host = Host(node=1)
+        host.install_throttle(2.0)
+        host.tick_throttle()
+        allowed = sum(host.allow_scan() for _ in range(10))
+        assert allowed == 2
+        host.tick_throttle()
+        assert sum(host.allow_scan() for _ in range(10)) == 2
+
+    def test_fractional_throttle(self):
+        host = Host(node=1)
+        host.install_throttle(0.5)
+        total = 0
+        for _ in range(20):
+            host.tick_throttle()
+            if host.allow_scan():
+                total += 1
+        assert 9 <= total <= 11
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(HostError):
+            Host(node=1).install_throttle(0.0)
+
+    def test_state_enum_round_trip(self):
+        assert HostState("susceptible") is HostState.SUSCEPTIBLE
+        assert HostState("infected") is HostState.INFECTED
+        assert HostState("immune") is HostState.IMMUNE

@@ -1,0 +1,71 @@
+"""Tests for the multi-run experiment runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.defense import deploy_backbone_rate_limit
+from repro.simulator.network import Network
+from repro.simulator.runner import ExperimentSpec, run_experiment
+from repro.simulator.worms import RandomScanWorm
+
+
+def spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        network_factory=lambda seed: Network.from_powerlaw(100, seed=seed),
+        worm_factory=RandomScanWorm,
+        scan_rate=0.8,
+        initial_infections=3,
+        max_ticks=80,
+        num_runs=3,
+        base_seed=10,
+        label="test",
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestRunExperiment:
+    def test_runs_requested_count(self):
+        result = run_experiment(spec(num_runs=4))
+        assert len(result.runs) == 4
+        assert len(result.defenses) == 4
+        assert result.label == "test"
+
+    def test_mean_is_average_of_runs(self):
+        result = run_experiment(spec(num_runs=3))
+        # The mean at tick 0 equals the mean of the runs' tick-0 values.
+        first_values = [run.infected[0] for run in result.runs]
+        assert result.mean.infected[0] == pytest.approx(
+            float(np.mean(first_values))
+        )
+
+    def test_reproducible(self):
+        a = run_experiment(spec())
+        b = run_experiment(spec())
+        np.testing.assert_array_equal(a.mean.infected, b.mean.infected)
+
+    def test_seeds_vary_across_runs(self):
+        result = run_experiment(spec(num_runs=3))
+        assert not np.array_equal(
+            result.runs[0].infected[: result.runs[1].infected.size],
+            result.runs[1].infected[: result.runs[0].infected.size],
+        )
+
+    def test_defense_applied_each_run(self):
+        result = run_experiment(
+            spec(defense=lambda n: deploy_backbone_rate_limit(n, 0.05))
+        )
+        for descriptor in result.defenses:
+            assert descriptor.name == "backbone_rl"
+            assert descriptor.limited_links > 0
+
+    def test_helpers(self):
+        result = run_experiment(spec())
+        assert result.time_to_fraction(0.5) > 0
+        assert 0 < result.final_ever_infected() <= 1.0
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ValueError):
+            run_experiment(spec(num_runs=0))

@@ -1,0 +1,127 @@
+"""Tests for the network telescope and scan detector."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simulator.telescope import DetectionReport, ScanDetector, Telescope
+
+
+class TestTelescope:
+    def test_full_coverage_sees_everything(self):
+        telescope = Telescope(coverage=1.0)
+        rng = random.Random(0)
+        seen = sum(telescope.observe_missed_scan(rng) for _ in range(100))
+        assert seen == 100
+        assert telescope.end_tick() == 100
+        assert telescope.total_hits == 100
+
+    def test_partial_coverage_samples(self):
+        telescope = Telescope(coverage=0.25)
+        rng = random.Random(1)
+        seen = sum(telescope.observe_missed_scan(rng) for _ in range(20_000))
+        assert seen / 20_000 == pytest.approx(0.25, abs=0.02)
+
+    def test_per_tick_accounting(self):
+        telescope = Telescope(coverage=1.0)
+        rng = random.Random(2)
+        for hits in (3, 0, 7):
+            for _ in range(hits):
+                telescope.observe_missed_scan(rng)
+            telescope.end_tick()
+        assert telescope.per_tick_hits == [3, 0, 7]
+
+    def test_estimated_scan_rate_inverts_coverage(self):
+        telescope = Telescope(coverage=0.5)
+        rng = random.Random(3)
+        for _ in range(5):
+            for _ in range(100):
+                telescope.observe_missed_scan(rng)
+            telescope.end_tick()
+        assert telescope.estimated_scan_rate() == pytest.approx(100, rel=0.2)
+
+    def test_empty_rate_is_zero(self):
+        assert Telescope().estimated_scan_rate() == 0.0
+
+    def test_rejects_bad_coverage(self):
+        with pytest.raises(ValueError):
+            Telescope(coverage=0.0)
+        with pytest.raises(ValueError):
+            Telescope(coverage=1.5)
+
+
+def feed(detector: ScanDetector, telescope: Telescope, hits_sequence):
+    """Drive a synthetic hit sequence through the detector."""
+    rng = random.Random(0)
+    report = None
+    for tick, hits in enumerate(hits_sequence):
+        for _ in range(hits):
+            telescope.observe_missed_scan(rng)
+        telescope.end_tick()
+        fired = detector.update(tick, telescope)
+        if fired is not None:
+            report = fired
+    return report
+
+
+class TestScanDetector:
+    def test_quiet_background_never_fires(self):
+        detector = ScanDetector(min_hits=3, consecutive_ticks=3)
+        report = feed(detector, Telescope(coverage=1.0), [0, 1, 0, 1, 0] * 10)
+        assert report is None
+        assert not detector.has_detected
+
+    def test_sustained_spike_fires_after_debounce(self):
+        detector = ScanDetector(min_hits=3, consecutive_ticks=3,
+                                warmup_ticks=4)
+        sequence = [0, 0, 0, 0, 10, 12, 15, 20]
+        report = feed(detector, Telescope(coverage=1.0), sequence)
+        assert report is not None
+        assert report.detected_at == 6  # third consecutive anomalous tick
+
+    def test_single_blip_does_not_fire(self):
+        detector = ScanDetector(min_hits=3, consecutive_ticks=3,
+                                warmup_ticks=1)
+        report = feed(detector, Telescope(coverage=1.0),
+                      [0, 0, 50, 0, 0, 0, 0, 0])
+        assert report is None
+
+    def test_estimate_inverts_coverage_and_scan_rate(self):
+        telescope = Telescope(coverage=1.0)
+        detector = ScanDetector(
+            min_hits=2, consecutive_ticks=2, scans_per_infected=1.0,
+            warmup_ticks=2,
+        )
+        report = feed(detector, telescope, [0, 0, 40, 40, 40])
+        assert report is not None
+        # Rate estimate averages the 5-tick window [0, 0, 40, 40]
+        # -> ~20 scans/tick -> ~20 infected at 1 scan/infected/tick.
+        assert report.estimated_infected == pytest.approx(20, rel=0.3)
+
+    def test_fires_only_once(self):
+        detector = ScanDetector(min_hits=2, consecutive_ticks=1,
+                                warmup_ticks=0)
+        telescope = Telescope(coverage=1.0)
+        first = feed(detector, telescope, [10])
+        assert isinstance(first, DetectionReport)
+        again = feed(detector, telescope, [50, 50])
+        assert again is None
+        assert detector.report is first
+
+    def test_warmup_learns_background_radiation(self):
+        """A noisy-but-steady background raises the trigger bar."""
+        detector = ScanDetector(min_hits=2, spike_factor=4.0,
+                                consecutive_ticks=2, warmup_ticks=30)
+        telescope = Telescope(coverage=1.0)
+        # Warmup sees a steady 3 hits/tick -> baseline ~3 -> threshold 12,
+        # so a post-warmup rate of 5 must not fire.
+        report = feed(detector, telescope, [3] * 40 + [5, 5, 5])
+        assert report is None
+
+    def test_warmup_suppresses_detection(self):
+        detector = ScanDetector(min_hits=2, consecutive_ticks=1,
+                                warmup_ticks=10)
+        report = feed(detector, Telescope(coverage=1.0), [50] * 5)
+        assert report is None

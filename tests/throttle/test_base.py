@@ -1,0 +1,37 @@
+"""Tests for the Throttle base class and its statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.throttle.base import Action, Decision, ThrottleStats
+from repro.throttle.williamson import WilliamsonThrottle
+
+
+class TestDecision:
+    def test_delay_computation(self):
+        decision = Decision(action=Action.DELAY, release_time=5.0)
+        assert decision.delay(offered_at=3.0) == pytest.approx(2.0)
+
+    def test_delay_never_negative(self):
+        decision = Decision(action=Action.FORWARD, release_time=1.0)
+        assert decision.delay(offered_at=2.0) == 0.0
+
+
+class TestThrottleStats:
+    def test_zero_division_guards(self):
+        stats = ThrottleStats()
+        assert stats.delay_fraction == 0.0
+        assert stats.mean_delay == 0.0
+
+    def test_accumulation_via_offer(self):
+        throttle = WilliamsonThrottle(working_set_size=1, service_period=2.0)
+        throttle.offer(0.0, dst=1)
+        throttle.offer(0.0, dst=2)  # delayed to t=2
+        stats = throttle.stats
+        assert stats.offered == 2
+        assert stats.forwarded == 1
+        assert stats.delayed == 1
+        assert stats.total_delay == pytest.approx(2.0)
+        assert stats.delay_fraction == pytest.approx(0.5)
+        assert stats.mean_delay == pytest.approx(1.0)

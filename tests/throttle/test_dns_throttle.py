@@ -1,0 +1,80 @@
+"""Tests for the Ganger DNS-based throttle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.throttle.base import Action
+from repro.throttle.dns_throttle import DnsThrottle
+
+
+class TestExemptions:
+    def test_dns_valid_contacts_always_pass(self):
+        throttle = DnsThrottle(budget=1, window=60.0)
+        for i in range(50):
+            decision = throttle.offer(i * 0.1, dst=i, dns_valid=True)
+            assert decision.action is Action.FORWARD
+
+    def test_replies_to_prior_contacters_pass(self):
+        throttle = DnsThrottle(budget=1, window=60.0)
+        throttle.note_inbound(src=500)
+        throttle.offer(0.0, dst=1)  # consumes the single budget slot
+        decision = throttle.offer(0.1, dst=500)
+        assert decision.action is Action.FORWARD
+
+
+class TestBudget:
+    def test_unknown_contacts_within_budget_pass(self):
+        throttle = DnsThrottle(budget=6, window=60.0)
+        decisions = [throttle.offer(i * 0.1, dst=i) for i in range(6)]
+        assert all(d.action is Action.FORWARD for d in decisions)
+
+    def test_seventh_unknown_contact_delayed(self):
+        throttle = DnsThrottle(budget=6, window=60.0)
+        for i in range(6):
+            throttle.offer(0.0, dst=i)
+        decision = throttle.offer(0.1, dst=99)
+        assert decision.action is Action.DELAY
+        assert decision.release_time == pytest.approx(60.0)
+
+    def test_budget_refills_as_window_slides(self):
+        throttle = DnsThrottle(budget=2, window=10.0)
+        throttle.offer(0.0, dst=1)
+        throttle.offer(1.0, dst=2)
+        # At t=10.5 the first slot has aged out.
+        decision = throttle.offer(10.5, dst=3)
+        assert decision.action is Action.FORWARD
+
+    def test_sustained_scanner_capped_at_budget_rate(self):
+        throttle = DnsThrottle(budget=6, window=60.0)
+        last = 0.0
+        n = 300
+        for i in range(n):
+            decision = throttle.offer(i * 0.05, dst=1000 + i)
+            last = max(last, decision.release_time)
+        effective = n / last
+        assert effective == pytest.approx(6 / 60, rel=0.1)
+
+    def test_delay_grows_without_bound_for_scanner(self):
+        throttle = DnsThrottle(budget=6, window=60.0)
+        delays = []
+        for i in range(100):
+            t = i * 0.01
+            decision = throttle.offer(t, dst=2000 + i)
+            delays.append(decision.delay(t))
+        assert delays[-1] > delays[10]
+        assert delays[-1] > 60.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DnsThrottle(budget=0)
+        with pytest.raises(ValueError):
+            DnsThrottle(window=0.0)
+
+    def test_stats_accumulate(self):
+        throttle = DnsThrottle(budget=1, window=60.0)
+        throttle.offer(0.0, dst=1)
+        throttle.offer(0.1, dst=2)
+        assert throttle.stats.offered == 2
+        assert throttle.stats.forwarded == 1
+        assert throttle.stats.delayed == 1

@@ -1,0 +1,78 @@
+"""Tests for the hybrid dual-window throttle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.throttle.base import Action
+from repro.throttle.hybrid import HybridThrottle
+
+
+class TestShortWindow:
+    def test_burst_within_short_budget_passes(self):
+        throttle = HybridThrottle(short_budget=5, short_window=1.0,
+                                  long_budget=50, long_window=60.0)
+        decisions = [throttle.offer(0.0, dst=i) for i in range(5)]
+        assert all(d.action is Action.FORWARD for d in decisions)
+
+    def test_burst_beyond_short_budget_delayed_briefly(self):
+        throttle = HybridThrottle(short_budget=5, short_window=1.0,
+                                  long_budget=50, long_window=60.0)
+        for i in range(5):
+            throttle.offer(0.0, dst=i)
+        decision = throttle.offer(0.0, dst=99)
+        assert decision.action is Action.DELAY
+        # The short window frees the slot after 1 s, not 60.
+        assert decision.release_time == pytest.approx(1.0)
+
+
+class TestLongWindow:
+    def test_sustained_rate_capped_by_long_budget(self):
+        throttle = HybridThrottle(short_budget=5, short_window=1.0,
+                                  long_budget=50, long_window=60.0)
+        last = 0.0
+        n = 500
+        for i in range(n):
+            decision = throttle.offer(i * 0.02, dst=i)
+            last = max(last, decision.release_time)
+        effective = n / last
+        assert effective == pytest.approx(50 / 60, rel=0.15)
+
+    def test_long_window_prevents_short_window_gaming(self):
+        """5/second forever would pass the short window alone; the long
+        window catches it."""
+        throttle = HybridThrottle(short_budget=5, short_window=1.0,
+                                  long_budget=50, long_window=60.0)
+        delayed = 0
+        for i in range(300):
+            t = i * 0.2  # exactly 5 per second
+            if throttle.offer(t, dst=i).action is Action.DELAY:
+                delayed += 1
+        assert delayed > 100
+
+
+class TestValidation:
+    def test_long_must_exceed_short(self):
+        with pytest.raises(ValueError, match="exceed"):
+            HybridThrottle(short_window=60.0, long_window=60.0)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            HybridThrottle(short_budget=0)
+        with pytest.raises(ValueError):
+            HybridThrottle(long_window=0.0)
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(min_value=0, max_value=30), min_size=1,
+                 max_size=100)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_release_times_never_regress(self, times):
+        throttle = HybridThrottle()
+        for i, t in enumerate(sorted(times)):
+            decision = throttle.offer(t, dst=i)
+            assert decision.release_time >= t

@@ -1,0 +1,85 @@
+"""Tests for degree-rank role classification (5% backbone / 10% edge)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.classify import NodeRole, classify_roles
+from repro.topology.graphs import Topology, TopologyError
+from repro.topology.powerlaw import barabasi_albert
+from repro.topology.star import star_graph
+
+
+class TestClassifyRoles:
+    def test_paper_fractions_on_1000_nodes(self):
+        graph = barabasi_albert(1000, 2, seed=1)
+        roles = classify_roles(graph)
+        assert len(roles.backbone) == 50
+        assert len(roles.edge_routers) == 100
+        assert len(roles.hosts) == 850
+
+    def test_partition_is_exact(self):
+        graph = barabasi_albert(200, 2, seed=2)
+        roles = classify_roles(graph)
+        all_nodes = set(roles.backbone) | set(roles.edge_routers) | set(roles.hosts)
+        assert all_nodes == set(range(200))
+        assert not set(roles.backbone) & set(roles.edge_routers)
+        assert not set(roles.backbone) & set(roles.hosts)
+
+    def test_backbone_has_highest_degrees(self):
+        graph = barabasi_albert(300, 2, seed=3)
+        roles = classify_roles(graph)
+        min_backbone = min(graph.degree(n) for n in roles.backbone)
+        max_host = max(graph.degree(n) for n in roles.hosts)
+        assert min_backbone >= max_host
+
+    def test_roles_vector_consistent(self):
+        graph = barabasi_albert(100, 2, seed=4)
+        roles = classify_roles(graph)
+        for node in roles.backbone:
+            assert roles.role_of(node) is NodeRole.BACKBONE
+        for node in roles.edge_routers:
+            assert roles.role_of(node) is NodeRole.EDGE_ROUTER
+        for node in roles.hosts:
+            assert roles.role_of(node) is NodeRole.HOST
+
+    def test_counts_helper(self):
+        graph = barabasi_albert(100, 2, seed=5)
+        counts = classify_roles(graph).counts()
+        assert sum(counts.values()) == 100
+
+    def test_star_hub_is_top_ranked(self):
+        star = star_graph(100)
+        roles = classify_roles(star.graph)
+        assert 0 in roles.backbone  # the hub has the highest degree
+
+    def test_deterministic_tie_breaking(self):
+        # A cycle: all degrees equal; lowest ids take the router roles.
+        cycle = Topology(20, [(i, (i + 1) % 20) for i in range(20)])
+        roles = classify_roles(cycle)
+        assert roles.backbone == (0,)
+        assert roles.edge_routers == (1, 2)
+
+    def test_rejects_bad_fractions(self):
+        graph = barabasi_albert(50, 2, seed=6)
+        with pytest.raises(TopologyError):
+            classify_roles(graph, backbone_fraction=0.0)
+        with pytest.raises(TopologyError):
+            classify_roles(graph, backbone_fraction=0.6, edge_fraction=0.5)
+
+    def test_rejects_graph_too_small_for_roles(self):
+        tiny = Topology(3, [(0, 1), (1, 2)])
+        with pytest.raises(TopologyError):
+            classify_roles(tiny, backbone_fraction=0.4, edge_fraction=0.4)
+
+    @given(st.integers(min_value=30, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_fraction_sizes_follow_ceil(self, n):
+        graph = barabasi_albert(n, 2, seed=n)
+        roles = classify_roles(graph)
+        assert len(roles.backbone) == max(1, math.ceil(0.05 * n))
+        assert len(roles.edge_routers) == max(1, math.ceil(0.10 * n))
