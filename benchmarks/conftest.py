@@ -6,15 +6,43 @@ criteria from DESIGN.md.  Timings come from pytest-benchmark
 (``--benchmark-only``); each experiment runs once via
 ``benchmark.pedantic(..., rounds=1, iterations=1)`` because a 10-run
 averaged simulation is already its own repetition protocol.
+
+All simulated figures execute through :mod:`repro.runner`, so the
+harness honors its environment knobs:
+
+* ``REPRO_JOBS=8`` — fan each ensemble's seeded runs across 8 worker
+  processes (bit-identical curves, less wall clock);
+* ``REPRO_CACHE=1`` — reuse cached run results across invocations;
+* ``REPRO_CACHE_DIR=...`` — where those results live.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.core.scenarios import shared_trace
 from repro.models.base import Trajectory
+from repro.runner import configure, current_config
+
+
+@pytest.fixture(scope="session", autouse=True)
+def runner_configuration():
+    """Apply REPRO_* execution knobs and report them once per session."""
+    configure(
+        jobs=max(int(os.environ.get("REPRO_JOBS", "1") or "1"), 1),
+        cache_enabled=os.environ.get("REPRO_CACHE", "0")
+        not in ("", "0", "off"),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+    )
+    config = current_config()
+    print(
+        f"\n[repro.runner] jobs={config.jobs} "
+        f"cache={'on' if config.cache_enabled else 'off'}"
+    )
+    return config
 
 
 @pytest.fixture(scope="session")

@@ -19,8 +19,8 @@ from repro.core.scenarios import (
     IMMUNIZATION_SCAN_RATE,
     ROUTER_BASE_RATE,
 )
+from repro.runner import run_ensemble
 from repro.simulator.immunization import ImmunizationPolicy
-from repro.simulator.runner import run_experiment
 
 
 def run_cases(num_runs: int = 5) -> dict[str, float]:
@@ -34,7 +34,7 @@ def run_cases(num_runs: int = 5) -> dict[str, float]:
     policy = ImmunizationPolicy.at_tick(start, IMMUNIZATION_MU)
 
     finals: dict[str, float] = {
-        "patching_only": run_experiment(
+        "patching_only": run_ensemble(
             study.spec_for(
                 DeploymentStrategy.none(),
                 max_ticks=200,
@@ -43,7 +43,7 @@ def run_cases(num_runs: int = 5) -> dict[str, float]:
             )
         ).final_ever_infected()
     }
-    finals["patching_plus_strong_backbone"] = run_experiment(
+    finals["patching_plus_strong_backbone"] = run_ensemble(
         study.spec_for(
             DeploymentStrategy.backbone(ROUTER_BASE_RATE),
             max_ticks=400,

@@ -39,17 +39,33 @@ from .core import (
     slowdown_factor,
 )
 from .models import Trajectory
+from .runner import (
+    EnsembleResult,
+    EnsembleSpec,
+    ParallelExecutor,
+    RunResult,
+    RunSpec,
+    SerialExecutor,
+    run_ensemble,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DeploymentLocation",
     "DeploymentStrategy",
+    "EnsembleResult",
+    "EnsembleSpec",
+    "ParallelExecutor",
     "QuarantineStudy",
     "RateLimitPolicy",
+    "RunResult",
+    "RunSpec",
+    "SerialExecutor",
     "SlowdownReport",
     "compare_times",
     "slowdown_factor",
     "Trajectory",
+    "run_ensemble",
     "__version__",
 ]

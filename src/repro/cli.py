@@ -3,7 +3,7 @@
 Examples::
 
     python -m repro list
-    python -m repro figure fig4 --runs 5 --ticks 300
+    python -m repro figure fig4 --runs 5 --ticks 300 --jobs 4
     python -m repro compare --nodes 500 --strategy none \\
         --strategy backbone:0.02 --strategy hosts:0.3:0.01 --level 0.5
     python -m repro trace --duration 300 --seed 1
@@ -12,6 +12,12 @@ Examples::
 prints its series/report; ``compare`` runs an ad-hoc deployment
 comparison; ``trace`` runs the Section 7 pipeline on a fresh synthetic
 trace.  Exit code is 0 on success, 2 on bad arguments.
+
+Simulation commands execute through :mod:`repro.runner`: ``--jobs N``
+fans the seeded runs of each ensemble across worker processes (results
+are bit-identical to serial), completed runs are cached under the result
+cache (``--cache-dir``, default ``~/.cache/repro/runs``) so a repeated
+invocation replays instead of re-simulating, and ``--no-cache`` opts out.
 """
 
 from __future__ import annotations
@@ -27,6 +33,8 @@ from .core.policy import DeploymentStrategy
 from .core.quarantine import QuarantineStudy
 from .core.slowdown import compare_times
 from .models.base import Trajectory
+from .runner import configure as configure_runner
+from .runner import current_config, use_config
 from .traces.analysis import recommend_rate_limits
 from .traces.classify import census, classify_hosts
 from .traces.records import HostClass
@@ -101,6 +109,33 @@ def _parse_strategy(text: str) -> DeploymentStrategy:
     )
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be >= 1."""
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from exc
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_runner_arguments(command: argparse.ArgumentParser) -> None:
+    """Execution knobs shared by the simulation commands."""
+    command.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes per ensemble (default 1 = serial)",
+    )
+    command.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-simulate instead of reusing cached run results",
+    )
+    command.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (default ~/.cache/repro/runs)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -116,20 +151,21 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "figure_id", choices=sorted(_SIM_FIGURES | _ANALYTIC_FIGURES)
     )
-    figure.add_argument("--runs", type=int, default=10,
+    figure.add_argument("--runs", type=_positive_int, default=10,
                         help="simulation runs to average (sim figures)")
-    figure.add_argument("--ticks", type=int, default=None,
+    figure.add_argument("--ticks", type=_positive_int, default=None,
                         help="tick horizon (sim figures)")
     figure.add_argument("--nodes", type=int, default=1000,
                         help="topology size (sim figures)")
+    _add_runner_arguments(figure)
 
     compare = commands.add_parser(
         "compare", help="ad-hoc deployment comparison"
     )
     compare.add_argument("--nodes", type=int, default=1000)
     compare.add_argument("--beta", type=float, default=0.8)
-    compare.add_argument("--runs", type=int, default=5)
-    compare.add_argument("--ticks", type=int, default=400)
+    compare.add_argument("--runs", type=_positive_int, default=5)
+    compare.add_argument("--ticks", type=_positive_int, default=400)
     compare.add_argument("--level", type=float, default=0.5)
     compare.add_argument("--seed", type=int, default=42)
     compare.add_argument("--local-preference", type=float, default=None)
@@ -142,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="repeatable: none | hosts:Q:RATE | edge:RATE | backbone:RATE "
         "| hub:LINK:BUDGET",
     )
+    _add_runner_arguments(compare)
 
     trace = commands.add_parser(
         "trace", help="run the Section 7 trace pipeline"
@@ -158,12 +195,22 @@ def _cmd_list(out=sys.stdout) -> int:
     return 0
 
 
+def _apply_runner_arguments(args: argparse.Namespace) -> None:
+    """Map ``--jobs`` / ``--no-cache`` / ``--cache-dir`` onto the runner."""
+    configure_runner(
+        jobs=args.jobs,
+        cache_enabled=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+
+
 def _cmd_figure(args: argparse.Namespace, out=sys.stdout) -> int:
     figure_id = args.figure_id
     if figure_id in _ANALYTIC_FIGURES:
         builder, baseline, level = _ANALYTIC_FIGURES[figure_id]
         curves = builder()
     else:
+        _apply_runner_arguments(args)
         builder, baseline, level = _SIM_FIGURES[figure_id]
         kwargs: dict[str, int] = {"num_runs": args.runs}
         if args.ticks is not None:
@@ -177,17 +224,29 @@ def _cmd_figure(args: argparse.Namespace, out=sys.stdout) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace, out=sys.stdout) -> int:
+    _apply_runner_arguments(args)
     study = QuarantineStudy(
         args.nodes,
         scan_rate=args.beta,
         local_preference=args.local_preference,
         seed=args.seed,
     )
-    curves = study.simulate_deployments(
+    results = study.run_deployments(
         args.strategies, max_ticks=args.ticks, num_runs=args.runs
     )
+    curves = {label: result.mean for label, result in results.items()}
     baseline = args.strategies[0].label
     _print_curves(curves, baseline, args.level, out=out)
+    metrics = [result.metrics for result in results.values()]
+    total_runs = sum(m.runs for m in metrics)
+    cached = sum(m.cache_hits for m in metrics)
+    wall = sum(m.total_wall_time for m in metrics)
+    print(file=out)
+    print(
+        f"executed {total_runs} runs ({cached} from cache) "
+        f"in {wall:.2f}s simulation wall time",
+        file=out,
+    )
     return 0
 
 
@@ -217,14 +276,17 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list(out=out)
-    if args.command == "figure":
-        return _cmd_figure(args, out=out)
-    if args.command == "compare":
-        return _cmd_compare(args, out=out)
-    if args.command == "trace":
-        return _cmd_trace(args, out=out)
+    # Runner reconfiguration is scoped to this invocation so in-process
+    # callers (tests, notebooks) keep their own configuration afterwards.
+    with use_config(current_config()):
+        if args.command == "list":
+            return _cmd_list(out=out)
+        if args.command == "figure":
+            return _cmd_figure(args, out=out)
+        if args.command == "compare":
+            return _cmd_compare(args, out=out)
+        if args.command == "trace":
+            return _cmd_trace(args, out=out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -11,9 +11,10 @@ for a deployment strategy, then check it against packet-level simulation.
 ...     max_ticks=300, num_runs=3)
 >>> report = study.slowdown_report(curves, level=0.5)
 
-Deployment strategies translate to simulator configuration via
-:meth:`QuarantineStudy.deployer_for`, and to analytical models via
-:meth:`QuarantineStudy.analytical_model`.
+Deployment strategies translate to declarative runner specs via
+:meth:`QuarantineStudy.defense_spec_for` / :meth:`QuarantineStudy.spec_for`
+(executed by :func:`repro.runner.run_ensemble`), and to analytical models
+via :meth:`QuarantineStudy.analytical_model`.
 """
 
 from __future__ import annotations
@@ -25,6 +26,15 @@ from ..models.base import EpidemicModel, Trajectory
 from ..models.homogeneous import HomogeneousSIModel
 from ..models.hub import HubRateLimitModel
 from ..models.leaf import LeafRateLimitModel
+from ..runner import (
+    DefenseSpec,
+    EnsembleResult,
+    EnsembleSpec,
+    RunSpec,
+    TopologySpec,
+    WormSpec,
+    run_ensemble,
+)
 from ..simulator.defense import (
     DefenseDescriptor,
     deploy_backbone_rate_limit,
@@ -35,7 +45,6 @@ from ..simulator.defense import (
 )
 from ..simulator.immunization import ImmunizationPolicy
 from ..simulator.network import Network
-from ..simulator.runner import ExperimentSpec, run_experiment
 from ..simulator.worms import LocalPreferentialWorm, RandomScanWorm, WormStrategy
 from .policy import DeploymentLocation, DeploymentStrategy
 from .slowdown import SlowdownReport, compare_times
@@ -145,8 +154,54 @@ class QuarantineStudy:
         )
 
     # ------------------------------------------------------------------
-    # Simulation side
+    # Simulation side (declarative specs, executed by repro.runner)
     # ------------------------------------------------------------------
+
+    def topology_spec(self) -> TopologySpec:
+        """This study's topology, as runner data."""
+        return TopologySpec(kind=self.topology, num_nodes=self.num_nodes)
+
+    def worm_spec(self) -> WormSpec:
+        """This study's worm strategy, as runner data."""
+        if self.local_preference is None:
+            return WormSpec(kind="random")
+        return WormSpec(
+            kind="local_preferential",
+            local_preference=self.local_preference,
+        )
+
+    def defense_spec_for(self, strategy: DeploymentStrategy) -> DefenseSpec:
+        """Translate a :class:`DeploymentStrategy` to a runner spec.
+
+        Host deployment pins its filter-placement seed to the study seed
+        so every run of an ensemble throttles the same hosts (the fixed-
+        deployment reading of the paper).
+        """
+        if strategy.location is DeploymentLocation.NONE:
+            return DefenseSpec(kind="none")
+        policy = strategy.policy
+        assert policy is not None  # enforced by DeploymentStrategy
+        if strategy.location is DeploymentLocation.HOSTS:
+            return DefenseSpec(
+                kind="hosts",
+                rate=policy.rate,
+                coverage=strategy.coverage,
+                seed=self.seed,
+            )
+        if strategy.location is DeploymentLocation.HUB:
+            if policy.node_budget is None:
+                raise ValueError("hub deployment needs a node_budget")
+            return DefenseSpec(
+                kind="hub", rate=policy.rate, node_budget=policy.node_budget
+            )
+        kind = (
+            "edge"
+            if strategy.location is DeploymentLocation.EDGE_ROUTERS
+            else "backbone"
+        )
+        return DefenseSpec(
+            kind=kind, rate=policy.rate, weighted=policy.weighted
+        )
 
     def spec_for(
         self,
@@ -155,21 +210,45 @@ class QuarantineStudy:
         max_ticks: int = 200,
         num_runs: int = 10,
         immunization: ImmunizationPolicy | None = None,
-    ) -> ExperimentSpec:
-        """Full :class:`ExperimentSpec` for one deployment strategy."""
-        return ExperimentSpec(
-            network_factory=self.network_factory(),
-            worm_factory=self.worm_factory(),
-            defense=self.deployer_for(strategy),
+    ) -> EnsembleSpec:
+        """Full :class:`EnsembleSpec` for one deployment strategy."""
+        template = RunSpec(
+            topology=self.topology_spec(),
+            worm=self.worm_spec(),
+            defense=self.defense_spec_for(strategy),
             scan_rate=self.scan_rate,
             initial_infections=self.initial_infections,
             immunization=immunization,
             lan_delivery=self.lan_delivery,
             max_ticks=max_ticks,
+        )
+        return EnsembleSpec(
+            template=template,
             num_runs=num_runs,
             base_seed=self.seed,
             label=strategy.label,
         )
+
+    def run_deployments(
+        self,
+        strategies: list[DeploymentStrategy],
+        *,
+        max_ticks: int = 200,
+        num_runs: int = 10,
+        immunization: ImmunizationPolicy | None = None,
+    ) -> dict[str, EnsembleResult]:
+        """Full :class:`EnsembleResult` per strategy, keyed by label."""
+        results: dict[str, EnsembleResult] = {}
+        for strategy in strategies:
+            results[strategy.label] = run_ensemble(
+                self.spec_for(
+                    strategy,
+                    max_ticks=max_ticks,
+                    num_runs=num_runs,
+                    immunization=immunization,
+                )
+            )
+        return results
 
     def simulate_deployments(
         self,
@@ -180,18 +259,13 @@ class QuarantineStudy:
         immunization: ImmunizationPolicy | None = None,
     ) -> dict[str, Trajectory]:
         """Averaged infection curve per strategy, keyed by label."""
-        curves: dict[str, Trajectory] = {}
-        for strategy in strategies:
-            result = run_experiment(
-                self.spec_for(
-                    strategy,
-                    max_ticks=max_ticks,
-                    num_runs=num_runs,
-                    immunization=immunization,
-                )
-            )
-            curves[strategy.label] = result.mean
-        return curves
+        results = self.run_deployments(
+            strategies,
+            max_ticks=max_ticks,
+            num_runs=num_runs,
+            immunization=immunization,
+        )
+        return {label: result.mean for label, result in results.items()}
 
     # ------------------------------------------------------------------
     # Analytical side

@@ -23,9 +23,15 @@ from ..models.homogeneous import HomogeneousSIModel
 from ..models.hub import HubRateLimitModel
 from ..models.immunization import DelayedImmunizationModel
 from ..models.leaf import LeafRateLimitModel
+from ..runner import (
+    DefenseSpec,
+    EnsembleSpec,
+    RunSpec,
+    TopologySpec,
+    WormSpec,
+    run_ensemble,
+)
 from ..simulator.immunization import ImmunizationPolicy
-from ..simulator.network import Network
-from ..simulator.runner import run_experiment
 from ..traces.analysis import (
     RateLimitTable,
     empirical_cdf,
@@ -49,6 +55,7 @@ __all__ = [
     "fig2_host_analytical",
     "fig3_edge_analytical",
     "fig4_powerlaw_simulation",
+    "fig5_ensembles",
     "fig5_edge_localpref_simulation",
     "fig6_localpref_deployments",
     "fig7a_immunization_analytical",
@@ -240,6 +247,49 @@ def fig4_powerlaw_simulation(
 # ---------------------------------------------------------------------------
 
 
+def fig5_ensembles(
+    *,
+    num_nodes: int = 1000,
+    num_runs: int = 10,
+    max_ticks: int = 150,
+    base_seed: int = 42,
+) -> dict[str, EnsembleSpec]:
+    """Figure 5's four ensembles (worm strategy x edge RL), as specs.
+
+    The ``seed_subnets`` observation mode records each run's infected
+    fraction *within the subnets holding the initial seeds* rather than
+    network-wide — the paper's "within subnets" view.
+    """
+    specs: dict[str, EnsembleSpec] = {}
+    worms = {
+        "random": WormSpec(kind="random"),
+        "local_pref": WormSpec(kind="local_preferential", local_preference=0.8),
+    }
+    defenses = {
+        "no_rl": DefenseSpec(kind="none"),
+        "edge_rl": DefenseSpec(kind="edge", rate=ROUTER_BASE_RATE),
+    }
+    for worm_name, worm in worms.items():
+        for defense_name, defense in defenses.items():
+            label = f"{worm_name}_{defense_name}"
+            specs[label] = EnsembleSpec(
+                template=RunSpec(
+                    topology=TopologySpec(num_nodes=num_nodes),
+                    worm=worm,
+                    defense=defense,
+                    scan_rate=0.8,
+                    initial_infections=5,
+                    lan_delivery=True,
+                    max_ticks=max_ticks,
+                    observe="seed_subnets",
+                ),
+                num_runs=num_runs,
+                base_seed=base_seed,
+                label=label,
+            )
+    return specs
+
+
 def fig5_edge_localpref_simulation(
     *,
     num_nodes: int = 1000,
@@ -254,57 +304,12 @@ def fig5_edge_localpref_simulation(
     those from inside, untouched by the boundary filter, while the random
     worm must fill them through filtered links.
     """
-    import numpy as np
-
-    from ..simulator.defense import deploy_edge_rate_limit, no_defense
-    from ..simulator.observers import subset_fraction_curve
-    from ..simulator.simulation import WormSimulation
-    from ..simulator.worms import LocalPreferentialWorm, RandomScanWorm
-
-    curves: dict[str, Trajectory] = {}
-    base_seed = 42
-    ticks = np.arange(max_ticks, dtype=float)
-    for kind, preference in (("random", None), ("local_pref", 0.8)):
-        for defense_name, deploy in (
-            ("no_rl", no_defense),
-            ("edge_rl", lambda n: deploy_edge_rate_limit(n, ROUTER_BASE_RATE)),
-        ):
-            runs = []
-            for i in range(num_runs):
-                seed = base_seed + i
-                network = Network.from_powerlaw(num_nodes, seed=seed)
-                deploy(network)
-                worm = (
-                    RandomScanWorm()
-                    if preference is None
-                    else LocalPreferentialWorm(preference)
-                )
-                simulation = WormSimulation(
-                    network,
-                    worm,
-                    scan_rate=0.8,
-                    initial_infections=5,
-                    lan_delivery=True,
-                    seed=seed,
-                )
-                simulation.run(max_ticks)
-                seeds = [
-                    n
-                    for n in network.infectable
-                    if network.hosts[n].infected_at == 0
-                ]
-                members: set[int] = set()
-                for s in seeds:
-                    members.add(s)
-                    members.update(network.subnet_peers(s))
-                runs.append(subset_fraction_curve(network, members, ticks))
-            mean_fraction = np.mean(np.stack(runs), axis=0)
-            curves[f"{kind}_{defense_name}"] = Trajectory(
-                times=ticks,
-                infected=mean_fraction,
-                population=1.0,
-            )
-    return curves
+    ensembles = fig5_ensembles(
+        num_nodes=num_nodes, num_runs=num_runs, max_ticks=max_ticks
+    )
+    return {
+        label: run_ensemble(spec).mean for label, spec in ensembles.items()
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -440,7 +445,7 @@ def fig8a_immunization_simulation(
     curves["no_immunization"] = base["no_rl"]
     for level in IMMUNIZATION_LEVELS:
         policy = ImmunizationPolicy.at_fraction(level, IMMUNIZATION_MU)
-        result = run_experiment(
+        result = run_ensemble(
             study.spec_for(
                 DeploymentStrategy.none(),
                 max_ticks=max_ticks,
@@ -483,7 +488,7 @@ def fig8b_immunization_rl_simulation(
     for level in IMMUNIZATION_LEVELS:
         start = round(unlimited.time_to_fraction(level))
         policy = ImmunizationPolicy.at_tick(start, IMMUNIZATION_MU)
-        result = run_experiment(
+        result = run_ensemble(
             study.spec_for(
                 backbone,
                 max_ticks=max_ticks,

@@ -14,13 +14,15 @@ import math
 from dataclasses import dataclass
 
 from ..models.base import Trajectory
-from ..simulator.defense import deploy_backbone_rate_limit
-from ..simulator.dynamic import DynamicQuarantine
-from ..simulator.network import Network
-from ..simulator.observers import average_trajectories
-from ..simulator.simulation import WormSimulation
-from ..simulator.telescope import ScanDetector, Telescope
-from ..simulator.worms import RandomScanWorm
+from ..runner import (
+    DefenseSpec,
+    EnsembleSpec,
+    QuarantineSpec,
+    RunSpec,
+    TopologySpec,
+    WormSpec,
+    run_ensemble,
+)
 from .policy import DeploymentStrategy
 from .quarantine import QuarantineStudy
 
@@ -172,28 +174,30 @@ def sweep_detection_latency(
     measured against an undefended outbreak of the same worm.
     """
     def run(delay: int | None) -> Trajectory:
-        runs = []
-        for i in range(num_runs):
-            seed = base_seed + i
-            quarantine = None
-            if delay is not None:
-                quarantine = DynamicQuarantine(
-                    lambda n: deploy_backbone_rate_limit(n, backbone_rate),
-                    telescope=Telescope(coverage=0.1),
-                    detector=ScanDetector(scans_per_infected=0.8),
-                    reaction_delay=delay,
-                )
-            simulation = WormSimulation(
-                Network.from_powerlaw(num_nodes, seed=seed),
-                RandomScanWorm(hit_probability=0.5),
+        quarantine = None
+        if delay is not None:
+            quarantine = QuarantineSpec(
+                response=DefenseSpec(kind="backbone", rate=backbone_rate),
+                telescope_coverage=0.1,
+                detector_scans_per_infected=0.8,
+                reaction_delay=delay,
+            )
+        label = "undefended" if delay is None else f"delay_{delay}"
+        spec = EnsembleSpec(
+            template=RunSpec(
+                topology=TopologySpec(num_nodes=num_nodes),
+                worm=WormSpec(kind="random", hit_probability=0.5),
                 scan_rate=1.6,
                 initial_infections=5,
-                lan_delivery=True,
                 quarantine=quarantine,
-                seed=seed,
-            )
-            runs.append(simulation.run(max_ticks))
-        return average_trajectories(runs)
+                lan_delivery=True,
+                max_ticks=max_ticks,
+            ),
+            num_runs=num_runs,
+            base_seed=base_seed,
+            label=label,
+        )
+        return run_ensemble(spec).mean
 
     baseline = run(None)
     t_base = baseline.time_to_fraction(0.5)

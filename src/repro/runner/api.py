@@ -1,0 +1,113 @@
+"""The runner's front door: :func:`run_one` and :func:`run_ensemble`.
+
+``run_ensemble`` is the single execution path every experiment layer
+(scenarios, ``QuarantineStudy``, sweeps, CLI, benchmarks) routes through.
+It expands the ensemble into per-seed specs, satisfies what it can from
+the result cache, hands the misses to the configured executor, and
+persists fresh results — returning an
+:class:`~repro.runner.results.EnsembleResult` whose runs are always in
+seed order regardless of which executor ran them or which came from
+cache.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from .build import execute_run
+from .cache import ResultCache
+from .config import current_config
+from .executors import Executor, ParallelExecutor, SerialExecutor
+from .results import EnsembleResult, RunResult
+from .spec import EnsembleSpec, RunSpec
+
+__all__ = ["run_one", "run_ensemble", "executor_from_config", "cache_from_config"]
+
+
+def run_one(spec: RunSpec) -> RunResult:
+    """Execute a single run in-process (no caching)."""
+    return execute_run(spec)
+
+
+def executor_from_config() -> Executor:
+    """The executor the process-wide configuration implies."""
+    config = current_config()
+    if config.jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(config.jobs, timeout=config.timeout)
+
+
+def cache_from_config() -> ResultCache | None:
+    """The result cache the process-wide configuration implies."""
+    config = current_config()
+    if not config.cache_enabled:
+        return None
+    return ResultCache(config.cache_dir)
+
+
+def run_ensemble(
+    spec: EnsembleSpec,
+    *,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
+    use_cache: bool | None = None,
+) -> EnsembleResult:
+    """Execute an ensemble: expand seeds, consult cache, run, aggregate.
+
+    Parameters
+    ----------
+    spec:
+        The ensemble to run.
+    executor:
+        Overrides the configured executor for this call.
+    cache:
+        Overrides the configured cache for this call.
+    use_cache:
+        ``False`` forces every run to execute even when a cache is
+        configured; ``True`` with no ``cache`` argument uses the
+        configured (or default) cache.
+    """
+    if executor is None:
+        executor = executor_from_config()
+    if use_cache is False:
+        cache = None
+    elif cache is None:
+        cache = (
+            ResultCache(current_config().cache_dir)
+            if use_cache
+            else cache_from_config()
+        )
+
+    runs = spec.expand()
+    results: dict[int, RunResult] = {}
+    pending: list[tuple[int, RunSpec]] = []
+    if cache is not None:
+        for index, run_spec in enumerate(runs):
+            hit = cache.load(run_spec)
+            if hit is not None:
+                results[index] = hit
+            else:
+                pending.append((index, run_spec))
+    else:
+        pending = list(enumerate(runs))
+
+    if pending:
+        fresh = executor.run_specs([run_spec for _, run_spec in pending])
+        for (index, _), result in zip(pending, fresh):
+            results[index] = result
+            if cache is not None:
+                try:
+                    cache.store(result)
+                except OSError as exc:
+                    # An unwritable cache degrades to no caching; the
+                    # experiment itself must not fail.
+                    warnings.warn(
+                        f"result cache unwritable ({exc}); "
+                        "continuing without persistence",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    cache = None
+
+    ordered = [results[index] for index in range(len(runs))]
+    return EnsembleResult(spec=spec, runs=ordered)

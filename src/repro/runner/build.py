@@ -1,0 +1,163 @@
+"""Builders: turn declarative specs into live simulations, and run them.
+
+:func:`execute_run` is the runner's unit of work.  It is a module-level
+function of one picklable :class:`~repro.runner.spec.RunSpec` argument so
+that a :class:`concurrent.futures.ProcessPoolExecutor` worker can execute
+it after rebuilding the whole scenario from the spec — the property that
+makes the parallel executor produce *bit-identical* trajectories to the
+serial one: all randomness flows from the spec's seed, none from shared
+process state.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..models.base import Trajectory
+from ..simulator.defense import (
+    DefenseDescriptor,
+    deploy_backbone_rate_limit,
+    deploy_edge_rate_limit,
+    deploy_host_rate_limit,
+    deploy_hub_rate_limit,
+    no_defense,
+)
+from ..simulator.dynamic import DynamicQuarantine
+from ..simulator.network import Network
+from ..simulator.observers import subset_fraction_curve
+from ..simulator.simulation import WormSimulation
+from ..simulator.telescope import ScanDetector, Telescope
+from ..simulator.worms import (
+    LocalPreferentialWorm,
+    RandomScanWorm,
+    SequentialScanWorm,
+    TopologicalWorm,
+    WormStrategy,
+)
+from .results import RunMetrics, RunResult
+from .spec import DefenseSpec, QuarantineSpec, RunSpec, TopologySpec, WormSpec
+
+__all__ = [
+    "build_network",
+    "build_worm",
+    "apply_defense",
+    "build_quarantine",
+    "execute_run",
+]
+
+
+def build_network(spec: TopologySpec, *, run_seed: int) -> Network:
+    """Construct the network a run attacks.
+
+    ``spec.seed`` pins a topology; ``None`` resamples per run from
+    ``run_seed`` (the paper's power-law protocol).
+    """
+    return Network.from_spec(
+        spec, seed=spec.seed if spec.seed is not None else run_seed
+    )
+
+
+def build_worm(spec: WormSpec) -> WormStrategy:
+    """Construct the worm strategy a spec describes."""
+    if spec.kind == "random":
+        return RandomScanWorm(hit_probability=spec.hit_probability)
+    if spec.kind == "local_preferential":
+        return LocalPreferentialWorm(spec.local_preference)
+    if spec.kind == "topological":
+        return TopologicalWorm(
+            radius=spec.radius, exploration=spec.exploration
+        )
+    return SequentialScanWorm(hit_probability=spec.hit_probability)
+
+
+def apply_defense(network: Network, spec: DefenseSpec) -> DefenseDescriptor:
+    """Deploy the filters a spec describes onto a freshly built network."""
+    if spec.kind == "none":
+        return no_defense(network)
+    if spec.kind == "hosts":
+        return deploy_host_rate_limit(
+            network, spec.coverage, spec.rate, seed=spec.seed
+        )
+    if spec.kind == "hub":
+        return deploy_hub_rate_limit(
+            network, link_rate=spec.rate, hub_budget=spec.node_budget
+        )
+    if spec.kind == "edge":
+        return deploy_edge_rate_limit(
+            network, spec.rate, weighted=spec.weighted
+        )
+    return deploy_backbone_rate_limit(
+        network, spec.rate, weighted=spec.weighted
+    )
+
+
+def build_quarantine(spec: QuarantineSpec) -> DynamicQuarantine:
+    """Construct the dynamic-quarantine control loop a spec describes."""
+    response_spec = spec.response
+    return DynamicQuarantine(
+        lambda network: apply_defense(network, response_spec),
+        telescope=Telescope(coverage=spec.telescope_coverage),
+        detector=ScanDetector(
+            scans_per_infected=spec.detector_scans_per_infected
+        ),
+        reaction_delay=spec.reaction_delay,
+    )
+
+
+def _seed_subnet_curve(
+    network: Network, max_ticks: int
+) -> Trajectory:
+    """Figure 5's observable: infected fraction in the seeds' subnets."""
+    seeds = [
+        n for n in network.infectable if network.hosts[n].infected_at == 0
+    ]
+    members: set[int] = set()
+    for seed_node in seeds:
+        members.add(seed_node)
+        members.update(network.subnet_peers(seed_node))
+    ticks = np.arange(max_ticks, dtype=float)
+    fraction = subset_fraction_curve(network, members, ticks)
+    return Trajectory(times=ticks, infected=fraction, population=1.0)
+
+
+def execute_run(spec: RunSpec) -> RunResult:
+    """Build the scenario a spec describes, run it, and measure it."""
+    start = time.perf_counter()
+    network = build_network(spec.topology, run_seed=spec.seed)
+    descriptor = apply_defense(network, spec.defense)
+    quarantine = (
+        build_quarantine(spec.quarantine)
+        if spec.quarantine is not None
+        else None
+    )
+    simulation = WormSimulation(
+        network,
+        build_worm(spec.worm),
+        scan_rate=spec.scan_rate,
+        initial_infections=spec.initial_infections,
+        immunization=spec.immunization,
+        lan_delivery=spec.lan_delivery,
+        quarantine=quarantine,
+        seed=spec.seed,
+    )
+    trajectory = simulation.run(spec.max_ticks)
+    if spec.observe == "seed_subnets":
+        trajectory = _seed_subnet_curve(network, spec.max_ticks)
+    metrics = RunMetrics(
+        wall_time=time.perf_counter() - start,
+        ticks_executed=simulation.ticks_executed,
+        events_executed=simulation.events_executed,
+        packets_injected=network.stats.packets_injected,
+        packets_delivered=network.stats.packets_delivered,
+        packets_dropped=network.stats.packets_dropped,
+    )
+    return RunResult(
+        spec=spec,
+        trajectory=trajectory,
+        metrics=metrics,
+        defense_name=descriptor.name,
+        limited_links=descriptor.limited_links,
+        throttled_hosts=descriptor.throttled_hosts,
+    )

@@ -1,0 +1,110 @@
+"""Process-wide runner configuration: one knob panel for every layer.
+
+The scenario builders, ``QuarantineStudy``, the sweeps, the CLI, and the
+benchmark harness all funnel through :func:`repro.runner.run_ensemble`;
+rather than thread ``jobs`` / cache arguments through every one of those
+signatures, callers that want non-default execution configure the
+process once:
+
+* the CLI maps ``--jobs`` / ``--no-cache`` / ``--cache-dir`` onto
+  :func:`configure`;
+* the benchmark harness reads ``REPRO_JOBS`` / ``REPRO_CACHE`` /
+  ``REPRO_CACHE_DIR`` from the environment;
+* tests pin a configuration for one block with :func:`use_config`.
+
+Explicit ``executor=`` / ``cache=`` arguments to ``run_ensemble`` always
+win over the global configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+__all__ = ["RunnerConfig", "configure", "current_config", "use_config"]
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """How ensembles execute when the caller does not say otherwise.
+
+    Attributes
+    ----------
+    jobs:
+        Worker processes per ensemble; 1 means serial in-process.
+    cache_enabled:
+        Whether run results are persisted and reused.
+    cache_dir:
+        Result-cache directory; ``None`` uses the per-user default.
+    timeout:
+        Optional per-run wall-clock limit (parallel execution only).
+    """
+
+    jobs: int = 1
+    cache_enabled: bool = False
+    cache_dir: Path | None = None
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+
+def _config_from_env() -> RunnerConfig:
+    """Initial configuration from ``REPRO_*`` environment variables."""
+    jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    cache_enabled = os.environ.get("REPRO_CACHE", "0") not in ("", "0", "off")
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    return RunnerConfig(
+        jobs=max(jobs, 1),
+        cache_enabled=cache_enabled,
+        cache_dir=Path(cache_dir) if cache_dir else None,
+    )
+
+
+_config: RunnerConfig = _config_from_env()
+
+
+def current_config() -> RunnerConfig:
+    """The active process-wide configuration."""
+    return _config
+
+
+def configure(
+    *,
+    jobs: int | None = None,
+    cache_enabled: bool | None = None,
+    cache_dir: str | Path | None = None,
+    timeout: float | None = None,
+) -> RunnerConfig:
+    """Update the process-wide configuration; returns the new config.
+
+    Only the supplied fields change.  ``cache_dir`` accepts a path to
+    set, and ``configure(cache_enabled=False)`` is the opt-out.
+    """
+    global _config
+    updates: dict = {}
+    if jobs is not None:
+        updates["jobs"] = jobs
+    if cache_enabled is not None:
+        updates["cache_enabled"] = cache_enabled
+    if cache_dir is not None:
+        updates["cache_dir"] = Path(cache_dir)
+    if timeout is not None:
+        updates["timeout"] = timeout
+    _config = replace(_config, **updates)
+    return _config
+
+
+@contextmanager
+def use_config(config: RunnerConfig):
+    """Temporarily install ``config`` (restores the previous on exit)."""
+    global _config
+    previous = _config
+    _config = config
+    try:
+        yield config
+    finally:
+        _config = previous

@@ -1,0 +1,122 @@
+"""Pluggable run executors: serial and process-parallel.
+
+Monte-Carlo worm ensembles are embarrassingly parallel across seeds —
+every run rebuilds its whole scenario from its
+:class:`~repro.runner.spec.RunSpec` — so the
+:class:`ParallelExecutor` fans runs out to a
+:class:`~concurrent.futures.ProcessPoolExecutor` and gets near-linear
+speedup without any coordination.  Because workers execute the same
+:func:`~repro.runner.build.execute_run` on the same specs, parallel
+results are bit-identical to serial ones; the executors differ only in
+wall clock.
+
+``ParallelExecutor`` degrades gracefully: ``jobs=1`` and pool-creation
+failures (sandboxes without working ``fork``/semaphores, pickling
+regressions) both fall back to in-process serial execution rather than
+failing the experiment.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from .build import execute_run
+from .results import RunResult
+from .spec import RunSpec
+
+__all__ = [
+    "ExecutorError",
+    "RunTimeoutError",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "default_jobs",
+]
+
+
+class ExecutorError(RuntimeError):
+    """Raised when an executor cannot complete its runs."""
+
+
+class RunTimeoutError(ExecutorError):
+    """A run exceeded the executor's per-run timeout."""
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this machine."""
+    return os.cpu_count() or 1
+
+
+class Executor:
+    """Executes a batch of runs; subclasses define *how*."""
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+        """Execute every spec and return results in spec order."""
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Runs everything in-process, one spec at a time."""
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+        return [execute_run(spec) for spec in specs]
+
+
+class ParallelExecutor(Executor):
+    """Fans runs out across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means one per CPU.  ``jobs=1`` runs
+        serially without spawning a pool at all.
+    timeout:
+        Optional per-run wall-clock limit in seconds; a run exceeding it
+        raises :class:`RunTimeoutError` (the pool is torn down, so no
+        zombie workers linger).
+    """
+
+    def __init__(self, jobs: int | None = None, *, timeout: float | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self.timeout = timeout
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+        if self.jobs == 1 or len(specs) <= 1:
+            return SerialExecutor().run_specs(specs)
+        try:
+            return self._run_pooled(specs)
+        except (ExecutorError, KeyboardInterrupt):
+            raise
+        except Exception as exc:  # pool broke: degrade, don't fail
+            warnings.warn(
+                f"parallel execution failed ({exc!r}); "
+                "falling back to serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return SerialExecutor().run_specs(specs)
+
+    def _run_pooled(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(execute_run, spec) for spec in specs]
+            results: list[RunResult] = []
+            for spec, future in zip(specs, futures):
+                try:
+                    results.append(future.result(timeout=self.timeout))
+                except FutureTimeoutError:
+                    for pending in futures:
+                        pending.cancel()
+                    raise RunTimeoutError(
+                        f"run with seed {spec.seed} exceeded "
+                        f"{self.timeout}s timeout"
+                    ) from None
+        return results

@@ -12,7 +12,7 @@ whole queue every tick.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .packet import Packet
 

@@ -148,6 +148,30 @@ class Network:
         return cls(star.graph, roles, subnets, infectable=star.leaves)
 
     @classmethod
+    def from_spec(cls, spec, *, seed: int | None = None) -> "Network":
+        """Build a network from a declarative topology description.
+
+        ``spec`` is any object with the :class:`repro.runner.spec.
+        TopologySpec` attributes (``kind``, ``num_nodes``, and for
+        power-law graphs ``edges_per_node`` / role fractions /
+        ``infect_routers``); duck typing keeps the simulator layer free
+        of a runner dependency.  ``seed`` overrides the spec's own seed —
+        the hook worker processes use to resample topologies per run.
+        """
+        if spec.kind == "star":
+            return cls.from_star(spec.num_nodes)
+        if spec.kind == "powerlaw":
+            return cls.from_powerlaw(
+                spec.num_nodes,
+                edges_per_node=spec.edges_per_node,
+                seed=seed if seed is not None else spec.seed,
+                backbone_fraction=spec.backbone_fraction,
+                edge_fraction=spec.edge_fraction,
+                infect_routers=spec.infect_routers,
+            )
+        raise TopologyError(f"unknown topology kind {spec.kind!r}")
+
+    @classmethod
     def from_topology(
         cls,
         topology: Topology,

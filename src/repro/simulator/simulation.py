@@ -154,13 +154,15 @@ class WormSimulation:
     def _transmit_phase(self, tick: int) -> None:
         self._arrived = self.network.transmit_tick()
         if self._lan_queue:
-            # LAN packets emitted last tick arrive now (one-tick latency).
-            self._arrived.extend(
-                p for p in self._lan_queue if p.created_tick < tick
-            )
-            self._lan_queue = [
-                p for p in self._lan_queue if p.created_tick >= tick
-            ]
+            # LAN packets emitted last tick arrive now (one-tick latency);
+            # partition in a single pass rather than scanning twice.
+            still_queued: list[Packet] = []
+            for packet in self._lan_queue:
+                if packet.created_tick < tick:
+                    self._arrived.append(packet)
+                else:
+                    still_queued.append(packet)
+            self._lan_queue = still_queued
 
     def _deliver_phase(self, tick: int) -> None:
         for packet in self._arrived:
@@ -190,6 +192,16 @@ class WormSimulation:
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
+
+    @property
+    def ticks_executed(self) -> int:
+        """Ticks run so far (stop conditions can end a run early)."""
+        return self.recorder.num_samples
+
+    @property
+    def events_executed(self) -> int:
+        """Ad-hoc scheduler events run (0 for purely tick-driven runs)."""
+        return self._sim.scheduler.events_executed
 
     def run(self, max_ticks: int) -> Trajectory:
         """Run up to ``max_ticks`` ticks and return the infection curve."""

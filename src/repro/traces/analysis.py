@@ -10,12 +10,11 @@ worm scanning peaks, and the window-size tradeoff (5 / 12 / 50 across
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from dataclasses import dataclass
 
 import numpy as np
 
-from .records import HostClass, Trace, TraceError
+from .records import Trace, TraceError
 from .windows import Refinement, WindowCounts, count_contacts
 
 __all__ = [

@@ -19,7 +19,7 @@ from __future__ import annotations
 import csv
 import io
 from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 __all__ = [

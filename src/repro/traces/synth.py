@@ -27,7 +27,7 @@ provided.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .records import DNS_PORT, FlowRecord, HostClass, Protocol, Trace, TraceError
 

@@ -4,10 +4,21 @@ from __future__ import annotations
 
 import pytest
 
+from repro.runner import configure
 from repro.simulator.network import Network
 from repro.topology.powerlaw import barabasi_albert
 from repro.traces.records import Trace
 from repro.traces.synth import TraceConfig, generate_trace
+
+
+@pytest.fixture(scope="session", autouse=True)
+def isolated_result_cache(tmp_path_factory):
+    """Keep the runner's result cache out of the user's ~/.cache.
+
+    CLI commands cache by default; pinning the cache directory to a
+    session-private temp dir keeps test invocations hermetic.
+    """
+    configure(cache_dir=tmp_path_factory.mktemp("repro-cache"))
 
 
 @pytest.fixture(scope="session")

@@ -31,6 +31,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare"])
 
+    def test_counts_must_be_positive(self):
+        for argv in (
+            ["figure", "fig1b", "--jobs", "0"],
+            ["figure", "fig1b", "--runs", "0"],
+            ["figure", "fig1b", "--ticks", "-5"],
+            ["compare", "--strategy", "none", "--runs", "0"],
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(argv)
+
 
 class TestParseStrategy:
     def test_all_kinds(self):
@@ -89,6 +99,54 @@ class TestCommands:
         assert "records" in output
         assert "normal" in output
         assert "99.9% limits" in output
+
+
+class TestRunnerKnobs:
+    def test_figure_with_jobs(self):
+        output = run_cli(
+            "figure", "fig1b", "--runs", "2", "--ticks", "30",
+            "--jobs", "2", "--no-cache",
+        )
+        assert "hub_rl" in output
+
+    def test_compare_cache_hit_on_second_invocation(self, tmp_path):
+        argv = (
+            "compare",
+            "--nodes", "120",
+            "--runs", "2",
+            "--ticks", "60",
+            "--strategy", "none",
+            "--strategy", "backbone:0.05",
+            "--cache-dir", str(tmp_path),
+        )
+        first = run_cli(*argv)
+        assert "executed 4 runs (0 from cache)" in first
+
+        second = run_cli(*argv)
+        assert "executed 4 runs (4 from cache)" in second
+
+        # Cached replay reproduces the simulated curves bit-for-bit.
+        assert first.splitlines()[:-1] == second.splitlines()[:-1]
+
+    def test_no_cache_never_persists(self, tmp_path):
+        run_cli(
+            "compare",
+            "--nodes", "120",
+            "--runs", "2",
+            "--ticks", "60",
+            "--strategy", "none",
+            "--no-cache",
+            "--cache-dir", str(tmp_path),
+        )
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_parallel_figure_matches_serial(self):
+        argv = (
+            "figure", "fig1b", "--runs", "2", "--ticks", "30", "--no-cache"
+        )
+        serial = run_cli(*argv, "--jobs", "1")
+        parallel = run_cli(*argv, "--jobs", "2")
+        assert serial == parallel
 
 
 class TestMoreCommands:

@@ -6,8 +6,6 @@ at reduced size to verify wiring and the qualitative orderings.
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.core import scenarios

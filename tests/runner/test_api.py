@@ -1,0 +1,139 @@
+"""Tests for ``run_ensemble``: caching, ordering, and configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runner import (
+    EnsembleSpec,
+    ResultCache,
+    RunnerConfig,
+    RunSpec,
+    SerialExecutor,
+    TopologySpec,
+    run_ensemble,
+    use_config,
+)
+from repro.simulator.observers import average_trajectories
+
+
+def tiny_ensemble(num_runs: int = 3) -> EnsembleSpec:
+    return EnsembleSpec(
+        template=RunSpec(
+            topology=TopologySpec(kind="star", num_nodes=30),
+            max_ticks=15,
+        ),
+        num_runs=num_runs,
+        base_seed=7,
+        label="tiny",
+    )
+
+
+class TestRunEnsemble:
+    def test_runs_come_back_in_seed_order(self):
+        result = run_ensemble(tiny_ensemble())
+        assert [r.spec.seed for r in result.runs] == [7, 8, 9]
+
+    def test_mean_is_average_of_run_trajectories(self):
+        result = run_ensemble(tiny_ensemble())
+        expected = average_trajectories(result.trajectories)
+        np.testing.assert_array_equal(
+            result.mean.infected, expected.infected
+        )
+
+    def test_metrics_aggregate(self):
+        result = run_ensemble(tiny_ensemble())
+        assert result.metrics.runs == 3
+        assert result.metrics.cache_hits == 0
+        assert result.metrics.total_wall_time > 0.0
+        assert result.metrics.total_packets_injected == sum(
+            r.metrics.packets_injected for r in result.runs
+        )
+
+    def test_second_invocation_hits_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_ensemble()
+
+        first = run_ensemble(spec, cache=cache)
+        assert first.metrics.cache_hits == 0
+        assert cache.stores == 3
+
+        second = run_ensemble(spec, cache=ResultCache(tmp_path))
+        assert second.metrics.cache_hits == 3
+        assert all(run.cached for run in second.runs)
+        np.testing.assert_array_equal(
+            second.mean.infected, first.mean.infected
+        )
+
+    def test_partial_cache_fills_the_gaps(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_ensemble(tiny_ensemble(num_runs=2), cache=cache)
+
+        # Growing the ensemble reuses the two cached runs, executes one.
+        grown = run_ensemble(
+            tiny_ensemble(num_runs=3), cache=ResultCache(tmp_path)
+        )
+        assert grown.metrics.cache_hits == 2
+        assert [r.cached for r in grown.runs] == [True, True, False]
+        assert [r.spec.seed for r in grown.runs] == [7, 8, 9]
+
+    def test_use_cache_false_bypasses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_ensemble(tiny_ensemble(), cache=cache)
+        result = run_ensemble(
+            tiny_ensemble(), cache=cache, use_cache=False
+        )
+        assert result.metrics.cache_hits == 0
+
+    def test_cached_and_fresh_results_identical(self, tmp_path):
+        spec = tiny_ensemble()
+        fresh = run_ensemble(spec, use_cache=False)
+        run_ensemble(spec, cache=ResultCache(tmp_path))
+        replayed = run_ensemble(spec, cache=ResultCache(tmp_path))
+        np.testing.assert_array_equal(
+            replayed.mean.infected, fresh.mean.infected
+        )
+        np.testing.assert_array_equal(
+            replayed.mean.ever_infected, fresh.mean.ever_infected
+        )
+
+    def test_unwritable_cache_degrades_with_warning(self, monkeypatch, tmp_path):
+        cache = ResultCache(tmp_path)
+
+        def refuse(result):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr(cache, "store", refuse)
+        with pytest.warns(RuntimeWarning, match="cache unwritable"):
+            result = run_ensemble(tiny_ensemble(), cache=cache)
+        assert result.metrics.runs == 3  # the experiment still completed
+
+
+class TestConfiguration:
+    def test_config_cache_enabled_round_trips(self, tmp_path):
+        config = RunnerConfig(
+            jobs=1, cache_enabled=True, cache_dir=tmp_path
+        )
+        with use_config(config):
+            first = run_ensemble(tiny_ensemble())
+            second = run_ensemble(tiny_ensemble())
+        assert first.metrics.cache_hits == 0
+        assert second.metrics.cache_hits == 3
+
+    def test_explicit_executor_wins_over_config(self):
+        calls = []
+
+        class SpyExecutor(SerialExecutor):
+            def run_specs(self, specs):
+                calls.append(len(specs))
+                return super().run_specs(specs)
+
+        with use_config(RunnerConfig(jobs=4)):
+            run_ensemble(tiny_ensemble(), executor=SpyExecutor())
+        assert calls == [3]
+
+    def test_config_disabled_cache_means_no_persistence(self, tmp_path):
+        with use_config(RunnerConfig(cache_enabled=False, cache_dir=tmp_path)):
+            run_ensemble(tiny_ensemble())
+        assert list(tmp_path.glob("*.json")) == []

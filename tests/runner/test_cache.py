@@ -1,0 +1,109 @@
+"""Tests for the content-addressed result cache."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+
+from repro.runner import (
+    CACHE_VERSION,
+    ResultCache,
+    RunSpec,
+    TopologySpec,
+    run_one,
+    spec_digest,
+)
+
+
+def tiny_spec(seed: int = 0) -> RunSpec:
+    return RunSpec(
+        topology=TopologySpec(kind="star", num_nodes=30),
+        max_ticks=15,
+        seed=seed,
+    )
+
+
+class TestSpecDigest:
+    def test_stable_across_calls(self):
+        spec = tiny_spec()
+        assert spec_digest(spec) == spec_digest(tiny_spec())
+
+    def test_sensitive_to_every_field(self):
+        base = tiny_spec()
+        variants = [
+            dataclasses.replace(base, seed=1),
+            dataclasses.replace(base, max_ticks=16),
+            dataclasses.replace(base, scan_rate=0.9),
+            dataclasses.replace(
+                base, topology=TopologySpec(kind="star", num_nodes=31)
+            ),
+        ]
+        digests = {spec_digest(s) for s in [base, *variants]}
+        assert len(digests) == len(variants) + 1
+
+    def test_digest_embeds_cache_version(self):
+        spec = tiny_spec()
+        payload = {"version": CACHE_VERSION, "spec": spec.to_dict()}
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        import hashlib
+
+        assert (
+            spec_digest(spec)
+            == hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        )
+
+
+class TestResultCache:
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load(tiny_spec()) is None
+        assert cache.misses == 1
+
+    def test_store_then_load_round_trips(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_one(tiny_spec())
+        path = cache.store(result)
+        assert path.is_file()
+
+        hit = cache.load(tiny_spec())
+        assert hit is not None
+        assert hit.cached is True
+        assert cache.hits == 1
+        np.testing.assert_array_equal(
+            hit.trajectory.infected, result.trajectory.infected
+        )
+        np.testing.assert_array_equal(
+            hit.trajectory.times, result.trajectory.times
+        )
+        assert hit.metrics.packets_injected == result.metrics.packets_injected
+        assert hit.spec == result.spec
+
+    def test_different_spec_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(run_one(tiny_spec(seed=0)))
+        assert cache.load(tiny_spec(seed=1)) is None
+
+    def test_corrupt_entry_dropped_and_rerun(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        path = cache.store(run_one(spec))
+
+        path.write_text('{"not": "a result"}', encoding="utf-8")
+        assert cache.load(spec) is None
+        assert not path.exists()  # corrupt entry was deleted
+
+        path.write_text("not json at all", encoding="utf-8")
+        assert cache.load(spec) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(run_one(tiny_spec(seed=0)))
+        cache.store(run_one(tiny_spec(seed=1)))
+        assert cache.clear() == 2
+        assert cache.load(tiny_spec(seed=0)) is None
+
+    def test_clear_on_missing_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.clear() == 0

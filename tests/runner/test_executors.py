@@ -1,0 +1,150 @@
+"""Tests for the serial and process-parallel executors.
+
+The headline test is the parity one: ``ParallelExecutor(jobs=k)`` must
+produce bit-identical trajectories to ``SerialExecutor`` for the same
+ensemble, because each run rebuilds its scenario entirely from its spec
+and seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runner import (
+    DefenseSpec,
+    EnsembleSpec,
+    ParallelExecutor,
+    RunSpec,
+    SerialExecutor,
+    TopologySpec,
+    WormSpec,
+)
+from repro.runner.executors import RunTimeoutError
+
+
+def small_ensemble(num_runs: int = 3) -> EnsembleSpec:
+    return EnsembleSpec(
+        template=RunSpec(
+            topology=TopologySpec(num_nodes=120),
+            worm=WormSpec(kind="random"),
+            defense=DefenseSpec(kind="backbone", rate=0.05),
+            scan_rate=0.8,
+            initial_infections=1,
+            max_ticks=30,
+        ),
+        num_runs=num_runs,
+        base_seed=42,
+        label="parity",
+    )
+
+
+class TestParity:
+    def test_parallel_bit_identical_to_serial(self):
+        specs = small_ensemble(num_runs=3).expand()
+        serial = SerialExecutor().run_specs(specs)
+        parallel = ParallelExecutor(jobs=2).run_specs(specs)
+
+        assert len(serial) == len(parallel) == 3
+        for s, p in zip(serial, parallel):
+            assert s.spec == p.spec
+            np.testing.assert_array_equal(
+                s.trajectory.infected, p.trajectory.infected
+            )
+            np.testing.assert_array_equal(
+                s.trajectory.times, p.trajectory.times
+            )
+            np.testing.assert_array_equal(
+                s.trajectory.ever_infected, p.trajectory.ever_infected
+            )
+            assert (
+                s.metrics.packets_injected == p.metrics.packets_injected
+            )
+            assert s.defense_name == p.defense_name
+            assert s.limited_links == p.limited_links
+
+
+class TestSerialExecutor:
+    def test_results_in_spec_order(self):
+        specs = small_ensemble(num_runs=3).expand()
+        results = SerialExecutor().run_specs(specs)
+        assert [r.spec.seed for r in results] == [s.seed for s in specs]
+
+    def test_empty_batch(self):
+        assert SerialExecutor().run_specs([]) == []
+
+
+class TestParallelExecutor:
+    def test_jobs_one_runs_without_pool(self, monkeypatch):
+        # jobs=1 must not even construct a pool.
+        import repro.runner.executors as executors
+
+        def explode(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("pool should not be created for jobs=1")
+
+        monkeypatch.setattr(executors, "ProcessPoolExecutor", explode)
+        results = ParallelExecutor(jobs=1).run_specs(
+            small_ensemble(num_runs=2).expand()
+        )
+        assert len(results) == 2
+
+    def test_single_spec_runs_without_pool(self, monkeypatch):
+        import repro.runner.executors as executors
+
+        def explode(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("pool should not be created for one spec")
+
+        monkeypatch.setattr(executors, "ProcessPoolExecutor", explode)
+        results = ParallelExecutor(jobs=4).run_specs(
+            small_ensemble(num_runs=1).expand()
+        )
+        assert len(results) == 1
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        executor = ParallelExecutor(jobs=2)
+
+        def broken_pool(specs):
+            raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(executor, "_run_pooled", broken_pool)
+        specs = small_ensemble(num_runs=2).expand()
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            results = executor.run_specs(specs)
+        assert [r.spec.seed for r in results] == [s.seed for s in specs]
+
+    def test_timeout_raises_run_timeout_error(self, monkeypatch):
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+
+        executor = ParallelExecutor(jobs=2, timeout=0.001)
+
+        class StuckFuture:
+            def result(self, timeout=None):
+                raise FutureTimeoutError()
+
+            def cancel(self):
+                return True
+
+        class StuckPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, *args):
+                return StuckFuture()
+
+        import repro.runner.executors as executors
+
+        monkeypatch.setattr(executors, "ProcessPoolExecutor", StuckPool)
+        with pytest.raises(RunTimeoutError, match="timeout"):
+            executor.run_specs(small_ensemble(num_runs=2).expand())
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=2, timeout=-1.0)

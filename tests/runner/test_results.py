@@ -1,0 +1,109 @@
+"""Tests for run/ensemble results and their JSON round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import Trajectory
+from repro.runner import (
+    EnsembleMetrics,
+    RunMetrics,
+    RunResult,
+    RunSpec,
+    TopologySpec,
+    run_one,
+)
+from repro.runner.results import trajectory_from_dict, trajectory_to_dict
+
+
+def tiny_run() -> RunResult:
+    return run_one(
+        RunSpec(
+            topology=TopologySpec(kind="star", num_nodes=30), max_ticks=15
+        )
+    )
+
+
+class TestTrajectoryRoundTrip:
+    def test_exact_float_round_trip(self):
+        trajectory = Trajectory(
+            times=np.array([0.0, 1.0, 2.0]),
+            infected=np.array([1.0, 1.0 / 3.0, 0.1 + 0.2]),
+            population=30.0,
+            ever_infected=np.array([1.0, 2.0, 3.0]),
+        )
+        rebuilt = trajectory_from_dict(trajectory_to_dict(trajectory))
+        np.testing.assert_array_equal(rebuilt.times, trajectory.times)
+        np.testing.assert_array_equal(rebuilt.infected, trajectory.infected)
+        np.testing.assert_array_equal(
+            rebuilt.ever_infected, trajectory.ever_infected
+        )
+        assert rebuilt.population == trajectory.population
+
+    def test_optional_series_stay_none(self):
+        trajectory = Trajectory(
+            times=np.array([0.0, 1.0]),
+            infected=np.array([1.0, 2.0]),
+            population=10.0,
+        )
+        rebuilt = trajectory_from_dict(trajectory_to_dict(trajectory))
+        assert rebuilt.susceptible is None
+        assert rebuilt.removed is None
+
+
+class TestRunResult:
+    def test_dict_round_trip(self):
+        result = tiny_run()
+        rebuilt = RunResult.from_dict(result.to_dict())
+        assert rebuilt.spec == result.spec
+        assert rebuilt.metrics == result.metrics
+        assert rebuilt.defense_name == result.defense_name
+        np.testing.assert_array_equal(
+            rebuilt.trajectory.infected, result.trajectory.infected
+        )
+
+    def test_from_dict_marks_cache_provenance(self):
+        result = tiny_run()
+        assert result.cached is False
+        assert RunResult.from_dict(result.to_dict(), cached=True).cached
+
+    def test_metrics_populated(self):
+        metrics = tiny_run().metrics
+        assert metrics.wall_time > 0.0
+        # Full saturation can stop the run before the horizon.
+        assert 0 < metrics.ticks_executed <= 15
+        assert metrics.packets_injected > 0
+        assert (
+            metrics.packets_delivered + metrics.packets_dropped
+            <= metrics.packets_injected
+        )
+
+
+class TestEnsembleMetrics:
+    def test_from_runs_sums_and_counts_cache_hits(self):
+        runs = [tiny_run(), tiny_run()]
+        cached = RunResult.from_dict(runs[0].to_dict(), cached=True)
+        metrics = EnsembleMetrics.from_runs([*runs, cached])
+        assert metrics.runs == 3
+        assert metrics.cache_hits == 1
+        assert metrics.total_ticks == sum(
+            r.metrics.ticks_executed for r in [*runs, cached]
+        )
+
+    def test_empty(self):
+        metrics = EnsembleMetrics.from_runs([])
+        assert metrics.runs == 0
+        assert metrics.total_wall_time == 0.0
+
+
+class TestRunMetricsRoundTrip:
+    def test_dict_round_trip(self):
+        metrics = RunMetrics(
+            wall_time=0.5,
+            ticks_executed=10,
+            events_executed=2,
+            packets_injected=100,
+            packets_delivered=90,
+            packets_dropped=10,
+        )
+        assert RunMetrics.from_dict(metrics.to_dict()) == metrics

@@ -165,3 +165,82 @@ class TestEventBookkeeping:
         scheduler = EventScheduler()
         scheduler.run_until(7.5)
         assert scheduler.now == 7.5
+
+
+class TestSchedulerEdgeCases:
+    def test_step_skips_cancelled_and_runs_next_live_event(self):
+        scheduler = EventScheduler()
+        log: list[str] = []
+        scheduler.schedule(1.0, lambda: log.append("cancelled")).cancel()
+        scheduler.schedule(2.0, lambda: log.append("live"))
+        assert scheduler.step() is True
+        assert log == ["live"]
+        assert scheduler.now == 2.0
+
+    def test_step_returns_false_when_only_cancelled_events_remain(self):
+        scheduler = EventScheduler()
+        for t in (1.0, 2.0):
+            scheduler.schedule(t, lambda: None).cancel()
+        assert scheduler.step() is False
+        assert scheduler.events_executed == 0
+
+    def test_cancelled_events_do_not_count_as_executed(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None).cancel()
+        scheduler.schedule(3.0, lambda: None)
+        scheduler.run()
+        assert scheduler.events_executed == 2
+
+    def test_peek_time_skips_cancelled_head(self):
+        scheduler = EventScheduler()
+        head = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(5.0, lambda: None)
+        head.cancel()
+        assert scheduler.peek_time() == 5.0
+
+    def test_schedule_at_exactly_now_allowed(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(3.0, lambda: None)
+        scheduler.run()
+        assert scheduler.now == 3.0
+        log: list[str] = []
+        scheduler.schedule_at(3.0, lambda: log.append("now"))
+        scheduler.run()
+        assert log == ["now"]
+        assert scheduler.now == 3.0
+
+    def test_schedule_at_in_past_rejected_mid_run(self):
+        scheduler = EventScheduler()
+        errors: list[Exception] = []
+
+        def try_rewind():
+            try:
+                scheduler.schedule_at(0.5, lambda: None)
+            except SimulationError as exc:
+                errors.append(exc)
+
+        scheduler.schedule(2.0, try_rewind)
+        scheduler.run()
+        assert len(errors) == 1
+
+    def test_run_until_never_rewinds_clock(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(5.0, lambda: None)
+        scheduler.run()
+        scheduler.run_until(3.0)
+        assert scheduler.now == 5.0
+
+    def test_run_under_max_events_completes(self):
+        scheduler = EventScheduler()
+        for i in range(9):
+            scheduler.schedule(float(i), lambda: None)
+        scheduler.run(max_events=10)
+        assert scheduler.events_executed == 9
+
+    def test_zero_delay_event_runs_at_current_time(self):
+        scheduler = EventScheduler()
+        seen: list[float] = []
+        scheduler.schedule(0.0, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [0.0]

@@ -14,7 +14,6 @@ from repro.models.leaf import LeafRateLimitModel
 from repro.simulator.immunization import ImmunizationPolicy
 from repro.simulator.network import Network
 from repro.simulator.runner import ExperimentSpec, run_experiment
-from repro.simulator.simulation import WormSimulation
 from repro.simulator.worms import RandomScanWorm
 from repro.topology.graphs import Topology
 from repro.traces.analysis import recommend_rate_limits

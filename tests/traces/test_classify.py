@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.traces.classify import census, classify_hosts, profile_hosts
 from repro.traces.records import HostClass
 
