@@ -18,6 +18,13 @@ fans the seeded runs of each ensemble across worker processes (results
 are bit-identical to serial), completed runs are cached under the result
 cache (``--cache-dir``, default ``~/.cache/repro/runs``) so a repeated
 invocation replays instead of re-simulating, and ``--no-cache`` opts out.
+
+Observability: ``--trace out.jsonl`` streams one structured record per
+simulated tick (epidemic state + packet/queue counters, tagged with
+ensemble label and seed) to a JSONL file, and ``--profile`` prints a
+per-phase wall-time table plus event counters after the figures.
+Either flag re-simulates instead of replaying the cache, since cached
+entries carry no telemetry.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ import numpy as np
 
 from .core import scenarios
 from .core.policy import DeploymentStrategy
+from .observability import observability_hub
 from .core.quarantine import QuarantineStudy
 from .core.slowdown import compare_times
 from .models.base import Trajectory
@@ -134,6 +142,15 @@ def _add_runner_arguments(command: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None,
         help="result-cache directory (default ~/.cache/repro/runs)",
     )
+    command.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write one JSONL record per simulated tick to PATH "
+        "(implies re-simulation; cached results carry no telemetry)",
+    )
+    command.add_argument(
+        "--profile", action="store_true",
+        help="collect per-phase wall times and print a profile table",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -196,21 +213,42 @@ def _cmd_list(out=sys.stdout) -> int:
 
 
 def _apply_runner_arguments(args: argparse.Namespace) -> None:
-    """Map ``--jobs`` / ``--no-cache`` / ``--cache-dir`` onto the runner."""
+    """Map ``--jobs`` / ``--no-cache`` / ``--cache-dir`` onto the runner
+    and ``--trace`` / ``--profile`` onto the observability hub."""
     configure_runner(
         jobs=args.jobs,
         cache_enabled=not args.no_cache,
         cache_dir=args.cache_dir,
     )
+    observability_hub().configure(
+        profile=args.profile, trace_path=args.trace
+    )
+
+
+def _report_observability(out=sys.stdout) -> None:
+    """Print the profile table / trace summary an invocation collected."""
+    hub = observability_hub()
+    if not hub.active:
+        return
+    if hub.profiling:
+        print(file=out)
+        print(hub.profile_table(), file=out)
+    hub.flush()
+    summary = hub.trace_summary()
+    if summary is not None:
+        print(file=out)
+        print(summary, file=out)
 
 
 def _cmd_figure(args: argparse.Namespace, out=sys.stdout) -> int:
     figure_id = args.figure_id
+    _apply_runner_arguments(args)
     if figure_id in _ANALYTIC_FIGURES:
+        # Analytic figures run no simulation; --trace still yields its
+        # (meta-only) artifact and --profile an empty table.
         builder, baseline, level = _ANALYTIC_FIGURES[figure_id]
         curves = builder()
     else:
-        _apply_runner_arguments(args)
         builder, baseline, level = _SIM_FIGURES[figure_id]
         kwargs: dict[str, int] = {"num_runs": args.runs}
         if args.ticks is not None:
@@ -220,6 +258,7 @@ def _cmd_figure(args: argparse.Namespace, out=sys.stdout) -> int:
         curves = builder(**kwargs)
     print(f"=== {figure_id} ===", file=out)
     _print_curves(curves, baseline, level, out=out)
+    _report_observability(out=out)
     return 0
 
 
@@ -247,6 +286,7 @@ def _cmd_compare(args: argparse.Namespace, out=sys.stdout) -> int:
         f"in {wall:.2f}s simulation wall time",
         file=out,
     )
+    _report_observability(out=out)
     return 0
 
 
@@ -277,16 +317,21 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     # Runner reconfiguration is scoped to this invocation so in-process
-    # callers (tests, notebooks) keep their own configuration afterwards.
-    with use_config(current_config()):
-        if args.command == "list":
-            return _cmd_list(out=out)
-        if args.command == "figure":
-            return _cmd_figure(args, out=out)
-        if args.command == "compare":
-            return _cmd_compare(args, out=out)
-        if args.command == "trace":
-            return _cmd_trace(args, out=out)
+    # callers (tests, notebooks) keep their own configuration afterwards;
+    # likewise the observability hub is torn down (trace file closed)
+    # however the command exits.
+    try:
+        with use_config(current_config()):
+            if args.command == "list":
+                return _cmd_list(out=out)
+            if args.command == "figure":
+                return _cmd_figure(args, out=out)
+            if args.command == "compare":
+                return _cmd_compare(args, out=out)
+            if args.command == "trace":
+                return _cmd_trace(args, out=out)
+    finally:
+        observability_hub().reset()
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -1,0 +1,166 @@
+"""The process-wide observability collector behind ``--trace``/``--profile``.
+
+The CLI (and any other front end) configures the hub once per
+invocation; :func:`repro.runner.run_ensemble` then asks it for
+:class:`~repro.observability.instrumentation.InstrumentationOptions`
+and feeds every finished ensemble back.  The hub aggregates per-phase
+timings and counters across *all* ensembles of the invocation and
+streams each run's per-tick trace records — augmented with the
+ensemble label and run seed — to one JSONL file, regardless of which
+executor (serial or process pool) produced the runs.
+
+The hub duck-types over ensemble results (``label``, ``runs`` with
+``spec.seed`` / ``metrics`` / ``trace``) so this package never imports
+the runner layer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from .instrumentation import InstrumentationOptions, format_profile_table
+from .stats import merge_counts, merge_seconds
+from .trace import JsonlTraceSink
+
+__all__ = ["ObservabilityHub", "observability_hub"]
+
+
+class ObservabilityHub:
+    """Aggregates observability output across one process invocation."""
+
+    def __init__(self) -> None:
+        self._options: InstrumentationOptions | None = None
+        self._trace_path: Path | None = None
+        self._sink: JsonlTraceSink | None = None
+        self.records_written = 0
+        self.runs_recorded = 0
+        self.phase_seconds: dict[str, float] = {}
+        self.phase_calls: dict[str, int] = {}
+        self.counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether any observability output was requested."""
+        return self._options is not None
+
+    @property
+    def profiling(self) -> bool:
+        """Whether per-phase profiling is on."""
+        return self._options is not None and self._options.profile
+
+    @property
+    def trace_path(self) -> Path | None:
+        """Where trace records are being written, if anywhere."""
+        return self._trace_path
+
+    def configure(
+        self,
+        *,
+        profile: bool = False,
+        trace_path: str | Path | None = None,
+        trace_capacity: int | None = None,
+    ) -> None:
+        """(Re)configure the hub; clears any previous state first."""
+        self.reset()
+        if not profile and trace_path is None:
+            return
+        self._options = InstrumentationOptions(
+            profile=profile,
+            trace=trace_path is not None,
+            trace_capacity=trace_capacity,
+        )
+        self._trace_path = Path(trace_path) if trace_path is not None else None
+
+    def options(self) -> InstrumentationOptions | None:
+        """What ensembles should instrument (None when inactive)."""
+        return self._options
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+
+    def record_ensemble(self, result: Any) -> None:
+        """Fold one finished ensemble's runs into the aggregate."""
+        if not self.active:
+            return
+        for run in result.runs:
+            metrics = run.metrics
+            self.phase_seconds = merge_seconds(
+                [self.phase_seconds, metrics.phase_seconds]
+            )
+            self.phase_calls = merge_counts(
+                [self.phase_calls, metrics.phase_calls]
+            )
+            self.counters = merge_counts([self.counters, metrics.counters])
+            self.runs_recorded += 1
+            trace = getattr(run, "trace", None)
+            if self._trace_path is not None and trace:
+                sink = self._ensure_sink()
+                for record in trace:
+                    sink.emit(
+                        {"label": result.label, "seed": run.spec.seed, **record}
+                    )
+                    self.records_written += 1
+
+    def _ensure_sink(self) -> JsonlTraceSink:
+        if self._sink is None:
+            assert self._trace_path is not None
+            self._sink = JsonlTraceSink(self._trace_path, source="repro")
+        return self._sink
+
+    # ------------------------------------------------------------------
+    # Reporting / teardown
+    # ------------------------------------------------------------------
+
+    def profile_table(self) -> str:
+        """Per-phase timing table over everything recorded so far."""
+        return format_profile_table(
+            self.phase_seconds, self.phase_calls, self.counters
+        )
+
+    def trace_summary(self) -> str | None:
+        """One-line summary of the trace output, or None without one."""
+        if self._trace_path is None:
+            return None
+        return (
+            f"trace: {self.records_written} records -> {self._trace_path}"
+        )
+
+    def flush(self) -> None:
+        """Close the trace file (safe to call repeatedly)."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+        elif self._trace_path is not None:
+            # No run emitted records; still leave a valid (meta-only)
+            # trace file so ``--trace`` always produces its artifact.
+            path = self._trace_path
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if not path.exists():
+                JsonlTraceSink(path, source="repro").close()
+
+    def reset(self) -> None:
+        """Close outputs and drop configuration and aggregates."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+        self._options = None
+        self._trace_path = None
+        self.records_written = 0
+        self.runs_recorded = 0
+        self.phase_seconds = {}
+        self.phase_calls = {}
+        self.counters = {}
+
+
+_HUB = ObservabilityHub()
+
+
+def observability_hub() -> ObservabilityHub:
+    """The process-wide hub instance."""
+    return _HUB

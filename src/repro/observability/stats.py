@@ -1,0 +1,90 @@
+"""Bucketed histograms: the cache-survivable summary of link state.
+
+Per-link peak-queue depths and drop counts are too bulky (and too
+topology-specific) to persist per run, but their *distribution* is the
+signal operators read — "how many links saturated?".  These helpers
+bucket link statistics into decade bins with stable string labels, so
+the histograms serialize as plain JSON dicts, sum across runs with
+:func:`merge_counts`, and compare exactly between serial and parallel
+executions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulator.network import Network
+
+__all__ = [
+    "HISTOGRAM_BUCKETS",
+    "bucket_label",
+    "histogram",
+    "merge_counts",
+    "merge_seconds",
+    "queue_histogram",
+    "drop_histogram",
+]
+
+#: Decade bucket lower bounds (0 gets its own bucket).
+HISTOGRAM_BUCKETS = (1, 10, 100, 1_000, 10_000)
+
+
+def bucket_label(value: int) -> str:
+    """The stable label of the bucket ``value`` falls into.
+
+    ``0`` → ``"0"``, ``1..9`` → ``"1-9"``, ..., ``>= 10000`` →
+    ``"10000+"``.
+    """
+    if value < 0:
+        raise ValueError(f"histogram values must be non-negative, got {value}")
+    if value == 0:
+        return "0"
+    for low, high in zip(HISTOGRAM_BUCKETS, HISTOGRAM_BUCKETS[1:]):
+        if value < high:
+            return f"{low}-{high - 1}"
+    return f"{HISTOGRAM_BUCKETS[-1]}+"
+
+
+def histogram(values: Iterable[int]) -> dict[str, int]:
+    """Bucketed counts of ``values`` (only non-empty buckets appear)."""
+    counts: dict[str, int] = {}
+    for value in values:
+        label = bucket_label(value)
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def merge_counts(
+    counts: Iterable[Mapping[str, int]],
+) -> dict[str, int]:
+    """Key-wise sum of count dicts (histograms, counters, phase calls)."""
+    merged: dict[str, int] = {}
+    for mapping in counts:
+        for key, value in mapping.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def merge_seconds(
+    timings: Iterable[Mapping[str, float]],
+) -> dict[str, float]:
+    """Key-wise sum of float-valued dicts (phase wall-time maps)."""
+    merged: dict[str, float] = {}
+    for mapping in timings:
+        for key, value in mapping.items():
+            merged[key] = merged.get(key, 0.0) + value
+    return merged
+
+
+def queue_histogram(network: "Network") -> dict[str, int]:
+    """Distribution of per-link *peak* queue depths after a run."""
+    return histogram(
+        link.stats.peak_queue for link in network.links.values()
+    )
+
+
+def drop_histogram(network: "Network") -> dict[str, int]:
+    """Distribution of per-link drop-tail discard counts after a run."""
+    return histogram(link.stats.dropped for link in network.links.values())

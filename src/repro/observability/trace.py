@@ -1,0 +1,178 @@
+"""Structured per-tick trace records and their sinks.
+
+A trace is a sequence of JSON-compatible dicts, one per simulation tick,
+with a small versioned schema (:data:`TRACE_SCHEMA_VERSION`).  Tick
+records carry the epidemic state the recorder samples plus the network's
+cumulative packet counters and current queue occupancy:
+
+``{"type": "tick", "tick": 3, "susceptible": 120, "infected": 40,
+"immune": 0, "ever_infected": 40, "packets_injected": 96,
+"packets_delivered": 70, "packets_dropped": 0, "in_flight": 26,
+"lan_queue": 0}``
+
+Sinks decide where records go: :class:`MemoryTraceSink` keeps them in a
+ring buffer (how the runner carries a run's trace back across a worker
+process boundary), :class:`JsonlTraceSink` streams them to a
+``.jsonl`` file whose first line is a ``{"type": "meta", ...}`` header.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Any
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceSink",
+    "MemoryTraceSink",
+    "JsonlTraceSink",
+    "tick_record",
+    "read_trace",
+]
+
+#: Bump when tick-record keys change meaning; readers can dispatch on it.
+TRACE_SCHEMA_VERSION = 1
+
+#: Keys every tick record carries (checked by the test harness).
+TICK_RECORD_KEYS = (
+    "type",
+    "tick",
+    "susceptible",
+    "infected",
+    "immune",
+    "ever_infected",
+    "packets_injected",
+    "packets_delivered",
+    "packets_dropped",
+    "in_flight",
+    "lan_queue",
+)
+
+
+def tick_record(
+    *,
+    tick: int,
+    susceptible: int,
+    infected: int,
+    immune: int,
+    ever_infected: int,
+    packets_injected: int,
+    packets_delivered: int,
+    packets_dropped: int,
+    in_flight: int,
+    lan_queue: int,
+) -> dict[str, Any]:
+    """Build a schema-v1 tick record (one dict per simulation tick)."""
+    return {
+        "type": "tick",
+        "tick": tick,
+        "susceptible": susceptible,
+        "infected": infected,
+        "immune": immune,
+        "ever_infected": ever_infected,
+        "packets_injected": packets_injected,
+        "packets_delivered": packets_delivered,
+        "packets_dropped": packets_dropped,
+        "in_flight": in_flight,
+        "lan_queue": lan_queue,
+    }
+
+
+def meta_record(**extra: Any) -> dict[str, Any]:
+    """The header record a JSONL trace file starts with."""
+    return {"type": "meta", "schema_version": TRACE_SCHEMA_VERSION, **extra}
+
+
+class TraceSink:
+    """Receives per-tick records; subclasses define where they go."""
+
+    def emit(self, record: dict[str, Any]) -> None:
+        """Accept one record."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (no-op by default)."""
+
+
+class MemoryTraceSink(TraceSink):
+    """Keeps records in memory, optionally as a bounded ring buffer.
+
+    With ``capacity=None`` every record is retained; with a capacity the
+    sink holds the *last* ``capacity`` records — the right policy for
+    long-running monitoring where only the recent window matters.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._records: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    @property
+    def records(self) -> list[dict[str, Any]]:
+        """The retained records, oldest first."""
+        return list(self._records)
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self._records.append(record)
+        self.emitted += 1
+
+
+class JsonlTraceSink(TraceSink):
+    """Streams records to a JSON-lines file.
+
+    The first line written is a ``meta`` header carrying the schema
+    version (plus any ``meta`` kwargs); each subsequent line is one
+    record.  Usable as a context manager; ``close()`` is idempotent.
+    """
+
+    def __init__(self, path: str | Path, **meta: Any) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: IO[str] | None = self.path.open("w", encoding="utf-8")
+        self.emitted = 0
+        self._write(meta_record(**meta))
+
+    def _write(self, record: dict[str, Any]) -> None:
+        if self._handle is None:
+            raise ValueError(f"trace sink {self.path} is closed")
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self._write(record)
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_trace(
+    path: str | Path, *, include_meta: bool = False
+) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file back into records.
+
+    Returns tick (and other non-meta) records in file order; pass
+    ``include_meta=True`` to keep the header record(s) too.
+    """
+    records: list[dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "meta" and not include_meta:
+                continue
+            records.append(record)
+    return records

@@ -20,6 +20,7 @@ This package is the execution backbone under every experiment layer:
   (``REPRO_JOBS``, ``REPRO_CACHE``, ``REPRO_CACHE_DIR``).
 """
 
+from ..observability.instrumentation import InstrumentationOptions
 from .api import cache_from_config, executor_from_config, run_ensemble, run_one
 from .build import apply_defense, build_network, build_worm, execute_run
 from .cache import CACHE_VERSION, ResultCache, default_cache_dir, spec_digest
@@ -57,6 +58,7 @@ __all__ = [
     "EnsembleSpec",
     "Executor",
     "ExecutorError",
+    "InstrumentationOptions",
     "ParallelExecutor",
     "QuarantineSpec",
     "ResultCache",

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import warnings
 
+from ..observability.hub import observability_hub
+from ..observability.instrumentation import InstrumentationOptions
 from .build import execute_run
 from .cache import ResultCache
 from .config import current_config
@@ -24,9 +26,11 @@ from .spec import EnsembleSpec, RunSpec
 __all__ = ["run_one", "run_ensemble", "executor_from_config", "cache_from_config"]
 
 
-def run_one(spec: RunSpec) -> RunResult:
+def run_one(
+    spec: RunSpec, options: InstrumentationOptions | None = None
+) -> RunResult:
     """Execute a single run in-process (no caching)."""
-    return execute_run(spec)
+    return execute_run(spec, options)
 
 
 def executor_from_config() -> Executor:
@@ -51,6 +55,7 @@ def run_ensemble(
     executor: Executor | None = None,
     cache: ResultCache | None = None,
     use_cache: bool | None = None,
+    options: InstrumentationOptions | None = None,
 ) -> EnsembleResult:
     """Execute an ensemble: expand seeds, consult cache, run, aggregate.
 
@@ -66,9 +71,22 @@ def run_ensemble(
         ``False`` forces every run to execute even when a cache is
         configured; ``True`` with no ``cache`` argument uses the
         configured (or default) cache.
+    options:
+        Per-run instrumentation (profiling/tracing).  Defaults to
+        whatever the process-wide observability hub requests (the CLI's
+        ``--trace``/``--profile`` land there).  Active instrumentation
+        bypasses the result cache: cached entries carry no phase
+        timings or trace records, so replaying them would silently
+        produce empty telemetry.
     """
+    hub = observability_hub()
+    if options is None:
+        options = hub.options()
     if executor is None:
         executor = executor_from_config()
+    if options is not None and options.active:
+        cache = None
+        use_cache = False
     if use_cache is False:
         cache = None
     elif cache is None:
@@ -92,7 +110,9 @@ def run_ensemble(
         pending = list(enumerate(runs))
 
     if pending:
-        fresh = executor.run_specs([run_spec for _, run_spec in pending])
+        fresh = executor.run_specs(
+            [run_spec for _, run_spec in pending], options
+        )
         for (index, _), result in zip(pending, fresh):
             results[index] = result
             if cache is not None:
@@ -110,4 +130,7 @@ def run_ensemble(
                     cache = None
 
     ordered = [results[index] for index in range(len(runs))]
-    return EnsembleResult(spec=spec, runs=ordered)
+    result = EnsembleResult(spec=spec, runs=ordered)
+    if hub.active:
+        hub.record_ensemble(result)
+    return result

@@ -16,6 +16,8 @@ import time
 import numpy as np
 
 from ..models.base import Trajectory
+from ..observability.instrumentation import Instrumentation, InstrumentationOptions
+from ..observability.stats import drop_histogram, queue_histogram
 from ..simulator.defense import (
     DefenseDescriptor,
     deploy_backbone_rate_limit,
@@ -122,9 +124,19 @@ def _seed_subnet_curve(
     return Trajectory(times=ticks, infected=fraction, population=1.0)
 
 
-def execute_run(spec: RunSpec) -> RunResult:
-    """Build the scenario a spec describes, run it, and measure it."""
+def execute_run(
+    spec: RunSpec, options: InstrumentationOptions | None = None
+) -> RunResult:
+    """Build the scenario a spec describes, run it, and measure it.
+
+    ``options`` requests observability for this run: profiling fills the
+    per-phase timing fields of :class:`RunMetrics`, tracing attaches the
+    per-tick records to the :class:`RunResult`.  Both default off; the
+    queue/drop histograms are computed on every run either way (one
+    cheap pass over the links after the simulation ends).
+    """
     start = time.perf_counter()
+    instrumentation = Instrumentation.from_options(options)
     network = build_network(spec.topology, run_seed=spec.seed)
     descriptor = apply_defense(network, spec.defense)
     quarantine = (
@@ -141,6 +153,7 @@ def execute_run(spec: RunSpec) -> RunResult:
         lan_delivery=spec.lan_delivery,
         quarantine=quarantine,
         seed=spec.seed,
+        instrumentation=instrumentation,
     )
     trajectory = simulation.run(spec.max_ticks)
     if spec.observe == "seed_subnets":
@@ -152,6 +165,20 @@ def execute_run(spec: RunSpec) -> RunResult:
         packets_injected=network.stats.packets_injected,
         packets_delivered=network.stats.packets_delivered,
         packets_dropped=network.stats.packets_dropped,
+        queue_histogram=queue_histogram(network),
+        drop_histogram=drop_histogram(network),
+        phase_seconds=(
+            dict(instrumentation.phase_seconds) if instrumentation else {}
+        ),
+        phase_calls=(
+            dict(instrumentation.phase_calls) if instrumentation else {}
+        ),
+        counters=dict(instrumentation.counters) if instrumentation else {},
+    )
+    trace = (
+        instrumentation.trace_records
+        if instrumentation is not None and instrumentation.sink is not None
+        else None
     )
     return RunResult(
         spec=spec,
@@ -160,4 +187,5 @@ def execute_run(spec: RunSpec) -> RunResult:
         defense_name=descriptor.name,
         limited_links=descriptor.limited_links,
         throttled_hosts=descriptor.throttled_hosts,
+        trace=trace,
     )

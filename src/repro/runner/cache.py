@@ -26,7 +26,9 @@ from .spec import RunSpec
 __all__ = ["CACHE_VERSION", "spec_digest", "ResultCache", "default_cache_dir"]
 
 #: Version tag mixed into every digest; bump on simulator-behavior changes.
-CACHE_VERSION = 1
+#: v2: RunMetrics gained queue/drop histograms — pre-observability
+#: entries would replay with empty histograms, so they must not match.
+CACHE_VERSION = 2
 
 
 def spec_digest(spec: RunSpec) -> str:

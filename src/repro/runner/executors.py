@@ -24,6 +24,7 @@ from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 
+from ..observability.instrumentation import InstrumentationOptions
 from .build import execute_run
 from .results import RunResult
 from .spec import RunSpec
@@ -52,9 +53,19 @@ def default_jobs() -> int:
 
 
 class Executor:
-    """Executes a batch of runs; subclasses define *how*."""
+    """Executes a batch of runs; subclasses define *how*.
 
-    def run_specs(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+    ``options`` requests per-run instrumentation (profiling/tracing); it
+    is plain picklable data, so the parallel executor ships it to its
+    workers unchanged and instrumented runs behave identically under
+    every executor.
+    """
+
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        options: InstrumentationOptions | None = None,
+    ) -> list[RunResult]:
         """Execute every spec and return results in spec order."""
         raise NotImplementedError
 
@@ -62,8 +73,12 @@ class Executor:
 class SerialExecutor(Executor):
     """Runs everything in-process, one spec at a time."""
 
-    def run_specs(self, specs: Sequence[RunSpec]) -> list[RunResult]:
-        return [execute_run(spec) for spec in specs]
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        options: InstrumentationOptions | None = None,
+    ) -> list[RunResult]:
+        return [execute_run(spec, options) for spec in specs]
 
 
 class ParallelExecutor(Executor):
@@ -88,11 +103,15 @@ class ParallelExecutor(Executor):
         self.jobs = jobs if jobs is not None else default_jobs()
         self.timeout = timeout
 
-    def run_specs(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        options: InstrumentationOptions | None = None,
+    ) -> list[RunResult]:
         if self.jobs == 1 or len(specs) <= 1:
-            return SerialExecutor().run_specs(specs)
+            return SerialExecutor().run_specs(specs, options)
         try:
-            return self._run_pooled(specs)
+            return self._run_pooled(specs, options)
         except (ExecutorError, KeyboardInterrupt):
             raise
         except Exception as exc:  # pool broke: degrade, don't fail
@@ -102,12 +121,18 @@ class ParallelExecutor(Executor):
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return SerialExecutor().run_specs(specs)
+            return SerialExecutor().run_specs(specs, options)
 
-    def _run_pooled(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+    def _run_pooled(
+        self,
+        specs: Sequence[RunSpec],
+        options: InstrumentationOptions | None,
+    ) -> list[RunResult]:
         workers = min(self.jobs, len(specs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(execute_run, spec) for spec in specs]
+            futures = [
+                pool.submit(execute_run, spec, options) for spec in specs
+            ]
             results: list[RunResult] = []
             for spec, future in zip(specs, futures):
                 try:

@@ -19,6 +19,7 @@ from typing import Any
 import numpy as np
 
 from ..models.base import Trajectory
+from ..observability.stats import merge_counts, merge_seconds
 from ..simulator.observers import average_trajectories
 from .spec import EnsembleSpec, RunSpec
 
@@ -81,6 +82,16 @@ class RunMetrics:
     packets_injected / packets_delivered / packets_dropped:
         The network's packet counters: scans entering the routed graph,
         scans reaching their destination, and scans lost to full queues.
+    queue_histogram / drop_histogram:
+        Bucketed distributions of per-link peak queue depth and drop
+        count (see :mod:`repro.observability.stats`); populated on every
+        run, cached or not.
+    phase_seconds / phase_calls:
+        Per-phase wall time and execution counts from the tick engine;
+        populated only when the run executed with profiling on.
+    counters:
+        Named event counters (``scans_routed``, ``scans_dark``,
+        ``infections``, ...); populated only under profiling.
     """
 
     wall_time: float = 0.0
@@ -89,6 +100,11 @@ class RunMetrics:
     packets_injected: int = 0
     packets_delivered: int = 0
     packets_dropped: int = 0
+    queue_histogram: dict[str, int] = field(default_factory=dict)
+    drop_histogram: dict[str, int] = field(default_factory=dict)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    phase_calls: dict[str, int] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready dict."""
@@ -96,13 +112,20 @@ class RunMetrics:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunMetrics":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (tolerates pre-observability
+        entries that lack the histogram/profile fields)."""
         return cls(**data)
 
 
 @dataclass(frozen=True)
 class RunResult:
-    """One executed run: curve + metrics + deployment summary."""
+    """One executed run: curve + metrics + deployment summary.
+
+    ``trace`` carries the run's per-tick observability records when the
+    run executed with tracing on.  It is deliberately *not* part of
+    :meth:`to_dict`: traces are bulky, tied to one live execution, and
+    instrumented runs bypass the result cache anyway.
+    """
 
     spec: RunSpec
     trajectory: Trajectory
@@ -111,9 +134,10 @@ class RunResult:
     limited_links: int = 0
     throttled_hosts: int = 0
     cached: bool = False
+    trace: tuple[dict[str, Any], ...] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready dict (used by the result cache)."""
+        """JSON-ready dict (used by the result cache; excludes trace)."""
         return {
             "spec": self.spec.to_dict(),
             "trajectory": trajectory_to_dict(self.trajectory),
@@ -139,7 +163,13 @@ class RunResult:
 
 @dataclass(frozen=True)
 class EnsembleMetrics:
-    """Totals across an ensemble's runs."""
+    """Totals across an ensemble's runs.
+
+    The histogram/profile aggregates are key-wise sums of the per-run
+    dicts, so they are a pure function of the run list — serial and
+    parallel executions of the same ensemble aggregate identically
+    (asserted in the test suite).
+    """
 
     total_wall_time: float = 0.0
     total_ticks: int = 0
@@ -149,6 +179,11 @@ class EnsembleMetrics:
     total_packets_dropped: int = 0
     cache_hits: int = 0
     runs: int = 0
+    queue_histogram: dict[str, int] = field(default_factory=dict)
+    drop_histogram: dict[str, int] = field(default_factory=dict)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    phase_calls: dict[str, int] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_runs(cls, runs: list[RunResult]) -> "EnsembleMetrics":
@@ -168,6 +203,17 @@ class EnsembleMetrics:
             ),
             cache_hits=sum(1 for r in runs if r.cached),
             runs=len(runs),
+            queue_histogram=merge_counts(
+                r.metrics.queue_histogram for r in runs
+            ),
+            drop_histogram=merge_counts(
+                r.metrics.drop_histogram for r in runs
+            ),
+            phase_seconds=merge_seconds(
+                r.metrics.phase_seconds for r in runs
+            ),
+            phase_calls=merge_counts(r.metrics.phase_calls for r in runs),
+            counters=merge_counts(r.metrics.counters for r in runs),
         )
 
 

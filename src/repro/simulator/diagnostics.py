@@ -4,14 +4,23 @@ After a simulated outbreak the interesting operational questions are the
 ones a backbone operator would ask: which links carried the load, where
 did queues build, how much was dropped, and how well do the hotspots
 match the routing-occupancy weights the defense was sized with.  This
-module summarizes a :class:`~repro.simulator.network.Network`'s link
-statistics into a printable report.
+module summarizes a :class:`~repro.simulator.network.Network`'s counters
+into a printable report.
+
+The totals come straight from the observability counters —
+``network.stats`` for the cumulative injected/delivered/dropped tallies,
+:meth:`~repro.simulator.network.Network.total_queued` for in-flight
+packets, and the bucketed queue histogram from
+:mod:`repro.observability.stats` — rather than being re-derived by
+walking link state, so the report and the runner's
+:class:`~repro.runner.results.RunMetrics` can never disagree.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..observability.stats import queue_histogram
 from .network import Network
 
 __all__ = ["LinkHotspot", "NetworkReport", "network_report"]
@@ -41,8 +50,10 @@ class NetworkReport:
     packets_injected: int
     packets_delivered: int
     packets_dropped: int
+    packets_in_flight: int
     total_forwarded: int
     limited_links: int
+    queue_histogram: dict[str, int]
     hotspots: tuple[LinkHotspot, ...]
 
     @property
@@ -52,17 +63,40 @@ class NetworkReport:
             return 1.0
         return self.packets_delivered / self.packets_injected
 
+    @property
+    def is_conserved(self) -> bool:
+        """Packet conservation: injected == delivered + dropped + queued."""
+        return self.packets_injected == (
+            self.packets_delivered
+            + self.packets_dropped
+            + self.packets_in_flight
+        )
+
     def format_table(self) -> str:
         """Fixed-width operator-style report."""
         lines = [
             f"injected={self.packets_injected}  "
             f"delivered={self.packets_delivered}  "
             f"dropped={self.packets_dropped}  "
+            f"in_flight={self.packets_in_flight}  "
             f"delivery_ratio={self.delivery_ratio:.3f}",
             f"rate-limited links: {self.limited_links}",
-            f"{'link':<14} {'forwarded':>10} {'dropped':>8} "
-            f"{'peak_q':>7} {'limit':>8}",
+            "peak-queue histogram: "
+            + (
+                "  ".join(
+                    f"{bucket}:{count}"
+                    for bucket, count in sorted(self.queue_histogram.items())
+                )
+                or "(no links)"
+            ),
         ]
+        if not self.hotspots:
+            lines.append("no link carried traffic")
+            return "\n".join(lines)
+        lines.append(
+            f"{'link':<14} {'forwarded':>10} {'dropped':>8} "
+            f"{'peak_q':>7} {'limit':>8}"
+        )
         for hotspot in self.hotspots:
             limit = (
                 f"{hotspot.rate_limit:8.3f}"
@@ -77,19 +111,27 @@ class NetworkReport:
 
 
 def network_report(network: Network, *, top: int = 10) -> NetworkReport:
-    """Summarize a network's link statistics after a run.
+    """Summarize a network's traffic counters after a run.
 
     Parameters
     ----------
     network:
         The network a simulation just ran on.
     top:
-        Number of hotspot links (by packets forwarded) to include.
+        Maximum number of hotspot links (by packets forwarded) to
+        include.  Links that never saw traffic are not hotspots, so a
+        zero-traffic network reports an empty hotspot table rather than
+        ``top`` all-zero rows.
     """
     if top < 1:
         raise ValueError(f"top must be >= 1, got {top}")
     links = list(network.links.values())
-    by_load = sorted(links, key=lambda l: l.stats.forwarded, reverse=True)
+    active = [
+        link
+        for link in links
+        if link.stats.forwarded or link.stats.dropped or link.stats.enqueued
+    ]
+    by_load = sorted(active, key=lambda l: l.stats.forwarded, reverse=True)
     hotspots = tuple(
         LinkHotspot(
             src=link.src,
@@ -105,7 +147,9 @@ def network_report(network: Network, *, top: int = 10) -> NetworkReport:
         packets_injected=network.stats.packets_injected,
         packets_delivered=network.stats.packets_delivered,
         packets_dropped=network.stats.packets_dropped,
+        packets_in_flight=network.total_queued(),
         total_forwarded=sum(l.stats.forwarded for l in links),
         limited_links=sum(1 for l in links if l.is_rate_limited),
+        queue_histogram=queue_histogram(network),
         hotspots=hotspots,
     )

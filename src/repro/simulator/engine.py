@@ -19,6 +19,9 @@ import itertools
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from enum import IntEnum
+from time import perf_counter
+
+from ..observability.instrumentation import Instrumentation
 
 __all__ = ["Event", "EventScheduler", "Phase", "TickSimulation", "SimulationError"]
 
@@ -135,6 +138,9 @@ class Phase(IntEnum):
 
 TickHandler = Callable[[int], None]
 
+#: Phase -> profile-table name, resolved once (not per tick).
+PHASE_NAMES: dict[Phase, str] = {phase: phase.name.lower() for phase in Phase}
+
 
 class TickSimulation:
     """Tick-synchronous simulation harness over :class:`EventScheduler`.
@@ -146,7 +152,9 @@ class TickSimulation:
     registered components and their RNG seeds.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, *, instrumentation: Instrumentation | None = None
+    ) -> None:
         self._scheduler = EventScheduler()
         self._handlers: dict[Phase, list[TickHandler]] = {
             phase: [] for phase in Phase
@@ -154,6 +162,9 @@ class TickSimulation:
         self._stop_conditions: list[Callable[[int], bool]] = []
         self._tick = 0
         self._stopped = False
+        #: Optional profiling/trace collector; None keeps the tick loop
+        #: on its original fast path (one attribute check per tick).
+        self.instrumentation = instrumentation
 
     @property
     def current_tick(self) -> int:
@@ -174,9 +185,17 @@ class TickSimulation:
         self._stop_conditions.append(predicate)
 
     def _run_tick(self, tick: int) -> None:
+        instr = self.instrumentation
+        if instr is None or not instr.profile:
+            for phase in Phase:
+                for handler in self._handlers[phase]:
+                    handler(tick)
+            return
         for phase in Phase:
+            start = perf_counter()
             for handler in self._handlers[phase]:
                 handler(tick)
+            instr.record_phase(PHASE_NAMES[phase], perf_counter() - start)
 
     def run(self, max_ticks: int) -> int:
         """Run up to ``max_ticks`` ticks; returns the number executed."""
@@ -193,4 +212,8 @@ class TickSimulation:
             if any(predicate(tick) for predicate in self._stop_conditions):
                 break
         self._stopped = True
+        instr = self.instrumentation
+        if instr is not None and instr.profile:
+            instr.count("ticks", executed)
+            instr.count("scheduler_events", self._scheduler.events_executed)
         return executed

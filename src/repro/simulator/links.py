@@ -74,6 +74,8 @@ class LinkStats:
     dropped: int = 0
     enqueued: int = 0
     peak_queue: int = 0
+    #: Drained packets pushed back by a downstream forwarding budget.
+    requeued: int = 0
 
 
 class DirectedLink:
@@ -143,6 +145,7 @@ class DirectedLink:
         """
         packet.hops -= 1
         self.stats.forwarded -= 1
+        self.stats.requeued += 1
         self._queue.appendleft(packet)
 
     def drain(self) -> list[Packet]:

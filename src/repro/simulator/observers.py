@@ -47,6 +47,23 @@ class CurveRecorder:
         """Ticks recorded so far."""
         return len(self._ticks)
 
+    def last_sample(self) -> tuple[int, int, int, int, int] | None:
+        """The most recent ``(tick, S, I, R, ever_infected)`` sample.
+
+        Lets the trace layer reuse the counts :meth:`sample` already
+        computed instead of re-walking every host; ``None`` before the
+        first sample.
+        """
+        if not self._ticks:
+            return None
+        return (
+            self._ticks[-1],
+            self._susceptible[-1],
+            self._infected[-1],
+            self._immune[-1],
+            self._ever_infected[-1],
+        )
+
     def current_infected_fraction(self) -> float:
         """Infected fraction at the latest sample (0.0 before sampling)."""
         if not self._infected:

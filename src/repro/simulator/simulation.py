@@ -21,6 +21,8 @@ from __future__ import annotations
 import random
 
 from ..models.base import Trajectory
+from ..observability.instrumentation import Instrumentation
+from ..observability.trace import tick_record
 from .dynamic import DynamicQuarantine
 from .engine import Phase, TickSimulation
 from .immunization import ImmunizationPolicy, ImmunizationProcess
@@ -61,6 +63,12 @@ class WormSimulation:
         mid-run.
     seed:
         Seed for this run's private RNG; same seed, same run.
+    instrumentation:
+        Optional :class:`~repro.observability.Instrumentation`: the tick
+        engine times each phase into it, the phases count scan outcomes
+        on it, and the observe phase emits one structured trace record
+        per tick to its sink.  ``None`` (the default) keeps the run on
+        the uninstrumented fast path.
     """
 
     def __init__(
@@ -74,6 +82,7 @@ class WormSimulation:
         lan_delivery: bool = False,
         quarantine: DynamicQuarantine | None = None,
         seed: int | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if scan_rate <= 0:
             raise ValueError(f"scan_rate must be positive, got {scan_rate}")
@@ -89,6 +98,7 @@ class WormSimulation:
         self.quarantine = quarantine
         self.rng = random.Random(seed)
         self.recorder = CurveRecorder(network)
+        self.instrumentation = instrumentation
         #: Same-subnet packets awaiting next-tick LAN delivery.
         self._lan_queue: list[Packet] = []
         self.immunization = (
@@ -103,7 +113,7 @@ class WormSimulation:
                 self.recorder.note_infection()
 
         self._arrived: list[Packet] = []
-        self._sim = TickSimulation()
+        self._sim = TickSimulation(instrumentation=instrumentation)
         self._sim.on(Phase.SCAN, self._scan_phase)
         self._sim.on(Phase.TRANSMIT, self._transmit_phase)
         self._sim.on(Phase.DELIVER, self._deliver_phase)
@@ -118,6 +128,7 @@ class WormSimulation:
     def _scan_phase(self, tick: int) -> None:
         network = self.network
         rng = self.rng
+        instr = self.instrumentation
         for node in network.infectable:
             host = network.hosts[node]
             host.tick_throttle()
@@ -125,6 +136,8 @@ class WormSimulation:
                 continue
             for _ in range(scans_this_tick(rng, self.scan_rate)):
                 if not host.allow_scan():
+                    if instr is not None:
+                        instr.count("scans_throttled")
                     break
                 target = self.worm.pick_target(rng, node, network)
                 if target is None:
@@ -132,6 +145,8 @@ class WormSimulation:
                     # may have seen it.
                     if self.quarantine is not None:
                         self.quarantine.note_missed_scan(rng)
+                    if instr is not None:
+                        instr.count("scans_dark")
                     continue
                 packet = Packet(
                     src=node,
@@ -141,8 +156,12 @@ class WormSimulation:
                 )
                 if self.lan_delivery and self._same_subnet(node, target):
                     self._lan_queue.append(packet)
+                    if instr is not None:
+                        instr.count("scans_lan")
                 else:
                     network.inject(packet)
+                    if instr is not None:
+                        instr.count("scans_routed")
 
     def _same_subnet(self, a: int, b: int) -> bool:
         subnets = self.network.subnets
@@ -165,12 +184,15 @@ class WormSimulation:
             self._lan_queue = still_queued
 
     def _deliver_phase(self, tick: int) -> None:
+        instr = self.instrumentation
         for packet in self._arrived:
             if packet.kind is not PacketKind.INFECTION:
                 continue
             host = self.network.hosts.get(packet.dst)
             if host is not None and host.infect(tick):
                 self.recorder.note_infection()
+                if instr is not None:
+                    instr.count("infections")
         self._arrived = []
 
     def _immunize_phase(self, tick: int) -> None:
@@ -181,6 +203,26 @@ class WormSimulation:
 
     def _observe_phase(self, tick: int) -> None:
         self.recorder.sample(tick)
+        instr = self.instrumentation
+        if instr is not None and instr.sink is not None:
+            sample = self.recorder.last_sample()
+            assert sample is not None  # sample() just ran
+            _, susceptible, infected, immune, ever = sample
+            stats = self.network.stats
+            instr.emit(
+                tick_record(
+                    tick=tick,
+                    susceptible=susceptible,
+                    infected=infected,
+                    immune=immune,
+                    ever_infected=ever,
+                    packets_injected=stats.packets_injected,
+                    packets_delivered=stats.packets_delivered,
+                    packets_dropped=stats.packets_dropped,
+                    in_flight=self.network.total_queued(),
+                    lan_queue=len(self._lan_queue),
+                )
+            )
 
     def _epidemic_over(self, tick: int) -> bool:
         susceptible, infected, _immune = self.network.count_states()

@@ -11,6 +11,18 @@ from repro.traces.records import Trace
 from repro.traces.synth import TraceConfig, generate_trace
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "regenerate the hash-pinned fixtures under tests/golden/ "
+            "from the current simulator instead of comparing against them"
+        ),
+    )
+
+
 @pytest.fixture(scope="session", autouse=True)
 def isolated_result_cache(tmp_path_factory):
     """Keep the runner's result cache out of the user's ~/.cache.

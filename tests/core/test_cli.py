@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 import io
+import json
 
 import pytest
 
@@ -147,6 +148,83 @@ class TestRunnerKnobs:
         serial = run_cli(*argv, "--jobs", "1")
         parallel = run_cli(*argv, "--jobs", "2")
         assert serial == parallel
+
+
+class TestObservabilityFlags:
+    def test_trace_writes_valid_jsonl(self, tmp_path):
+        from repro.observability.trace import TICK_RECORD_KEYS
+
+        path = tmp_path / "run.jsonl"
+        output = run_cli(
+            "figure", "fig1b", "--runs", "2", "--ticks", "20",
+            "--no-cache", "--trace", str(path),
+        )
+        assert f"records -> {path}" in output
+
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        meta, ticks = records[0], records[1:]
+        assert meta["type"] == "meta"
+        assert meta["schema_version"] == 1
+        assert ticks, "trace carries no tick records"
+        for record in ticks:
+            assert record["type"] == "tick"
+            # Hub tagging plus the full schema on every record.
+            assert "label" in record and "seed" in record
+            assert set(TICK_RECORD_KEYS) <= set(record)
+
+    def test_profile_prints_phase_table(self):
+        output = run_cli(
+            "figure", "fig1b", "--runs", "2", "--ticks", "20",
+            "--no-cache", "--profile",
+        )
+        assert "phase" in output
+        for phase in ("scan", "transmit", "deliver", "immunize", "observe"):
+            assert phase in output
+        assert "counter" in output
+        assert "ticks" in output
+
+    def test_trace_implies_resimulation_despite_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        path = tmp_path / "run.jsonl"
+        argv = (
+            "figure", "fig1b", "--runs", "2", "--ticks", "20",
+            "--cache-dir", str(cache_dir),
+        )
+        run_cli(*argv)  # warm the cache
+        output = run_cli(*argv, "--trace", str(path))
+        # Instrumented runs bypass the cache, so the trace is complete
+        # (a cached replay would have produced a meta-only file).
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert sum(1 for r in records if r.get("type") == "tick") > 0
+        assert "records ->" in output
+
+    def test_trace_on_analytic_figure_writes_meta_only_artifact(
+        self, tmp_path
+    ):
+        path = tmp_path / "analytic.jsonl"
+        run_cli("figure", "fig1a", "--trace", str(path))
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert len(records) == 1
+        assert records[0]["type"] == "meta"
+
+    def test_flags_reset_between_invocations(self, tmp_path):
+        run_cli(
+            "figure", "fig1b", "--runs", "2", "--ticks", "20",
+            "--no-cache", "--trace", str(tmp_path / "first.jsonl"),
+        )
+        from repro.observability.hub import observability_hub
+
+        assert not observability_hub().active
+        plain = run_cli(
+            "figure", "fig1b", "--runs", "2", "--ticks", "20", "--no-cache"
+        )
+        assert "trace:" not in plain
+        assert "phase" not in plain.split("time to")[0].split("===")[0]
 
 
 class TestMoreCommands:

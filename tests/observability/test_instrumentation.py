@@ -1,0 +1,101 @@
+"""Tests for instrumentation options, collection, and the profile table."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.observability.instrumentation import (
+    Instrumentation,
+    InstrumentationOptions,
+    format_profile_table,
+)
+from repro.observability.trace import MemoryTraceSink
+
+
+class TestInstrumentationOptions:
+    def test_inactive_by_default(self):
+        assert not InstrumentationOptions().active
+
+    def test_active_when_anything_requested(self):
+        assert InstrumentationOptions(profile=True).active
+        assert InstrumentationOptions(trace=True).active
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            InstrumentationOptions(trace=True, trace_capacity=0)
+
+    def test_picklable(self):
+        options = InstrumentationOptions(
+            profile=True, trace=True, trace_capacity=64
+        )
+        assert pickle.loads(pickle.dumps(options)) == options
+
+
+class TestFromOptions:
+    def test_none_and_inactive_yield_none(self):
+        assert Instrumentation.from_options(None) is None
+        assert Instrumentation.from_options(InstrumentationOptions()) is None
+
+    def test_profile_only_has_no_sink(self):
+        instr = Instrumentation.from_options(
+            InstrumentationOptions(profile=True)
+        )
+        assert instr is not None
+        assert instr.profile
+        assert instr.sink is None
+        assert instr.trace_records == ()
+
+    def test_trace_builds_memory_sink_with_capacity(self):
+        instr = Instrumentation.from_options(
+            InstrumentationOptions(trace=True, trace_capacity=2)
+        )
+        assert isinstance(instr.sink, MemoryTraceSink)
+        for tick in range(5):
+            instr.emit({"tick": tick})
+        assert [r["tick"] for r in instr.trace_records] == [3, 4]
+
+
+class TestCollection:
+    def test_record_phase_accumulates(self):
+        instr = Instrumentation(profile=True)
+        instr.record_phase("scan", 0.25)
+        instr.record_phase("scan", 0.50)
+        instr.record_phase("deliver", 0.125)
+        assert instr.phase_seconds == {"scan": 0.75, "deliver": 0.125}
+        assert instr.phase_calls == {"scan": 2, "deliver": 1}
+
+    def test_count_accumulates(self):
+        instr = Instrumentation(profile=True)
+        instr.count("infections")
+        instr.count("infections", 4)
+        assert instr.counters == {"infections": 5}
+
+    def test_emit_without_sink_is_noop(self):
+        Instrumentation(profile=True).emit({"tick": 0})
+
+
+class TestProfileTable:
+    def test_sorted_by_seconds_with_share(self):
+        table = format_profile_table(
+            {"scan": 0.75, "deliver": 0.25},
+            {"scan": 2, "deliver": 1},
+            {"infections": 5},
+        )
+        lines = table.splitlines()
+        assert lines[0].split() == ["phase", "calls", "seconds", "share"]
+        assert lines[1].startswith("scan")
+        assert "75.0%" in lines[1]
+        assert lines[2].startswith("deliver")
+        assert "infections" in table
+
+    def test_empty_profile_notes_nothing_collected(self):
+        assert "(no phase timings collected)" in format_profile_table(
+            {}, {}, {}
+        )
+
+    def test_instrumentation_format_table_delegates(self):
+        instr = Instrumentation(profile=True)
+        instr.record_phase("scan", 0.5)
+        assert "scan" in instr.format_table()

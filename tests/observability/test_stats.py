@@ -1,0 +1,90 @@
+"""Tests for bucketed histograms and key-wise merges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.stats import (
+    HISTOGRAM_BUCKETS,
+    bucket_label,
+    drop_histogram,
+    histogram,
+    merge_counts,
+    merge_seconds,
+    queue_histogram,
+)
+from repro.simulator.network import Network
+from repro.simulator.simulation import WormSimulation
+from repro.simulator.worms import RandomScanWorm
+
+
+class TestBucketLabel:
+    def test_boundaries(self):
+        assert bucket_label(0) == "0"
+        assert bucket_label(1) == "1-9"
+        assert bucket_label(9) == "1-9"
+        assert bucket_label(10) == "10-99"
+        assert bucket_label(999) == "100-999"
+        assert bucket_label(1_000) == "1000-9999"
+        assert bucket_label(10_000) == "10000+"
+        assert bucket_label(10 ** 9) == "10000+"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bucket_label(-1)
+
+    def test_buckets_are_decades(self):
+        assert HISTOGRAM_BUCKETS == (1, 10, 100, 1_000, 10_000)
+
+
+class TestHistogram:
+    def test_counts_only_nonempty_buckets(self):
+        assert histogram([0, 0, 3, 12, 20_000]) == {
+            "0": 2,
+            "1-9": 1,
+            "10-99": 1,
+            "10000+": 1,
+        }
+
+    def test_empty(self):
+        assert histogram([]) == {}
+
+
+class TestMerges:
+    def test_merge_counts_keywise(self):
+        merged = merge_counts([{"a": 1, "b": 2}, {"b": 3, "c": 4}, {}])
+        assert merged == {"a": 1, "b": 5, "c": 4}
+
+    def test_merge_seconds_keywise(self):
+        merged = merge_seconds([{"scan": 0.5}, {"scan": 0.25, "observe": 1.0}])
+        assert merged == {"scan": 0.75, "observe": 1.0}
+
+    def test_merge_empty_iterable(self):
+        assert merge_counts([]) == {}
+        assert merge_seconds([]) == {}
+
+
+class TestNetworkHistograms:
+    def test_fresh_network_all_zero_bucket(self, small_network):
+        assert queue_histogram(small_network) == {
+            "0": len(small_network.links)
+        }
+        assert drop_histogram(small_network) == {
+            "0": len(small_network.links)
+        }
+
+    def test_histograms_cover_every_link_after_run(self):
+        network = Network.from_powerlaw(120, seed=5)
+        WormSimulation(
+            network,
+            RandomScanWorm(),
+            scan_rate=0.8,
+            initial_infections=2,
+            seed=5,
+        ).run(40)
+        queues = queue_histogram(network)
+        drops = drop_histogram(network)
+        assert sum(queues.values()) == len(network.links)
+        assert sum(drops.values()) == len(network.links)
+        # A worm outbreak queues packets somewhere.
+        assert set(queues) != {"0"}

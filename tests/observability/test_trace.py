@@ -1,0 +1,126 @@
+"""Tests for trace records, sinks, and the JSONL round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability.trace import (
+    TICK_RECORD_KEYS,
+    TRACE_SCHEMA_VERSION,
+    JsonlTraceSink,
+    MemoryTraceSink,
+    TraceSink,
+    meta_record,
+    read_trace,
+    tick_record,
+)
+
+
+def sample_record(tick: int = 0) -> dict:
+    return tick_record(
+        tick=tick,
+        susceptible=100,
+        infected=5,
+        immune=0,
+        ever_infected=5,
+        packets_injected=10,
+        packets_delivered=8,
+        packets_dropped=0,
+        in_flight=2,
+        lan_queue=0,
+    )
+
+
+class TestTickRecord:
+    def test_carries_every_schema_key(self):
+        record = sample_record()
+        assert tuple(record) == TICK_RECORD_KEYS
+        assert record["type"] == "tick"
+
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            tick_record(0, 100, 5, 0, 5, 10, 8, 0, 2, 0)  # type: ignore[misc]
+
+    def test_meta_record_versioned(self):
+        meta = meta_record(source="test")
+        assert meta["type"] == "meta"
+        assert meta["schema_version"] == TRACE_SCHEMA_VERSION
+        assert meta["source"] == "test"
+
+
+class TestMemoryTraceSink:
+    def test_unbounded_keeps_everything(self):
+        sink = MemoryTraceSink()
+        for tick in range(5):
+            sink.emit(sample_record(tick))
+        assert [r["tick"] for r in sink.records] == [0, 1, 2, 3, 4]
+        assert sink.emitted == 5
+
+    def test_ring_buffer_keeps_last_capacity_records(self):
+        sink = MemoryTraceSink(capacity=3)
+        for tick in range(10):
+            sink.emit(sample_record(tick))
+        assert [r["tick"] for r in sink.records] == [7, 8, 9]
+        # emitted counts everything, including evicted records.
+        assert sink.emitted == 10
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryTraceSink(capacity=0)
+
+
+class TestJsonlTraceSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        records = [sample_record(t) for t in range(4)]
+        with JsonlTraceSink(path, label="x") as sink:
+            for record in records:
+                sink.emit(record)
+        assert read_trace(path) == records
+
+    def test_meta_header_first_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path, label="x") as sink:
+            sink.emit(sample_record())
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["type"] == "meta"
+        assert first["schema_version"] == TRACE_SCHEMA_VERSION
+        assert first["label"] == "x"
+
+    def test_read_trace_include_meta(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        JsonlTraceSink(path).close()
+        assert read_trace(path) == []
+        with_meta = read_trace(path, include_meta=True)
+        assert len(with_meta) == 1
+        assert with_meta[0]["type"] == "meta"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.jsonl"
+        JsonlTraceSink(path).close()
+        assert path.exists()
+
+    def test_close_idempotent_emit_after_close_raises(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "trace.jsonl")
+        sink.close()
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit(sample_record())
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            for tick in range(3):
+                sink.emit(sample_record(tick))
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestBaseSink:
+    def test_emit_abstract_close_noop(self):
+        sink = TraceSink()
+        with pytest.raises(NotImplementedError):
+            sink.emit({})
+        sink.close()

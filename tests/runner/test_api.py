@@ -125,9 +125,9 @@ class TestConfiguration:
         calls = []
 
         class SpyExecutor(SerialExecutor):
-            def run_specs(self, specs):
+            def run_specs(self, specs, options=None):
                 calls.append(len(specs))
-                return super().run_specs(specs)
+                return super().run_specs(specs, options)
 
         with use_config(RunnerConfig(jobs=4)):
             run_ensemble(tiny_ensemble(), executor=SpyExecutor())

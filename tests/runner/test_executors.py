@@ -14,11 +14,13 @@ import pytest
 from repro.runner import (
     DefenseSpec,
     EnsembleSpec,
+    InstrumentationOptions,
     ParallelExecutor,
     RunSpec,
     SerialExecutor,
     TopologySpec,
     WormSpec,
+    run_ensemble,
 )
 from repro.runner.executors import RunTimeoutError
 
@@ -62,6 +64,63 @@ class TestParity:
             )
             assert s.defense_name == p.defense_name
             assert s.limited_links == p.limited_links
+
+
+class TestInstrumentedParity:
+    """Serial and parallel executors must aggregate identically.
+
+    Wall-clock fields (``wall_time``, ``phase_seconds``) are the only
+    legitimately nondeterministic metrics; everything else — call
+    counts, event counters, histograms, packet totals, traces, and the
+    averaged curve — is a pure function of the specs and must match
+    bit-for-bit across executors.
+    """
+
+    def run_both(self):
+        spec = small_ensemble(num_runs=3)
+        options = InstrumentationOptions(profile=True, trace=True)
+        serial = run_ensemble(
+            spec,
+            executor=SerialExecutor(),
+            use_cache=False,
+            options=options,
+        )
+        parallel = run_ensemble(
+            spec,
+            executor=ParallelExecutor(jobs=2),
+            use_cache=False,
+            options=options,
+        )
+        return serial, parallel
+
+    def test_aggregated_metrics_identical(self):
+        serial, parallel = self.run_both()
+        s, p = serial.metrics, parallel.metrics
+        assert s.phase_calls == p.phase_calls
+        assert s.counters == p.counters
+        assert s.queue_histogram == p.queue_histogram
+        assert s.drop_histogram == p.drop_histogram
+        assert s.total_ticks == p.total_ticks
+        assert s.total_events == p.total_events
+        assert s.total_packets_injected == p.total_packets_injected
+        assert s.total_packets_delivered == p.total_packets_delivered
+        assert s.total_packets_dropped == p.total_packets_dropped
+        assert set(s.phase_seconds) == set(p.phase_seconds)
+
+    def test_traces_identical(self):
+        serial, parallel = self.run_both()
+        for s, p in zip(serial.runs, parallel.runs):
+            assert s.trace is not None
+            assert s.trace == p.trace
+
+    def test_mean_curves_identical(self):
+        serial, parallel = self.run_both()
+        np.testing.assert_array_equal(
+            serial.mean.infected, parallel.mean.infected
+        )
+        np.testing.assert_array_equal(
+            serial.mean.ever_infected, parallel.mean.ever_infected
+        )
 
 
 class TestSerialExecutor:

@@ -7,6 +7,8 @@ import numpy as np
 from repro.models.base import Trajectory
 from repro.runner import (
     EnsembleMetrics,
+    InstrumentationOptions,
+    ResultCache,
     RunMetrics,
     RunResult,
     RunSpec,
@@ -14,6 +16,7 @@ from repro.runner import (
     run_one,
 )
 from repro.runner.results import trajectory_from_dict, trajectory_to_dict
+from repro.simulator.observers import average_trajectories
 
 
 def tiny_run() -> RunResult:
@@ -107,3 +110,95 @@ class TestRunMetricsRoundTrip:
             packets_dropped=10,
         )
         assert RunMetrics.from_dict(metrics.to_dict()) == metrics
+
+    def test_round_trip_preserves_observability_fields(self):
+        metrics = RunMetrics(
+            wall_time=0.5,
+            ticks_executed=10,
+            packets_injected=100,
+            queue_histogram={"0": 50, "1-9": 8},
+            drop_histogram={"0": 58},
+            phase_seconds={"scan": 0.2, "transmit": 0.25},
+            phase_calls={"scan": 10, "transmit": 10},
+            counters={"infections": 12, "scans_routed": 80},
+        )
+        assert RunMetrics.from_dict(metrics.to_dict()) == metrics
+
+    def test_from_dict_tolerates_pre_observability_entries(self):
+        """Cache entries written before the histogram/profile fields
+        existed must still load (with empty defaults)."""
+        legacy = {
+            "wall_time": 0.5,
+            "ticks_executed": 10,
+            "events_executed": 0,
+            "packets_injected": 100,
+            "packets_delivered": 90,
+            "packets_dropped": 10,
+        }
+        metrics = RunMetrics.from_dict(legacy)
+        assert metrics.queue_histogram == {}
+        assert metrics.phase_seconds == {}
+        assert metrics.counters == {}
+
+    def test_profiled_run_survives_result_cache(self, tmp_path):
+        """A profiled run's metrics round-trip through the cache with
+        every observability field intact (histograms always; phase data
+        because this run was instrumented)."""
+        result = run_one(
+            RunSpec(
+                topology=TopologySpec(kind="star", num_nodes=30),
+                max_ticks=15,
+            ),
+            InstrumentationOptions(profile=True),
+        )
+        assert result.metrics.queue_histogram
+        assert result.metrics.phase_seconds
+        assert result.metrics.counters
+
+        cache = ResultCache(tmp_path)
+        cache.store(result)
+        loaded = cache.load(result.spec)
+        assert loaded is not None
+        assert loaded.cached
+        assert loaded.metrics == result.metrics
+        # The in-memory trace never enters the cache.
+        assert loaded.trace is None
+
+
+class TestAverageTrajectoriesMixedLengths:
+    def make(self, infected, population=10.0):
+        values = np.asarray(infected, dtype=float)
+        return Trajectory(
+            times=np.arange(values.size, dtype=float),
+            infected=values,
+            population=population,
+            ever_infected=values.copy(),
+        )
+
+    def test_short_runs_hold_last_value(self):
+        """A run that stopped early (saturated/extinguished epidemic) is
+        extended by holding its final value, not zero-padded."""
+        long = self.make([0.0, 2.0, 4.0, 6.0, 8.0])
+        short = self.make([0.0, 4.0, 8.0])  # saturated at t=2
+        mean = average_trajectories([long, short])
+        assert mean.times.size == 5
+        np.testing.assert_array_equal(
+            mean.infected, [0.0, 3.0, 6.0, 7.0, 8.0]
+        )
+
+    def test_times_come_from_longest_run(self):
+        long = self.make([0.0, 1.0, 2.0, 3.0])
+        short = self.make([0.0, 3.0])
+        mean = average_trajectories([short, long])
+        np.testing.assert_array_equal(mean.times, long.times)
+
+    def test_three_way_mixed_lengths(self):
+        mean = average_trajectories(
+            [
+                self.make([0.0, 3.0, 6.0]),
+                self.make([0.0, 6.0]),
+                self.make([0.0, 0.0, 0.0, 9.0]),
+            ]
+        )
+        # t=3: held values 6, 6 and fresh 9 -> mean 7.
+        assert mean.infected[-1] == 7.0

@@ -70,3 +70,59 @@ class TestNetworkReport:
         network = Network.from_powerlaw(120, seed=7)
         with pytest.raises(ValueError):
             network_report(network, top=0)
+
+
+class TestZeroTrafficNetwork:
+    """A network nothing ever ran on reports cleanly, not with junk rows."""
+
+    def make_report(self):
+        return network_report(Network.from_powerlaw(120, seed=7))
+
+    def test_no_hotspots(self):
+        """Idle links are not hotspots: no ``top`` all-zero rows."""
+        report = self.make_report()
+        assert report.hotspots == ()
+
+    def test_counters_all_zero_and_conserved(self):
+        report = self.make_report()
+        assert report.packets_injected == 0
+        assert report.packets_delivered == 0
+        assert report.packets_dropped == 0
+        assert report.packets_in_flight == 0
+        assert report.total_forwarded == 0
+        assert report.is_conserved
+
+    def test_queue_histogram_all_in_zero_bucket(self):
+        network = Network.from_powerlaw(120, seed=7)
+        report = network_report(network)
+        assert set(report.queue_histogram) == {"0"}
+        assert report.queue_histogram["0"] == len(network.links)
+
+    def test_format_table_mentions_no_traffic(self):
+        table = self.make_report().format_table()
+        assert "no link carried traffic" in table
+        assert "->" not in table
+
+
+class TestNewCounters:
+    """The report totals come from the observability counters."""
+
+    def test_conservation_after_outbreak(self):
+        report = network_report(run_outbreak(defended=True))
+        assert report.is_conserved
+        assert report.packets_in_flight >= 0
+
+    def test_in_flight_matches_total_queued(self):
+        network = run_outbreak(defended=True)
+        report = network_report(network)
+        assert report.packets_in_flight == network.total_queued()
+
+    def test_queue_histogram_covers_every_link(self):
+        network = run_outbreak(defended=True)
+        report = network_report(network)
+        assert sum(report.queue_histogram.values()) == len(network.links)
+
+    def test_format_table_shows_histogram_and_in_flight(self):
+        table = network_report(run_outbreak(defended=True)).format_table()
+        assert "in_flight=" in table
+        assert "peak-queue histogram:" in table

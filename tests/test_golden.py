@@ -1,0 +1,162 @@
+"""Golden-run regression tests: hash-pinned figure trajectories.
+
+Each fixture under ``tests/golden/`` pins a small, fast variant of one
+of the paper's simulated figures: the full per-curve series plus a
+SHA-256 over their canonical JSON.  The simulator is deterministic given
+a seed (``random.Random`` is stable across platforms, and the curves are
+exact integer-count means), so any behavioral change to the engine,
+scheduler, worm strategies, or defense deployment shows up here as a
+hash mismatch with a per-curve deviation report.
+
+To bless an *intentional* behavior change, regenerate the fixtures:
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+
+and commit the updated JSON alongside the change that caused it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import (
+    fig1b_star_simulation,
+    fig4_powerlaw_simulation,
+    fig8a_immunization_simulation,
+)
+from repro.runner import RunnerConfig, use_config
+from repro.runner.results import trajectory_to_dict
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Small-N fast variants of the paper's simulated figures.  Parameters
+#: are part of the fixture, so a mismatch there is caught too.
+CASES = {
+    "fig1b": {
+        "build": lambda: fig1b_star_simulation(num_runs=2, max_ticks=30),
+        "params": {"num_runs": 2, "max_ticks": 30},
+    },
+    "fig4": {
+        "build": lambda: fig4_powerlaw_simulation(
+            num_nodes=150, num_runs=2, max_ticks=60
+        ),
+        "params": {"num_nodes": 150, "num_runs": 2, "max_ticks": 60},
+    },
+    "fig8a": {
+        "build": lambda: fig8a_immunization_simulation(
+            num_nodes=150, num_runs=2, max_ticks=40
+        ),
+        "params": {"num_nodes": 150, "num_runs": 2, "max_ticks": 40},
+    },
+}
+
+
+def canonical_curves(curves) -> dict:
+    """JSON-ready, key-sorted form of a figure's curve dict."""
+    return {
+        label: trajectory_to_dict(trajectory)
+        for label, trajectory in sorted(curves.items())
+    }
+
+
+def digest(payload) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def simulate(figure: str) -> dict:
+    """Run the figure's fast variant hermetically (serial, no cache)."""
+    with use_config(RunnerConfig(jobs=1, cache_enabled=False)):
+        curves = CASES[figure]["build"]()
+    payload = canonical_curves(curves)
+    return {
+        "figure": figure,
+        "params": CASES[figure]["params"],
+        "sha256": digest(payload),
+        "curves": payload,
+    }
+
+
+def describe_drift(expected: dict, actual: dict) -> str:
+    """Per-curve deviation summary for the failure message."""
+    lines = []
+    for label in sorted(set(expected) | set(actual)):
+        if label not in expected:
+            lines.append(f"  {label}: new curve (not in fixture)")
+            continue
+        if label not in actual:
+            lines.append(f"  {label}: curve missing from this run")
+            continue
+        want, got = expected[label], actual[label]
+        for series in ("times", "infected", "ever_infected"):
+            a, b = want.get(series), got.get(series)
+            if a is None or b is None:
+                if a != b:
+                    lines.append(f"  {label}.{series}: presence differs")
+                continue
+            if len(a) != len(b):
+                lines.append(
+                    f"  {label}.{series}: length {len(a)} -> {len(b)}"
+                )
+                continue
+            deviation = float(
+                np.max(np.abs(np.asarray(a) - np.asarray(b)))
+            )
+            if deviation > 0:
+                lines.append(
+                    f"  {label}.{series}: max |delta| = {deviation:.6g}"
+                )
+    return "\n".join(lines) if lines else "  (hash differs in other series)"
+
+
+@pytest.mark.parametrize("figure", sorted(CASES))
+def test_golden_trajectories(figure, request):
+    fixture_path = GOLDEN_DIR / f"{figure}.json"
+    fresh = simulate(figure)
+
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        fixture_path.write_text(
+            json.dumps(fresh, sort_keys=True, indent=1) + "\n",
+            encoding="utf-8",
+        )
+        return
+
+    assert fixture_path.exists(), (
+        f"golden fixture {fixture_path} missing; generate it with "
+        f"'pytest {__file__} --update-golden'"
+    )
+    golden = json.loads(fixture_path.read_text(encoding="utf-8"))
+    assert golden["params"] == fresh["params"], (
+        f"{figure}: fixture was generated with {golden['params']}, "
+        f"test now runs {fresh['params']}; regenerate with --update-golden"
+    )
+    if fresh["sha256"] != golden["sha256"]:
+        pytest.fail(
+            f"{figure}: simulated trajectories drifted from the golden "
+            f"fixture.\n"
+            f"  fixture sha256: {golden['sha256']}\n"
+            f"  current sha256: {fresh['sha256']}\n"
+            f"per-curve deviations:\n"
+            f"{describe_drift(golden['curves'], fresh['curves'])}\n"
+            f"If this change is intentional, regenerate the fixtures with "
+            f"'pytest tests/test_golden.py --update-golden' and commit "
+            f"them with the change."
+        )
+
+
+def test_fixture_hashes_self_consistent():
+    """Each committed fixture's hash matches its own stored curves."""
+    for figure in sorted(CASES):
+        fixture_path = GOLDEN_DIR / f"{figure}.json"
+        assert fixture_path.exists(), f"missing fixture {fixture_path}"
+        golden = json.loads(fixture_path.read_text(encoding="utf-8"))
+        assert golden["sha256"] == digest(golden["curves"]), (
+            f"{figure}: fixture hash does not match its curves "
+            f"(hand-edited fixture?)"
+        )
