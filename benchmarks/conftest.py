@@ -18,7 +18,10 @@ harness honors its environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 
 import numpy as np
 import pytest
@@ -26,6 +29,66 @@ import pytest
 from repro.core.scenarios import shared_trace
 from repro.models.base import Trajectory
 from repro.runner import configure, current_config
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the records benchmarks register with the "
+            "bench_recorder fixture to PATH as JSON (the regression "
+            "ledger the engine benchmarks feed, e.g. BENCH_pr3.json)"
+        ),
+    )
+
+
+class BenchRecorder:
+    """Collects per-scenario benchmark records for the JSON ledger.
+
+    Benchmarks call :meth:`record` with whatever scalars describe one
+    measured scenario (wall-clock seconds, ticks/sec, speedups); the
+    session teardown writes them, plus machine metadata, to the path
+    given by ``--bench-json``.  Without the option the recorder still
+    collects — the records just go nowhere — so benchmarks never need
+    to branch on whether a ledger was requested.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def record(self, scenario: str, **fields) -> dict:
+        entry = {"scenario": scenario, **fields}
+        self.records.append(entry)
+        return entry
+
+    def dump(self, path: str) -> None:
+        payload = {
+            "meta": {
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "cpu_count": os.cpu_count(),
+                "recorded_at": time.strftime(
+                    "%Y-%m-%dT%H:%M:%S", time.gmtime()
+                ),
+            },
+            "benchmarks": self.records,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+@pytest.fixture(scope="session")
+def bench_recorder(request):
+    """Session-wide benchmark ledger; written on teardown if requested."""
+    recorder = BenchRecorder()
+    yield recorder
+    path = request.config.getoption("--bench-json")
+    if path and recorder.records:
+        recorder.dump(path)
+        print(f"\n[bench] wrote {len(recorder.records)} records to {path}")
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -1,0 +1,189 @@
+"""Engine benchmarks: reference vs fast wall-clock on the paper scenarios.
+
+Measures the two scenarios the differential harness anchors on:
+
+* **fig 1b star** — small enough that the fast engine runs in mirror
+  mode; the trajectories must be bit-identical, and the timing shows
+  what exact RNG replay costs;
+* **fig 4 power law** (1,000 nodes, the paper's scale) — the fast
+  engine runs in batch mode across the figure's deployment strategies;
+  final sizes must agree statistically while the wall clock drops by
+  the documented ~5x;
+
+plus a 10,000-node power-law run on the fast engine only, demonstrating
+a scale the reference engine is too slow to sweep.
+
+Run with ``--bench-json BENCH_pr3.json`` to write the regression ledger
+(wall-clock seconds, ticks/sec, speedups per scenario).  The speedup
+assertions here are deliberately loose floors that only catch
+catastrophic regressions; the ledger carries the real numbers.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    FastWormSimulation,
+    Network,
+    RandomScanWorm,
+    WormSimulation,
+    deploy_backbone_rate_limit,
+    deploy_edge_rate_limit,
+    deploy_host_rate_limit,
+)
+
+#: fig 4 deployment strategies (mirrors repro.core.scenarios.fig4).
+FIG4_STRATEGIES = {
+    "none": None,
+    "hosts": lambda net: deploy_host_rate_limit(net, 0.05, 0.01, seed=7),
+    "edge": lambda net: deploy_edge_rate_limit(net, 0.02),
+    "backbone": lambda net: deploy_backbone_rate_limit(net, 0.02),
+}
+
+FIG4_SEEDS = (42, 43, 44)
+
+
+def _timed_run(engine_cls, network, *, seed, scan_rate, max_ticks,
+               initial_infections=2):
+    """Run one seeded simulation; only the tick loop is timed."""
+    simulation = engine_cls(
+        network,
+        RandomScanWorm(),
+        scan_rate=scan_rate,
+        initial_infections=initial_infections,
+        seed=seed,
+    )
+    start = time.perf_counter()
+    trajectory = simulation.run(max_ticks)
+    elapsed = time.perf_counter() - start
+    return elapsed, trajectory
+
+
+def test_fig1b_star_engines(bench_recorder):
+    """200-leaf star: mirror mode, bit-identical, timed on both engines."""
+    results = {}
+    for label, engine_cls in (
+        ("reference", WormSimulation),
+        ("fast", FastWormSimulation),
+    ):
+        times, trajectories = [], []
+        for seed in FIG4_SEEDS:
+            network = Network.from_star(200)
+            elapsed, trajectory = _timed_run(
+                engine_cls, network, seed=seed, scan_rate=0.8, max_ticks=60
+            )
+            times.append(elapsed)
+            trajectories.append(trajectory)
+        results[label] = (times, trajectories)
+
+    for traj_ref, traj_fast in zip(results["reference"][1], results["fast"][1]):
+        np.testing.assert_array_equal(traj_ref.infected, traj_fast.infected)
+        np.testing.assert_array_equal(
+            traj_ref.ever_infected, traj_fast.ever_infected
+        )
+
+    ref_median = statistics.median(results["reference"][0])
+    fast_median = statistics.median(results["fast"][0])
+    ticks = len(results["fast"][1][0].times)
+    bench_recorder.record(
+        "fig1b_star_200",
+        engine_mode="mirror",
+        ticks=ticks,
+        reference_seconds=round(ref_median, 4),
+        fast_seconds=round(fast_median, 4),
+        speedup=round(ref_median / fast_median, 2),
+        fast_ticks_per_second=round(ticks / fast_median, 1),
+        bit_identical=True,
+    )
+    print(
+        f"\nfig1b star: ref {ref_median:.3f}s fast {fast_median:.3f}s "
+        f"({ref_median / fast_median:.2f}x, bit-identical)"
+    )
+
+
+@pytest.mark.parametrize("strategy", FIG4_STRATEGIES, ids=FIG4_STRATEGIES)
+def test_fig4_powerlaw_engines(bench_recorder, strategy):
+    """1,000-node power law: batch mode at the paper's figure-4 scale."""
+    deploy = FIG4_STRATEGIES[strategy]
+    results = {}
+    for label, engine_cls in (
+        ("reference", WormSimulation),
+        ("fast", FastWormSimulation),
+    ):
+        times, finals, ticks_run = [], [], []
+        for seed in FIG4_SEEDS:
+            network = Network.from_powerlaw(1000, seed=42)
+            if deploy is not None:
+                deploy(network)
+            elapsed, trajectory = _timed_run(
+                engine_cls, network, seed=seed, scan_rate=0.8, max_ticks=400
+            )
+            times.append(elapsed)
+            finals.append(float(trajectory.ever_infected[-1]))
+            ticks_run.append(len(trajectory.times))
+        results[label] = (times, finals, ticks_run)
+
+    ref_median = statistics.median(results["reference"][0])
+    fast_median = statistics.median(results["fast"][0])
+    speedup = ref_median / fast_median
+    ref_final = statistics.mean(results["reference"][1])
+    fast_final = statistics.mean(results["fast"][1])
+    ticks = statistics.median(results["fast"][2])
+
+    bench_recorder.record(
+        f"fig4_powerlaw_1000_{strategy}",
+        engine_mode="batch",
+        ticks=int(ticks),
+        reference_seconds=round(ref_median, 4),
+        fast_seconds=round(fast_median, 4),
+        speedup=round(speedup, 2),
+        fast_ticks_per_second=round(ticks / fast_median, 1),
+        reference_mean_final_size=round(ref_final, 1),
+        fast_mean_final_size=round(fast_final, 1),
+    )
+    print(
+        f"\nfig4/{strategy}: ref {ref_median:.3f}s fast {fast_median:.3f}s "
+        f"({speedup:.2f}x) final {ref_final:.1f} vs {fast_final:.1f}"
+    )
+
+    # Statistical agreement: mean final sizes within 5% of the
+    # population (3 seeds is a smoke check; the 20-seed comparison
+    # lives in tests/test_engine_equivalence.py).
+    assert abs(ref_final - fast_final) <= 0.05 * 1000
+    # Loose wall-clock floor; the target (>=5x) is read off the ledger.
+    assert speedup >= 1.5, f"fast engine regressed: {speedup:.2f}x"
+
+
+def test_powerlaw_10k_fast_only(bench_recorder):
+    """10,000-node power law on the fast engine: the scale headroom demo."""
+    network = Network.from_powerlaw(10_000, seed=42)
+    elapsed, trajectory = _timed_run(
+        FastWormSimulation,
+        network,
+        seed=42,
+        scan_rate=0.8,
+        max_ticks=400,
+        initial_infections=10,
+    )
+    ticks = len(trajectory.times)
+    final = float(trajectory.ever_infected[-1])
+    bench_recorder.record(
+        "powerlaw_10k_fast",
+        engine_mode="batch",
+        ticks=ticks,
+        fast_seconds=round(elapsed, 4),
+        fast_ticks_per_second=round(ticks / elapsed, 1),
+        final_size=final,
+        num_infectable=network.num_infectable,
+    )
+    print(
+        f"\n10k power law: fast {elapsed:.3f}s over {ticks} ticks "
+        f"({ticks / elapsed:.0f} ticks/s), final {final:.0f}"
+        f"/{network.num_infectable}"
+    )
+    assert final > 0.9 * network.num_infectable

@@ -40,6 +40,7 @@ from .results import (
     RunResult,
 )
 from .spec import (
+    ENGINE_KINDS,
     DefenseSpec,
     EnsembleSpec,
     QuarantineSpec,
@@ -53,6 +54,7 @@ from .spec import (
 __all__ = [
     "CACHE_VERSION",
     "DefenseSpec",
+    "ENGINE_KINDS",
     "EnsembleMetrics",
     "EnsembleResult",
     "EnsembleSpec",

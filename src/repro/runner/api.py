@@ -12,6 +12,7 @@ cache.
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 
 from ..observability.hub import observability_hub
@@ -97,6 +98,14 @@ def run_ensemble(
         )
 
     runs = spec.expand()
+    engine = current_config().engine
+    if engine is not None:
+        # The override rewrites the specs themselves (not just the
+        # execution) so cache lookups key on the engine that will run.
+        runs = tuple(
+            dataclasses.replace(run_spec, engine=engine)
+            for run_spec in runs
+        )
     results: dict[int, RunResult] = {}
     pending: list[tuple[int, RunSpec]] = []
     if cache is not None:

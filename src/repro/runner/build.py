@@ -27,6 +27,7 @@ from ..simulator.defense import (
     no_defense,
 )
 from ..simulator.dynamic import DynamicQuarantine
+from ..simulator.fastpath import FastWormSimulation
 from ..simulator.network import Network
 from ..simulator.observers import subset_fraction_curve
 from ..simulator.simulation import WormSimulation
@@ -144,7 +145,10 @@ def execute_run(
         if spec.quarantine is not None
         else None
     )
-    simulation = WormSimulation(
+    simulation_cls = (
+        FastWormSimulation if spec.engine == "fast" else WormSimulation
+    )
+    simulation = simulation_cls(
         network,
         build_worm(spec.worm),
         scan_rate=spec.scan_rate,

@@ -28,7 +28,9 @@ __all__ = ["CACHE_VERSION", "spec_digest", "ResultCache", "default_cache_dir"]
 #: Version tag mixed into every digest; bump on simulator-behavior changes.
 #: v2: RunMetrics gained queue/drop histograms — pre-observability
 #: entries would replay with empty histograms, so they must not match.
-CACHE_VERSION = 2
+#: v3: RunSpec gained the ``engine`` field — pre-engine digests covered
+#: the same scenario dict minus that key, so they must not match either.
+CACHE_VERSION = 3
 
 
 def spec_digest(spec: RunSpec) -> str:

@@ -9,7 +9,7 @@ process once:
 * the CLI maps ``--jobs`` / ``--no-cache`` / ``--cache-dir`` onto
   :func:`configure`;
 * the benchmark harness reads ``REPRO_JOBS`` / ``REPRO_CACHE`` /
-  ``REPRO_CACHE_DIR`` from the environment;
+  ``REPRO_CACHE_DIR`` / ``REPRO_ENGINE`` from the environment;
 * tests pin a configuration for one block with :func:`use_config`.
 
 Explicit ``executor=`` / ``cache=`` arguments to ``run_ensemble`` always
@@ -22,6 +22,8 @@ import os
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from pathlib import Path
+
+from .spec import ENGINE_KINDS
 
 __all__ = ["RunnerConfig", "configure", "current_config", "use_config"]
 
@@ -40,16 +42,25 @@ class RunnerConfig:
         Result-cache directory; ``None`` uses the per-user default.
     timeout:
         Optional per-run wall-clock limit (parallel execution only).
+    engine:
+        Simulation-engine override applied to every run of every
+        ensemble (``"reference"`` or ``"fast"``); ``None`` leaves each
+        spec's own ``engine`` field in charge.
     """
 
     jobs: int = 1
     cache_enabled: bool = False
     cache_dir: Path | None = None
     timeout: float | None = None
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.engine is not None and self.engine not in ENGINE_KINDS:
+            raise ValueError(
+                f"engine must be one of {ENGINE_KINDS}, got {self.engine!r}"
+            )
 
 
 def _config_from_env() -> RunnerConfig:
@@ -57,10 +68,12 @@ def _config_from_env() -> RunnerConfig:
     jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
     cache_enabled = os.environ.get("REPRO_CACHE", "0") not in ("", "0", "off")
     cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    engine = os.environ.get("REPRO_ENGINE") or None
     return RunnerConfig(
         jobs=max(jobs, 1),
         cache_enabled=cache_enabled,
         cache_dir=Path(cache_dir) if cache_dir else None,
+        engine=engine,
     )
 
 
@@ -78,6 +91,7 @@ def configure(
     cache_enabled: bool | None = None,
     cache_dir: str | Path | None = None,
     timeout: float | None = None,
+    engine: str | None = None,
 ) -> RunnerConfig:
     """Update the process-wide configuration; returns the new config.
 
@@ -94,6 +108,8 @@ def configure(
         updates["cache_dir"] = Path(cache_dir)
     if timeout is not None:
         updates["timeout"] = timeout
+    if engine is not None:
+        updates["engine"] = engine
     _config = replace(_config, **updates)
     return _config
 

@@ -31,6 +31,7 @@ from ..simulator.immunization import ImmunizationPolicy
 __all__ = [
     "SpecError",
     "derive_seed",
+    "ENGINE_KINDS",
     "TopologySpec",
     "WormSpec",
     "DefenseSpec",
@@ -45,6 +46,12 @@ OBSERVE_MODES = ("population", "seed_subnets")
 TOPOLOGY_KINDS = ("powerlaw", "star")
 WORM_KINDS = ("random", "local_preferential", "topological", "sequential")
 DEFENSE_KINDS = ("none", "hosts", "hub", "edge", "backbone")
+
+#: Simulation engines the run executor can build.  ``"reference"`` is
+#: the object-per-host :class:`~repro.simulator.simulation.WormSimulation`
+#: (the semantic oracle); ``"fast"`` is the struct-of-arrays
+#: :class:`~repro.simulator.fastpath.FastWormSimulation`.
+ENGINE_KINDS = ("reference", "fast")
 
 
 class SpecError(ValueError):
@@ -202,6 +209,11 @@ class RunSpec:
         ``"population"`` records the whole-network infection curve;
         ``"seed_subnets"`` records the infected fraction within the
         subnets holding the initial seeds (Figure 5's view).
+    engine:
+        Which simulation engine executes the run: ``"reference"`` (the
+        object-per-host oracle) or ``"fast"`` (struct-of-arrays).  Part
+        of the spec — and therefore the cache digest — because the fast
+        engine is only statistically equivalent on large populations.
     """
 
     topology: TopologySpec = field(default_factory=TopologySpec)
@@ -215,6 +227,7 @@ class RunSpec:
     max_ticks: int = 100
     seed: int = 0
     observe: str = "population"
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         if self.scan_rate <= 0:
@@ -229,6 +242,10 @@ class RunSpec:
             raise SpecError(
                 f"observe must be one of {OBSERVE_MODES}, "
                 f"got {self.observe!r}"
+            )
+        if self.engine not in ENGINE_KINDS:
+            raise SpecError(
+                f"engine must be one of {ENGINE_KINDS}, got {self.engine!r}"
             )
 
     def to_dict(self) -> dict[str, Any]:

@@ -17,6 +17,7 @@ from .defense import (
     no_defense,
 )
 from .engine import Event, EventScheduler, Phase, SimulationError, TickSimulation
+from .fastpath import FastWormSimulation
 from .immunization import ImmunizationPolicy, ImmunizationProcess
 from .links import DirectedLink, LinkStats, TokenBucket
 from .network import Network, NetworkStats
@@ -67,6 +68,7 @@ __all__ = [
     "ExperimentSpec",
     "run_experiment",
     "WormSimulation",
+    "FastWormSimulation",
     "DynamicQuarantine",
     "LinkHotspot",
     "NetworkReport",

@@ -1,0 +1,38 @@
+"""Opt-in high-performance simulation engine (``engine="fast"``).
+
+Same five-phase tick semantics as the reference
+:class:`~repro.simulator.simulation.WormSimulation`, with the
+object-per-host / object-per-packet inner loops replaced by
+struct-of-arrays state and batched transport:
+
+* host status, infection stamps and throttle tokens live in flat arrays
+  (:mod:`.state`);
+* the scan phase walks a sorted active-infected index, so its cost is
+  O(infected), not O(N);
+* link queues hold bare destination ids; scalar paths drain them in the
+  reference's sorted-key order, vectorized paths move whole per-tick
+  waves through numpy routing lookups (:mod:`.transport`).
+
+The engine runs in one of two scan modes (``scan_mode`` on
+:class:`.FastWormSimulation`, default ``"auto"``):
+
+* ``"mirror"`` draws from the run RNG in exactly the reference order, so
+  a fast run is *bit-identical* to a reference run for every supported
+  configuration — trajectories, per-link stats, instrumentation
+  counters, trace records, everything.  The differential test suite
+  asserts this.
+* ``"batch"`` (random-scan worms on large populations) samples per-host
+  scan counts in aggregate and pushes scans through vectorized batched
+  transport.  Runs are *statistically* equivalent — same epidemic law,
+  different random stream — and the documented transport relaxations in
+  :mod:`.transport` apply.
+
+``"auto"`` picks ``"batch"`` when the worm is a plain random scanner and
+the population is large enough to amortize the numpy overhead, else
+``"mirror"``.  The reference engine stays untouched as the semantic
+oracle.
+"""
+
+from .engine import FastWormSimulation
+
+__all__ = ["FastWormSimulation"]

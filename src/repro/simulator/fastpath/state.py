@@ -1,0 +1,182 @@
+"""Struct-of-arrays host state for the fast engine.
+
+One :class:`HostArrays` replaces the per-host :class:`~repro.simulator.
+nodes.Host` object walk: epidemic status is a flat list indexed by node
+id, compartment totals are running counters (O(1) reads for the observe
+phase and stop conditions), the infected population is a maintained
+sorted index (O(infected) scan phase), and Williamson throttle tokens
+live in numpy arrays refilled in one vectorized step per tick.
+
+The arrays are synced *from* the network's host objects at construction
+(and re-synced when a dynamic quarantine deploys filters mid-run), and
+written *back* at the end of the run, so everything downstream that
+inspects hosts — ``count_states``, ``infected_at`` curves, reports —
+sees exactly what a reference run would have left behind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..network import Network
+from ..nodes import HostState
+
+__all__ = ["HostArrays", "SUSCEPTIBLE", "INFECTED", "IMMUNE", "UNTRACKED"]
+
+#: Status codes (list-of-int encoding of :class:`HostState`).
+UNTRACKED = -1
+SUSCEPTIBLE = 0
+INFECTED = 1
+IMMUNE = 2
+
+_STATE_OF = {
+    SUSCEPTIBLE: HostState.SUSCEPTIBLE,
+    INFECTED: HostState.INFECTED,
+    IMMUNE: HostState.IMMUNE,
+}
+_CODE_OF = {state: code for code, state in _STATE_OF.items()}
+
+
+class HostArrays:
+    """Flat-array mirror of a network's infectable host population."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        n = network.topology.num_nodes
+        #: status[node] — UNTRACKED for transit nodes, S/I/R for hosts.
+        self.status: list[int] = [UNTRACKED] * n
+        self.infected_at: list[int | None] = [None] * n
+        self.immunized_at: list[int | None] = [None] * n
+        self.susceptible = 0
+        self.infected = 0
+        self.immune = 0
+        for node in network.infectable:
+            host = network.hosts[node]
+            code = _CODE_OF[host.state]
+            self.status[node] = code
+            self.infected_at[node] = host.infected_at
+            self.immunized_at[node] = host.immunized_at
+            if code == SUSCEPTIBLE:
+                self.susceptible += 1
+            elif code == INFECTED:
+                self.infected += 1
+            else:
+                self.immune += 1
+        self._infected_set: set[int] = {
+            node for node in network.infectable
+            if self.status[node] == INFECTED
+        }
+        self._sorted_infected: list[int] = sorted(self._infected_set)
+        self._sorted_dirty = False
+        # Throttle mirror (see sync_throttles).
+        self.throttle_pos: dict[int, int] = {}
+        self._throttle_buckets: list = []
+        self._t_rate = np.zeros(0)
+        self._t_burst = np.zeros(0)
+        self.throttle_tokens = np.zeros(0)
+        self.sync_throttles()
+
+    # ------------------------------------------------------------------
+    # Epidemic state
+    # ------------------------------------------------------------------
+
+    def infected_sorted(self) -> list[int]:
+        """Currently infected node ids, sorted (the scan-phase index)."""
+        if self._sorted_dirty:
+            self._sorted_infected = sorted(self._infected_set)
+            self._sorted_dirty = False
+        return self._sorted_infected
+
+    def infect(self, node: int, tick: int) -> bool:
+        """S → I transition; mirrors :meth:`Host.infect` exactly."""
+        if self.status[node] != SUSCEPTIBLE:
+            return False
+        self.status[node] = INFECTED
+        self.infected_at[node] = tick
+        self.susceptible -= 1
+        self.infected += 1
+        self._infected_set.add(node)
+        self._sorted_dirty = True
+        return True
+
+    def immunize(self, node: int, tick: int) -> bool:
+        """S/I → R transition; mirrors :meth:`Host.immunize` exactly."""
+        code = self.status[node]
+        if code == IMMUNE or code == UNTRACKED:
+            return False
+        if code == INFECTED:
+            self.infected -= 1
+            self._infected_set.discard(node)
+            self._sorted_dirty = True
+        else:
+            self.susceptible -= 1
+        self.immune += 1
+        self.status[node] = IMMUNE
+        self.immunized_at[node] = tick
+        return True
+
+    # ------------------------------------------------------------------
+    # Scan throttles (Williamson host filters)
+    # ------------------------------------------------------------------
+
+    def sync_throttles(self) -> None:
+        """Mirror every host's scan-throttle bucket into flat arrays.
+
+        Called at construction and again when a mid-run quarantine
+        response installs new filters.  A bucket whose object identity is
+        unchanged keeps the token balance the fast engine accrued for it
+        (the network-side object is never updated mid-run); new buckets
+        adopt their own (freshly zero) token count.
+        """
+        previous = {
+            id(bucket): self.throttle_tokens[pos]
+            for bucket, pos in zip(
+                self._throttle_buckets, range(len(self._throttle_buckets))
+            )
+        }
+        nodes: list[int] = []
+        buckets: list = []
+        for node in self.network.infectable:
+            bucket = self.network.hosts[node].scan_throttle
+            if bucket is not None:
+                nodes.append(node)
+                buckets.append(bucket)
+        self.throttle_pos = {node: pos for pos, node in enumerate(nodes)}
+        #: Vectorized twin of ``throttle_pos``: position per node, -1 for
+        #: unthrottled nodes (batch scan path).
+        self.throttle_pos_arr = np.full(
+            self.network.topology.num_nodes, -1, dtype=np.int64
+        )
+        if nodes:
+            self.throttle_pos_arr[nodes] = np.arange(len(nodes))
+        self._throttle_buckets = buckets
+        self._t_rate = np.array([b.rate for b in buckets], dtype=float)
+        self._t_burst = np.array([b.burst for b in buckets], dtype=float)
+        self.throttle_tokens = np.array(
+            [previous.get(id(b), b.tokens) for b in buckets], dtype=float
+        )
+
+    def refill_throttles(self) -> None:
+        """One tick of token accrual for every throttled host.
+
+        Vectorized ``min(tokens + rate, burst)`` — IEEE-identical to the
+        reference engine's per-host :meth:`TokenBucket.refill` calls.
+        """
+        if self._throttle_buckets:
+            np.minimum(
+                self.throttle_tokens + self._t_rate,
+                self._t_burst,
+                out=self.throttle_tokens,
+            )
+
+    # ------------------------------------------------------------------
+    # Writeback
+    # ------------------------------------------------------------------
+
+    def writeback(self) -> None:
+        """Copy the final array state back onto the network's hosts."""
+        hosts = self.network.hosts
+        for node, host in hosts.items():
+            host.state = _STATE_OF[self.status[node]]
+            host.infected_at = self.infected_at[node]
+            host.immunized_at = self.immunized_at[node]

@@ -50,6 +50,11 @@ class TokenBucket:
         return self._rate
 
     @property
+    def burst(self) -> float:
+        """Token ceiling."""
+        return self._burst
+
+    @property
     def tokens(self) -> float:
         """Currently available tokens."""
         return self._tokens
@@ -116,6 +121,21 @@ class DirectedLink:
         return self._bucket.rate if self._bucket else None
 
     @property
+    def bucket(self) -> TokenBucket | None:
+        """The installed token bucket, or ``None`` if unlimited.
+
+        Exposed so the fast engine can mirror a link's exact bucket
+        configuration (and detect mid-run changes by identity) without
+        reaching into private state.
+        """
+        return self._bucket
+
+    @property
+    def max_queue(self) -> int:
+        """Drop-tail queue bound in packets."""
+        return self._max_queue
+
+    @property
     def queue_length(self) -> int:
         """Packets currently waiting on this link."""
         return len(self._queue)
@@ -147,6 +167,16 @@ class DirectedLink:
         self.stats.forwarded -= 1
         self.stats.requeued += 1
         self._queue.appendleft(packet)
+
+    def load_queue(self, packets: list[Packet]) -> None:
+        """Replace the queue contents without touching stats.
+
+        A state-restore hook for the fast engine's end-of-run writeback:
+        the packets were already counted (enqueued/forwarded/...) by the
+        fast transport's own accounting, so re-offering them would
+        double-count.
+        """
+        self._queue = deque(packets)
 
     def drain(self) -> list[Packet]:
         """Forward this tick's worth of packets (token-bucket limited)."""

@@ -36,6 +36,17 @@ class CurveRecorder:
     def sample(self, tick: int) -> None:
         """Record the network state at the end of ``tick``."""
         susceptible, infected, immune = self._network.count_states()
+        self.record_counts(tick, susceptible, infected, immune)
+
+    def record_counts(
+        self, tick: int, susceptible: int, infected: int, immune: int
+    ) -> None:
+        """Record externally computed compartment counts for ``tick``.
+
+        The fast engine maintains running S/I/R totals and feeds them
+        here directly, skipping :meth:`sample`'s O(N) host walk; both
+        paths append identical rows.
+        """
         self._ticks.append(tick)
         self._susceptible.append(susceptible)
         self._infected.append(infected)

@@ -225,7 +225,11 @@ class WormSimulation:
             )
 
     def _epidemic_over(self, tick: int) -> bool:
-        susceptible, infected, _immune = self.network.count_states()
+        # Stop conditions run after the observe phase, so the recorder's
+        # latest sample is this tick's state — no O(N) host rescan needed.
+        sample = self.recorder.last_sample()
+        assert sample is not None  # observe ran earlier this tick
+        _, susceptible, infected, _immune, _ever = sample
         if susceptible == 0:
             return True
         # With patching, the worm can die out before saturating.

@@ -51,6 +51,19 @@ class Telescope:
         self.total_hits += 1
         return True
 
+    def record_hits(self, hits: int) -> None:
+        """Credit ``hits`` observed dark-space scans to the current tick.
+
+        Batched alternative to :meth:`observe_missed_scan` for the fast
+        engine's aggregated sampling: instead of one coverage draw per
+        missed scan, the caller samples the binomial for a whole tick's
+        misses and reports the total.
+        """
+        if hits < 0:
+            raise ValueError(f"hits must be non-negative, got {hits}")
+        self._current_tick_hits += hits
+        self.total_hits += hits
+
     def end_tick(self) -> int:
         """Close the current tick; returns its hit count."""
         hits = self._current_tick_hits

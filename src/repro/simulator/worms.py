@@ -85,6 +85,11 @@ class RandomScanWorm(WormStrategy):
     def name(self) -> str:
         return "random"
 
+    @property
+    def hit_probability(self) -> float:
+        """Probability a scan targets a real (infectable) address."""
+        return self._hit
+
     def pick_target(
         self, rng: random.Random, origin: int, network: Network
     ) -> int | None:

@@ -149,6 +149,39 @@ class TestRunnerKnobs:
         parallel = run_cli(*argv, "--jobs", "2")
         assert serial == parallel
 
+    def test_engine_choice_validated(self):
+        args = build_parser().parse_args(
+            ["figure", "fig1b", "--engine", "fast"]
+        )
+        assert args.engine == "fast"
+        assert (
+            build_parser().parse_args(["figure", "fig1b"]).engine is None
+        )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig1b", "--engine", "warp"])
+
+    def test_engine_flag_selects_fast_engine(self, monkeypatch):
+        import repro.runner.build as build
+
+        instantiated = []
+
+        class SpyFastSimulation(build.FastWormSimulation):
+            def __init__(self, *args, **kwargs):
+                instantiated.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(build, "FastWormSimulation", SpyFastSimulation)
+        argv = (
+            "figure", "fig1b", "--runs", "2", "--ticks", "30", "--no-cache"
+        )
+        reference = run_cli(*argv)
+        assert not instantiated
+        fast = run_cli(*argv, "--engine", "fast")
+        assert instantiated
+        # fig 1b is small enough that the fast engine mirrors the
+        # reference RNG: the printed curves must be identical.
+        assert fast == reference
+
 
 class TestObservabilityFlags:
     def test_trace_writes_valid_jsonl(self, tmp_path):

@@ -137,3 +137,34 @@ class TestConfiguration:
         with use_config(RunnerConfig(cache_enabled=False, cache_dir=tmp_path)):
             run_ensemble(tiny_ensemble())
         assert list(tmp_path.glob("*.json")) == []
+
+    def test_config_engine_override_rewrites_specs(self):
+        with use_config(RunnerConfig(engine="fast")):
+            fast = run_ensemble(tiny_ensemble())
+        assert all(run.spec.engine == "fast" for run in fast.runs)
+        # On this 30-leaf star the fast engine mirrors the reference
+        # RNG, so the override changes the engine but not the curves.
+        reference = run_ensemble(tiny_ensemble())
+        assert all(run.spec.engine == "reference" for run in reference.runs)
+        np.testing.assert_array_equal(
+            fast.mean.infected, reference.mean.infected
+        )
+
+    def test_engine_override_keys_the_cache_on_the_engine_that_ran(
+        self, tmp_path
+    ):
+        config = RunnerConfig(
+            cache_enabled=True, cache_dir=tmp_path, engine="fast"
+        )
+        with use_config(config):
+            first = run_ensemble(tiny_ensemble())
+            second = run_ensemble(tiny_ensemble())
+        assert first.metrics.cache_hits == 0
+        assert second.metrics.cache_hits == 3
+        # The same scenario on the reference engine must miss: the
+        # stored entries are addressed by the fast-engine digest.
+        with use_config(
+            RunnerConfig(cache_enabled=True, cache_dir=tmp_path)
+        ):
+            reference = run_ensemble(tiny_ensemble())
+        assert reference.metrics.cache_hits == 0

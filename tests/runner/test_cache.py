@@ -36,6 +36,7 @@ class TestSpecDigest:
             dataclasses.replace(base, seed=1),
             dataclasses.replace(base, max_ticks=16),
             dataclasses.replace(base, scan_rate=0.9),
+            dataclasses.replace(base, engine="fast"),
             dataclasses.replace(
                 base, topology=TopologySpec(kind="star", num_nodes=31)
             ),

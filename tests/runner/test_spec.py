@@ -101,6 +101,14 @@ class TestValidation:
         with pytest.raises(SpecError):
             RunSpec(scan_rate=0.0)
 
+    def test_run_spec_engine_defaults_to_reference(self):
+        assert RunSpec().engine == "reference"
+        assert RunSpec(engine="fast").engine == "fast"
+
+    def test_run_spec_rejects_unknown_engine(self):
+        with pytest.raises(SpecError):
+            RunSpec(engine="warp")
+
 
 class TestDefenseLabels:
     def test_labels_match_policy_conventions(self):

@@ -1,0 +1,426 @@
+"""Differential tests: the fast engine against the reference oracle.
+
+Two tiers of equivalence, matching the fast engine's two scan modes:
+
+* **mirror** — the fast engine draws from the run RNG in exactly the
+  reference order, so every observable must be *bit-identical*:
+  trajectories, compartment counts, network/link packet statistics,
+  per-host infection stamps, instrumentation counters, and full trace
+  records.  The scenario grid below crosses topologies, worms, defenses,
+  immunization, LAN delivery, and dynamic quarantine.
+* **batch** — aggregated sampling uses a different random stream, so
+  equivalence is *statistical*: over an ensemble of seeds the epidemic
+  law must match (final sizes within sampling tolerance), and per-run
+  conservation invariants (injected = delivered + dropped + in-flight)
+  must hold exactly at every tick.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.observability.instrumentation import (
+    Instrumentation,
+    InstrumentationOptions,
+)
+from repro.simulator import (
+    DynamicQuarantine,
+    FastWormSimulation,
+    ImmunizationPolicy,
+    LocalPreferentialWorm,
+    Network,
+    RandomScanWorm,
+    SequentialScanWorm,
+    TopologicalWorm,
+    WormSimulation,
+    deploy_backbone_rate_limit,
+    deploy_edge_rate_limit,
+    deploy_host_rate_limit,
+    deploy_hub_rate_limit,
+)
+from repro.simulator.fastpath.engine import BATCH_MIN_HOSTS
+from repro.simulator.fastpath.state import (
+    IMMUNE,
+    INFECTED,
+    SUSCEPTIBLE,
+)
+
+
+def _build_network(kind: str) -> Network:
+    if kind == "star":
+        return Network.from_star(60)
+    return Network.from_powerlaw(120, seed=7)
+
+
+def _run(engine_cls, scenario, *, scan_mode=None, trace=True):
+    """Build the scenario fresh and run it on one engine."""
+    network = _build_network(scenario["kind"])
+    defense = scenario.get("defense")
+    if defense is not None:
+        defense(network)
+    quarantine_factory = scenario.get("quarantine")
+    instrumentation = (
+        Instrumentation.from_options(InstrumentationOptions(trace=True))
+        if trace
+        else None
+    )
+    kwargs = {}
+    if scan_mode is not None:
+        kwargs["scan_mode"] = scan_mode
+    simulation = engine_cls(
+        network,
+        scenario["worm"](),
+        scan_rate=scenario.get("scan_rate", 1.6),
+        initial_infections=2,
+        seed=scenario["seed"],
+        lan_delivery=scenario.get("lan", False),
+        immunization=scenario.get("immunization"),
+        quarantine=quarantine_factory(network) if quarantine_factory else None,
+        instrumentation=instrumentation,
+        **kwargs,
+    )
+    trajectory = simulation.run(scenario.get("max_ticks", 80))
+    return network, simulation, trajectory, instrumentation
+
+
+#: The mirror-mode differential grid: topology x worm x defense x
+#: immunization/quarantine/LAN.  Each entry must replay bit-identically.
+MIRROR_SCENARIOS = {
+    "star-none-random": {
+        "kind": "star",
+        "worm": lambda: RandomScanWorm(hit_probability=0.5),
+        "seed": 11,
+    },
+    "star-hub-random": {
+        "kind": "star",
+        "worm": lambda: RandomScanWorm(hit_probability=0.5),
+        "defense": lambda n: deploy_hub_rate_limit(
+            n, link_rate=10.0, hub_budget=5.0
+        ),
+        "seed": 12,
+    },
+    "powerlaw-none-random": {
+        "kind": "powerlaw",
+        "worm": lambda: RandomScanWorm(hit_probability=0.5),
+        "seed": 13,
+    },
+    "powerlaw-backbone-random": {
+        "kind": "powerlaw",
+        "worm": lambda: RandomScanWorm(hit_probability=0.5),
+        "defense": lambda n: deploy_backbone_rate_limit(n, 2.0),
+        "seed": 14,
+    },
+    "powerlaw-edge-localpref-lan": {
+        "kind": "powerlaw",
+        "worm": lambda: LocalPreferentialWorm(local_preference=0.7),
+        "defense": lambda n: deploy_edge_rate_limit(n, 2.0),
+        "lan": True,
+        "seed": 15,
+    },
+    "powerlaw-hosts-sequential": {
+        "kind": "powerlaw",
+        "worm": lambda: SequentialScanWorm(hit_probability=0.5),
+        "defense": lambda n: deploy_host_rate_limit(n, 0.5, 1.0, seed=99),
+        "seed": 16,
+    },
+    "powerlaw-topological": {
+        "kind": "powerlaw",
+        "worm": TopologicalWorm,
+        "seed": 17,
+    },
+    "powerlaw-immunization": {
+        "kind": "powerlaw",
+        "worm": lambda: RandomScanWorm(hit_probability=0.5),
+        "immunization": ImmunizationPolicy.at_fraction(0.2, 0.05),
+        "seed": 18,
+    },
+    "powerlaw-quarantine": {
+        "kind": "powerlaw",
+        "worm": lambda: RandomScanWorm(hit_probability=0.3),
+        "quarantine": lambda net: DynamicQuarantine(
+            response=lambda n: deploy_backbone_rate_limit(n, 1.0),
+            reaction_delay=3,
+        ),
+        "seed": 19,
+    },
+    "star-quarantine-immunization": {
+        "kind": "star",
+        "worm": lambda: RandomScanWorm(hit_probability=0.4),
+        "immunization": ImmunizationPolicy.at_tick(30, 0.03),
+        "quarantine": lambda net: DynamicQuarantine(
+            response=lambda n: deploy_hub_rate_limit(
+                n, link_rate=5.0, hub_budget=2.0
+            ),
+            reaction_delay=2,
+        ),
+        "seed": 20,
+    },
+}
+
+
+@pytest.mark.parametrize(
+    "scenario", MIRROR_SCENARIOS.values(), ids=MIRROR_SCENARIOS.keys()
+)
+class TestMirrorBitIdentical:
+    """``scan_mode="mirror"`` replays the reference draw-for-draw."""
+
+    @pytest.fixture()
+    def pair(self, scenario):
+        reference = _run(WormSimulation, scenario)
+        fast = _run(FastWormSimulation, scenario, scan_mode="mirror")
+        return reference, fast
+
+    def test_trajectories_identical(self, pair, scenario):
+        (_, _, ref, _), (_, _, fast, _) = pair
+        np.testing.assert_array_equal(ref.times, fast.times)
+        np.testing.assert_array_equal(ref.infected, fast.infected)
+        np.testing.assert_array_equal(ref.susceptible, fast.susceptible)
+        np.testing.assert_array_equal(ref.removed, fast.removed)
+        np.testing.assert_array_equal(ref.ever_infected, fast.ever_infected)
+
+    def test_network_state_identical(self, pair, scenario):
+        (net_r, _, _, _), (net_f, _, _, _) = pair
+        assert net_r.count_states() == net_f.count_states()
+        assert net_r.total_queued() == net_f.total_queued()
+        for node in net_r.infectable:
+            host_r, host_f = net_r.hosts[node], net_f.hosts[node]
+            assert host_r.state == host_f.state, node
+            assert host_r.infected_at == host_f.infected_at, node
+            assert host_r.immunized_at == host_f.immunized_at, node
+
+    def test_packet_accounting_identical(self, pair, scenario):
+        (net_r, _, _, _), (net_f, _, _, _) = pair
+        stats_r, stats_f = net_r.stats, net_f.stats
+        assert stats_r.packets_injected == stats_f.packets_injected
+        assert stats_r.packets_delivered == stats_f.packets_delivered
+        assert stats_r.packets_dropped == stats_f.packets_dropped
+        for key in net_r.links:
+            link_r, link_f = net_r.links[key].stats, net_f.links[key].stats
+            assert (
+                link_r.forwarded,
+                link_r.dropped,
+                link_r.enqueued,
+                link_r.peak_queue,
+                link_r.requeued,
+            ) == (
+                link_f.forwarded,
+                link_f.dropped,
+                link_f.enqueued,
+                link_f.peak_queue,
+                link_f.requeued,
+            ), key
+
+    def test_telemetry_identical(self, pair, scenario):
+        (_, _, _, instr_r), (_, _, _, instr_f) = pair
+        assert instr_r.counters == instr_f.counters
+        records_r = list(instr_r.sink.records)
+        records_f = list(instr_f.sink.records)
+        assert records_r == records_f
+
+
+class TestBatchStatistical:
+    """``scan_mode="batch"`` preserves the epidemic law, not the bits."""
+
+    NUM_SEEDS = 20
+    MAX_TICKS = 150
+    NODES = 300
+
+    def _final_sizes(self, engine_cls, *, defense, scan_mode=None):
+        sizes = []
+        for seed in range(100, 100 + self.NUM_SEEDS):
+            network = Network.from_powerlaw(self.NODES, seed=7)
+            if defense is not None:
+                defense(network)
+            kwargs = {"scan_mode": scan_mode} if scan_mode else {}
+            simulation = engine_cls(
+                network,
+                RandomScanWorm(),
+                scan_rate=0.8,
+                initial_infections=2,
+                seed=seed,
+                **kwargs,
+            )
+            trajectory = simulation.run(self.MAX_TICKS)
+            sizes.append(trajectory.ever_infected[-1])
+        return np.asarray(sizes, dtype=float)
+
+    @pytest.mark.parametrize(
+        "defense",
+        [None, lambda n: deploy_backbone_rate_limit(n, 2.0)],
+        ids=["undefended", "backbone-limited"],
+    )
+    def test_final_size_distribution_matches(self, defense):
+        reference = self._final_sizes(WormSimulation, defense=defense)
+        fast = self._final_sizes(
+            FastWormSimulation, defense=defense, scan_mode="batch"
+        )
+        # Welch-style tolerance: the ensemble means must agree within
+        # three standard errors (plus a small absolute floor so fully
+        # saturating scenarios with zero variance still compare).
+        stderr = math.sqrt(
+            reference.var(ddof=1) / len(reference)
+            + fast.var(ddof=1) / len(fast)
+        )
+        tolerance = 3.0 * stderr + 0.02 * self.NODES
+        assert abs(reference.mean() - fast.mean()) <= tolerance, (
+            reference.mean(),
+            fast.mean(),
+            tolerance,
+        )
+
+    @pytest.mark.parametrize(
+        "defense",
+        [None, lambda n: deploy_backbone_rate_limit(n, 2.0)],
+        ids=["undefended", "backbone-limited"],
+    )
+    def test_packet_conservation_every_tick(self, defense):
+        """injected = delivered + dropped + in-flight, tick by tick."""
+        network = Network.from_powerlaw(self.NODES, seed=7)
+        if defense is not None:
+            defense(network)
+        instrumentation = Instrumentation.from_options(
+            InstrumentationOptions(trace=True)
+        )
+        simulation = FastWormSimulation(
+            network,
+            RandomScanWorm(),
+            scan_rate=0.8,
+            initial_infections=2,
+            seed=123,
+            scan_mode="batch",
+            instrumentation=instrumentation,
+        )
+        simulation.run(self.MAX_TICKS)
+        records = [
+            r for r in instrumentation.sink.records if r["type"] == "tick"
+        ]
+        assert records
+        previous = None
+        for record in records:
+            accounted = (
+                record["packets_delivered"]
+                + record["packets_dropped"]
+                + record["in_flight"]
+                + record["lan_queue"]
+            )
+            assert record["packets_injected"] == accounted, record
+            if previous is not None:
+                for key in (
+                    "packets_injected",
+                    "packets_delivered",
+                    "packets_dropped",
+                    "ever_infected",
+                ):
+                    assert record[key] >= previous[key], key
+            assert (
+                record["susceptible"]
+                + record["infected"]
+                + record["immune"]
+                == network.num_infectable
+            )
+            previous = record
+
+    def test_batch_requires_random_worm(self):
+        network = Network.from_powerlaw(60, seed=7)
+        with pytest.raises(ValueError, match="RandomScanWorm"):
+            FastWormSimulation(
+                network,
+                LocalPreferentialWorm(),
+                scan_rate=0.8,
+                seed=1,
+                scan_mode="batch",
+            )
+
+    def test_auto_mode_picks_by_population(self):
+        small = Network.from_powerlaw(100, seed=7)
+        assert small.num_infectable < BATCH_MIN_HOSTS
+        sim_small = FastWormSimulation(
+            small, RandomScanWorm(), scan_rate=0.8, seed=1
+        )
+        assert not sim_small.batch_sampling
+
+        large = Network.from_powerlaw(700, seed=7)
+        assert large.num_infectable >= BATCH_MIN_HOSTS
+        sim_large = FastWormSimulation(
+            large, RandomScanWorm(), scan_rate=0.8, seed=1
+        )
+        assert sim_large.batch_sampling
+
+        sim_forced = FastWormSimulation(
+            large, RandomScanWorm(), scan_rate=0.8, seed=1,
+            scan_mode="mirror",
+        )
+        assert not sim_forced.batch_sampling
+
+
+class TestRecorderConsistency:
+    """The running totals the stop condition reads stay truthful mid-run.
+
+    ``_epidemic_over`` reads :meth:`CurveRecorder.last_sample` instead of
+    rescanning every host, which is only sound if the observe-phase
+    sample always reflects the *current* tick's post-immunization state.
+    """
+
+    def test_reference_sample_matches_recount_mid_run(self):
+        network = Network.from_powerlaw(120, seed=7)
+        simulation = WormSimulation(
+            network,
+            RandomScanWorm(hit_probability=0.5),
+            scan_rate=1.6,
+            initial_infections=2,
+            immunization=ImmunizationPolicy.at_fraction(0.2, 0.05),
+            seed=21,
+        )
+        checked = 0
+
+        def audit(tick: int) -> bool:
+            nonlocal checked
+            sample = simulation.recorder.last_sample()
+            assert sample is not None
+            assert sample[0] == tick
+            assert sample[1:4] == network.count_states()
+            checked += 1
+            return False
+
+        simulation._sim.add_stop_condition(audit)
+        simulation.run(60)
+        assert checked >= 10
+
+    def test_fast_running_counters_match_status_array_mid_run(self):
+        network = Network.from_powerlaw(120, seed=7)
+        simulation = FastWormSimulation(
+            network,
+            RandomScanWorm(hit_probability=0.5),
+            scan_rate=1.6,
+            initial_infections=2,
+            immunization=ImmunizationPolicy.at_fraction(0.2, 0.05),
+            seed=21,
+            scan_mode="mirror",
+        )
+        checked = 0
+
+        def audit(tick: int) -> bool:
+            nonlocal checked
+            hosts = simulation.hosts
+            tallies = {SUSCEPTIBLE: 0, INFECTED: 0, IMMUNE: 0}
+            for node in network.infectable:
+                tallies[hosts.status[node]] += 1
+            assert hosts.susceptible == tallies[SUSCEPTIBLE]
+            assert hosts.infected == tallies[INFECTED]
+            assert hosts.immune == tallies[IMMUNE]
+            sample = simulation.recorder.last_sample()
+            assert sample is not None
+            assert sample[1:4] == (
+                hosts.susceptible,
+                hosts.infected,
+                hosts.immune,
+            )
+            checked += 1
+            return False
+
+        simulation._sim.add_stop_condition(audit)
+        simulation.run(60)
+        assert checked >= 10
