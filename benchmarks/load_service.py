@@ -1,0 +1,131 @@
+"""Load benchmark for the simulation service.
+
+Drives a :class:`~repro.service.app.ServiceThread` with a thread pool
+of blocking clients and records throughput and latency percentiles
+into the benchmark ledger (``--bench-json``, e.g. ``BENCH_pr4.json``).
+
+Not collected by the default suite (the filename carries no ``test_``
+prefix); run it explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/load_service.py \
+        -q -s --bench-json BENCH_pr4.json
+
+Three scenarios:
+
+* ``service_load_unique`` — every request distinct: pure scheduling +
+  simulation throughput;
+* ``service_load_duplicates`` — 4 clients ask for each spec: measures
+  single-flight coalescing under contention;
+* ``service_load_hot_cache`` — distinct requests over a warmed result
+  cache: the serving floor (no simulation at all).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.runner import EnsembleSpec, RunSpec, TopologySpec
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+
+#: Worker threads issuing requests concurrently.
+CLIENTS = 8
+
+
+def bench_spec(index: int) -> EnsembleSpec:
+    return EnsembleSpec(
+        template=RunSpec(
+            topology=TopologySpec(kind="powerlaw", num_nodes=200),
+            max_ticks=60,
+            engine="fast",
+        ),
+        num_runs=2,
+        base_seed=1000 + index,
+        label=f"load-{index}",
+    )
+
+
+def drive(config: ServiceConfig, specs: list[EnsembleSpec]) -> dict:
+    """Serve ``specs`` from ``CLIENTS`` concurrent clients; measure."""
+    with ServiceThread(config) as thread:
+
+        def one_request(spec: EnsembleSpec) -> float:
+            with ServiceClient(port=thread.port, timeout=120) as client:
+                started = time.perf_counter()
+                payload = client.run_bytes(spec, timeout=120)
+                elapsed = time.perf_counter() - started
+            assert payload  # every request must round-trip
+            return elapsed * 1000.0
+
+        wall_started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+            latencies = list(pool.map(one_request, specs))
+        wall = time.perf_counter() - wall_started
+
+        with ServiceClient(port=thread.port) as client:
+            metrics = client.metrics()
+
+    latencies.sort()
+    quantiles = statistics.quantiles(latencies, n=100)
+    return {
+        "requests": len(specs),
+        "clients": CLIENTS,
+        "wall_s": round(wall, 3),
+        "throughput_rps": round(len(specs) / wall, 2),
+        "p50_ms": round(quantiles[49], 2),
+        "p99_ms": round(quantiles[98], 2),
+        "max_ms": round(latencies[-1], 2),
+        "coalesced": metrics["jobs"]["coalesced"],
+        "completed": metrics["jobs"]["completed"],
+        "cache": metrics["cache"],
+    }
+
+
+def test_service_load_unique(bench_recorder):
+    config = ServiceConfig(
+        port=0, jobs=1, max_queue=64, concurrency=4, cache_enabled=False
+    )
+    record = bench_recorder.record(
+        "service_load_unique",
+        **drive(config, [bench_spec(index) for index in range(24)]),
+    )
+    print(f"\n[service] unique: {record}")
+    assert record["completed"] == 24
+    assert record["coalesced"] == 0
+    assert record["throughput_rps"] > 0
+
+
+def test_service_load_duplicates(bench_recorder):
+    config = ServiceConfig(
+        port=0, jobs=1, max_queue=64, concurrency=4, cache_enabled=False
+    )
+    # 4 clients per spec: most should attach to an in-flight job.
+    specs = [bench_spec(index % 6) for index in range(24)]
+    record = bench_recorder.record(
+        "service_load_duplicates", **drive(config, specs)
+    )
+    print(f"\n[service] duplicates: {record}")
+    assert record["coalesced"] > 0
+    assert record["completed"] + record["coalesced"] >= 24
+    # Coalescing must make duplicates cheaper than unique load: far
+    # fewer computations than requests.
+    assert record["completed"] < 24
+
+
+def test_service_load_hot_cache(bench_recorder, tmp_path):
+    config = ServiceConfig(
+        port=0,
+        jobs=1,
+        max_queue=64,
+        concurrency=4,
+        cache_dir=str(tmp_path),
+    )
+    specs = [bench_spec(index) for index in range(12)]
+    drive(config, specs)  # warm the shared cache
+    record = bench_recorder.record(
+        "service_load_hot_cache", **drive(config, specs)
+    )
+    print(f"\n[service] hot cache: {record}")
+    assert record["cache"]["hits"] == sum(s.num_runs for s in specs)
+    assert record["completed"] == 12

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""CI smoke test for the simulation service.
+
+Boots ``repro serve`` as a real subprocess, throws 50 concurrent
+requests at it — duplicates included — and asserts the admission
+contract end to end:
+
+* every request is answered: 202-accepted + coalesced + 429-rejected
+  adds up to exactly 50;
+* the bounded queue pushes back: at least one 429, carrying a
+  ``Retry-After`` header;
+* single-flight coalescing works under contention: at least 10
+  duplicates attach to in-flight jobs, and duplicate submissions
+  return byte-identical payloads;
+* SIGTERM drains gracefully: in-flight work finishes and the process
+  exits 0.
+
+The load is shaped to make those outcomes deterministic rather than
+probabilistic: two *heavy* plug requests occupy both worker slots
+first, so the light burst behind them meets a full pipeline — uniques
+beyond the queue bound get 429 while their duplicates still coalesce.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.runner import EnsembleSpec, RunSpec, TopologySpec  # noqa: E402
+from repro.service import QueueFull, ServiceClient  # noqa: E402
+
+TOTAL_REQUESTS = 50
+UNIQUE_SPECS = 12  # queue bound is 8: at least 4 uniques must be 429'd
+COPIES_PER_SPEC = 4  # 12 * 4 light + 2 heavy plugs = 50
+
+
+def plug_spec(index: int) -> EnsembleSpec:
+    """~2 s of reference-engine work to hold a worker slot."""
+    return EnsembleSpec(
+        template=RunSpec(
+            topology=TopologySpec(kind="powerlaw", num_nodes=2000),
+            max_ticks=800,
+            engine="reference",
+        ),
+        num_runs=2,
+        base_seed=index,
+        label=f"plug-{index}",
+    )
+
+
+def light_spec(index: int) -> EnsembleSpec:
+    return EnsembleSpec(
+        template=RunSpec(
+            topology=TopologySpec(kind="star", num_nodes=100),
+            max_ticks=30,
+            engine="fast",
+        ),
+        num_runs=2,
+        base_seed=100 + index,
+        label=f"smoke-{index}",
+    )
+
+
+def start_server() -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--jobs", "1",
+            "--max-queue", "8",
+            "--concurrency", "2",
+            "--no-cache",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    banner = process.stdout.readline()
+    if "listening on" not in banner:
+        process.kill()
+        raise SystemExit(f"server failed to start: {banner!r}")
+    port = int(banner.split("http://")[1].split()[0].split(":")[1])
+    print(f"[smoke] {banner.strip()}")
+    return process, port
+
+
+def submit_one(port: int, spec: EnsembleSpec) -> tuple[str, dict | None]:
+    with ServiceClient(port=port, timeout=30) as client:
+        try:
+            body = client.submit(spec)
+        except QueueFull as refusal:
+            assert refusal.retry_after_s >= 1, "429 without Retry-After"
+            return "rejected", None
+    return ("coalesced" if body["coalesced"] else "accepted"), body
+
+
+def main() -> int:
+    process, port = start_server()
+    try:
+        control = ServiceClient(port=port, timeout=30)
+
+        # Phase 1: occupy both worker slots with heavy plugs.
+        plugs = [control.submit(plug_spec(index)) for index in range(2)]
+        deadline = time.monotonic() + 10
+        while control.metrics()["queue"]["running"] < 2:
+            if time.monotonic() >= deadline:
+                raise SystemExit("plugs never started running")
+            time.sleep(0.02)
+
+        # Phase 2: the light burst — 12 unique specs, 4 copies each,
+        # from 16 threads at once.
+        burst = [
+            light_spec(index % UNIQUE_SPECS)
+            for index in range(UNIQUE_SPECS * COPIES_PER_SPEC)
+        ]
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            outcomes = list(
+                pool.map(lambda spec: submit_one(port, spec), burst)
+            )
+        tally = {"accepted": 2, "coalesced": 0, "rejected": 0}
+        jobs_by_label: dict[str, list[str]] = {}
+        for (outcome, body), spec in zip(outcomes, burst):
+            tally[outcome] += 1
+            if body is not None:
+                jobs_by_label.setdefault(spec.label, []).append(body["id"])
+        print(f"[smoke] outcomes: {tally}")
+
+        total = sum(tally.values())
+        assert total == TOTAL_REQUESTS, f"lost requests: {tally}"
+        assert tally["rejected"] >= 1, "full queue never returned 429"
+        assert tally["coalesced"] >= 10, "coalescing did not engage"
+
+        # Duplicates of one spec share a job id — and therefore bytes.
+        for label, ids in jobs_by_label.items():
+            assert len(set(ids)) == 1, f"{label} split across jobs {ids}"
+        sample = max(jobs_by_label.values(), key=len)
+        payload = control.wait(sample[0], timeout=60)
+        assert payload == control.wait(sample[0], timeout=60)
+        print(
+            f"[smoke] duplicate payloads identical "
+            f"({len(payload)} bytes, job {sample[0]})"
+        )
+
+        # Every accepted job must finish before we ask for the drain.
+        for body in plugs:
+            control.wait(body["id"], timeout=120)
+        for ids in jobs_by_label.values():
+            control.wait(ids[0], timeout=120)
+        metrics = control.metrics()
+        print(
+            f"[smoke] server counters: {metrics['jobs']} "
+            f"p99-ish latency table: "
+            f"{ {k: v['count'] for k, v in metrics['latency'].items()} }"
+        )
+        assert metrics["jobs"]["rejected"] == tally["rejected"]
+        assert metrics["jobs"]["coalesced"] == tally["coalesced"]
+        control.close()
+
+        # Phase 3: graceful drain.
+        process.send_signal(signal.SIGTERM)
+        output, _ = process.communicate(timeout=60)
+        print(f"[smoke] server said: {output.strip().splitlines()[-1]}")
+        assert process.returncode == 0, f"exit {process.returncode}"
+        assert "stopped (clean)" in output, output
+        print("[smoke] PASS")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,8 +30,10 @@ entries carry no telemetry.
 from __future__ import annotations
 
 import argparse
+import importlib.metadata
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
@@ -44,12 +46,28 @@ from .models.base import Trajectory
 from .runner import ENGINE_KINDS
 from .runner import configure as configure_runner
 from .runner import current_config, use_config
+from .runner.cache import ResultCache, default_cache_dir
 from .traces.analysis import recommend_rate_limits
 from .traces.classify import census, classify_hosts
 from .traces.records import HostClass
 from .traces.synth import TraceConfig, generate_trace
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "package_version"]
+
+
+def package_version() -> str:
+    """The installed distribution's version, or the source tree's.
+
+    ``importlib.metadata`` answers when the package is installed; a
+    source checkout run via ``PYTHONPATH=src`` has no distribution
+    metadata, so fall back to the library's own ``__version__``.
+    """
+    try:
+        return importlib.metadata.version("repro")
+    except importlib.metadata.PackageNotFoundError:
+        from . import __version__
+
+        return __version__
 
 #: figure id -> (scenario callable, kwargs accepted, baseline label, level)
 _SIM_FIGURES = {
@@ -167,6 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce 'Dynamic Quarantine of Internet Worms' "
         "(DSN 2004) experiments.",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list", help="list reproducible figures")
@@ -209,6 +232,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--duration", type=float, default=300.0)
     trace.add_argument("--seed", type=int, default=0)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear the shared result cache"
+    )
+    cache.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (default ~/.cache/repro/runs)",
+    )
+    cache_actions = cache.add_mutually_exclusive_group()
+    cache_actions.add_argument(
+        "--stats", action="store_true",
+        help="print entry count and on-disk bytes (the default)",
+    )
+    cache_actions.add_argument(
+        "--clear", action="store_true",
+        help="delete every cached run result",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the async quarantine-simulation server"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 = OS-assigned, printed on startup)",
+    )
+    serve.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="persistent worker processes (default 1 = in-process)",
+    )
+    serve.add_argument(
+        "--max-queue", type=_positive_int, default=64,
+        help="admission-queue capacity; beyond it requests get 429",
+    )
+    serve.add_argument(
+        "--concurrency", type=_positive_int, default=2,
+        help="ensembles executing at once (each fans across the pool)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline (requests may override)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="how long SIGTERM waits for in-flight work",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the shared result cache",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (default ~/.cache/repro/runs)",
+    )
+    serve.add_argument(
+        "--engine", choices=ENGINE_KINDS, default=None,
+        help="engine override applied to every served request",
+    )
 
     return parser
 
@@ -321,6 +402,43 @@ def _cmd_trace(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace, out=sys.stdout) -> int:
+    directory = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    cache = ResultCache(directory)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached runs from {directory}", file=out)
+        return 0
+    stats = cache.stats()
+    print(f"cache dir: {directory}", file=out)
+    print(f"entries:   {stats['entries']}", file=out)
+    print(f"bytes:     {stats['bytes']}", file=out)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
+    # Imported lazily: the service layer is only needed by this command.
+    from .service import ServiceConfig, run_server
+
+    configure_runner(
+        cache_enabled=not args.no_cache,
+        cache_dir=args.cache_dir,
+        engine=args.engine,
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        max_queue=args.max_queue,
+        concurrency=args.concurrency,
+        deadline_s=args.deadline,
+        drain_timeout_s=args.drain_timeout,
+        cache_enabled=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    return run_server(config, out=out)
+
+
 def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -339,6 +457,10 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
                 return _cmd_compare(args, out=out)
             if args.command == "trace":
                 return _cmd_trace(args, out=out)
+            if args.command == "cache":
+                return _cmd_cache(args, out=out)
+            if args.command == "serve":
+                return _cmd_serve(args, out=out)
     finally:
         observability_hub().reset()
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -21,7 +21,13 @@ This package is the execution backbone under every experiment layer:
 """
 
 from ..observability.instrumentation import InstrumentationOptions
-from .api import cache_from_config, executor_from_config, run_ensemble, run_one
+from .api import (
+    cache_from_config,
+    executor_from_config,
+    expand_runs,
+    run_ensemble,
+    run_one,
+)
 from .build import apply_defense, build_network, build_worm, execute_run
 from .cache import CACHE_VERSION, ResultCache, default_cache_dir, spec_digest
 from .config import RunnerConfig, configure, current_config, use_config
@@ -29,6 +35,8 @@ from .executors import (
     Executor,
     ExecutorError,
     ParallelExecutor,
+    PersistentExecutor,
+    RunCancelledError,
     RunTimeoutError,
     SerialExecutor,
     default_jobs,
@@ -62,8 +70,10 @@ __all__ = [
     "ExecutorError",
     "InstrumentationOptions",
     "ParallelExecutor",
+    "PersistentExecutor",
     "QuarantineSpec",
     "ResultCache",
+    "RunCancelledError",
     "RunMetrics",
     "RunResult",
     "RunSpec",
@@ -84,6 +94,7 @@ __all__ = [
     "derive_seed",
     "execute_run",
     "executor_from_config",
+    "expand_runs",
     "run_ensemble",
     "run_one",
     "spec_digest",

@@ -24,7 +24,13 @@ from .executors import Executor, ParallelExecutor, SerialExecutor
 from .results import EnsembleResult, RunResult
 from .spec import EnsembleSpec, RunSpec
 
-__all__ = ["run_one", "run_ensemble", "executor_from_config", "cache_from_config"]
+__all__ = [
+    "run_one",
+    "run_ensemble",
+    "expand_runs",
+    "executor_from_config",
+    "cache_from_config",
+]
 
 
 def run_one(
@@ -48,6 +54,28 @@ def cache_from_config() -> ResultCache | None:
     if not config.cache_enabled:
         return None
     return ResultCache(config.cache_dir)
+
+
+def expand_runs(spec: EnsembleSpec) -> tuple[RunSpec, ...]:
+    """The per-seed RunSpecs ``run_ensemble`` will execute for ``spec``.
+
+    Applies the process-wide engine override exactly the way
+    :func:`run_ensemble` does, so the returned specs carry the cache
+    identity of the runs that would actually execute.  Factored out so
+    other layers (the service's request coalescing keys on the spec
+    digests of these runs) can compute that identity without running
+    anything.
+    """
+    runs = spec.expand()
+    engine = current_config().engine
+    if engine is not None:
+        # The override rewrites the specs themselves (not just the
+        # execution) so cache lookups key on the engine that will run.
+        runs = tuple(
+            dataclasses.replace(run_spec, engine=engine)
+            for run_spec in runs
+        )
+    return runs
 
 
 def run_ensemble(
@@ -97,15 +125,7 @@ def run_ensemble(
             else cache_from_config()
         )
 
-    runs = spec.expand()
-    engine = current_config().engine
-    if engine is not None:
-        # The override rewrites the specs themselves (not just the
-        # execution) so cache lookups key on the engine that will run.
-        runs = tuple(
-            dataclasses.replace(run_spec, engine=engine)
-            for run_spec in runs
-        )
+    runs = expand_runs(spec)
     results: dict[int, RunResult] = {}
     pending: list[tuple[int, RunSpec]] = []
     if cache is not None:

@@ -107,6 +107,24 @@ class ResultCache:
         self.stores += 1
         return path
 
+    def stats(self) -> dict[str, int]:
+        """Entry count and on-disk bytes of the cache directory.
+
+        Entries that vanish mid-scan (a concurrent ``clear`` or an
+        operator's ``rm``) are simply skipped; the numbers are a
+        snapshot, not a transaction.
+        """
+        entries = 0
+        total_bytes = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {"entries": entries, "bytes": total_bytes}
+
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""
         removed = 0

@@ -19,9 +19,11 @@ failing the experiment.
 from __future__ import annotations
 
 import os
+import threading
+import time
 import warnings
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 
 from ..observability.instrumentation import InstrumentationOptions
@@ -32,9 +34,11 @@ from .spec import RunSpec
 __all__ = [
     "ExecutorError",
     "RunTimeoutError",
+    "RunCancelledError",
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "PersistentExecutor",
     "default_jobs",
 ]
 
@@ -45,6 +49,10 @@ class ExecutorError(RuntimeError):
 
 class RunTimeoutError(ExecutorError):
     """A run exceeded the executor's per-run timeout."""
+
+
+class RunCancelledError(ExecutorError):
+    """A batch was cancelled before every run finished."""
 
 
 def default_jobs() -> int:
@@ -145,3 +153,181 @@ class ParallelExecutor(Executor):
                         f"{self.timeout}s timeout"
                     ) from None
         return results
+
+
+#: How often a cancellable batch checks its cancel event, in seconds.
+_CANCEL_POLL_SECONDS = 0.05
+
+
+class PersistentExecutor(Executor):
+    """A reusable process pool that survives across batches.
+
+    :class:`ParallelExecutor` tears its pool down after every
+    ``run_specs`` call — the right shape for one-shot CLI invocations,
+    but wasteful for anything long-lived: pool startup pays fork/spawn
+    latency on every ensemble.  ``PersistentExecutor`` creates its pool
+    lazily on first use, reuses it for every subsequent batch, restarts
+    it transparently when a worker dies (``BrokenProcessPool``), and
+    releases it in :meth:`close` / context-manager exit.  The service
+    worker tier holds exactly one of these for the life of the server.
+
+    Thread-safe: concurrent ``run_specs`` calls share the pool
+    (``ProcessPoolExecutor.submit`` is thread-safe); pool creation,
+    restart, and shutdown are serialized under a lock.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means one per CPU.  ``jobs=1`` runs
+        every batch in-process without a pool.
+    timeout:
+        Optional per-run wall-clock limit in seconds (pooled mode only).
+    """
+
+    def __init__(
+        self, jobs: int | None = None, *, timeout: float | None = None
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self.timeout = timeout
+        self.restarts = 0
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def __enter__(self) -> "PersistentExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); the executor is done after."""
+        with self._lock:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise ExecutorError("executor is closed")
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            return self._pool
+
+    def _retire_pool(self, broken: ProcessPoolExecutor) -> None:
+        """Drop a broken pool so the next batch gets a fresh one."""
+        with self._lock:
+            if self._pool is broken:
+                self._pool = None
+                self.restarts += 1
+        broken.shutdown(wait=False, cancel_futures=True)
+
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        options: InstrumentationOptions | None = None,
+        *,
+        cancel: threading.Event | None = None,
+    ) -> list[RunResult]:
+        """Execute a batch on the shared pool.
+
+        ``cancel`` is an optional cooperative cancellation handle: when
+        it becomes set mid-batch, not-yet-started runs are cancelled and
+        the call raises :class:`RunCancelledError` within
+        ``_CANCEL_POLL_SECONDS`` (runs already executing in a worker
+        process finish and are discarded).
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.jobs == 1:
+            return self._run_serial(specs, options, cancel)
+        for attempt in (1, 2):
+            pool = self._ensure_pool()
+            try:
+                return self._run_on_pool(pool, specs, options, cancel)
+            except BrokenExecutor:
+                # A worker died (OOM kill, segfault, os._exit): restart
+                # the pool and retry the whole batch once — reruns are
+                # pure functions of their specs, so a retry is safe.
+                self._retire_pool(pool)
+                if attempt == 2:
+                    break
+        warnings.warn(
+            "worker pool died twice; falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return self._run_serial(specs, options, cancel)
+
+    def _run_serial(
+        self,
+        specs: Sequence[RunSpec],
+        options: InstrumentationOptions | None,
+        cancel: threading.Event | None,
+    ) -> list[RunResult]:
+        results: list[RunResult] = []
+        for spec in specs:
+            if cancel is not None and cancel.is_set():
+                raise RunCancelledError(
+                    f"batch cancelled before seed {spec.seed} ran"
+                )
+            results.append(execute_run(spec, options))
+        return results
+
+    def _run_on_pool(
+        self,
+        pool: ProcessPoolExecutor,
+        specs: Sequence[RunSpec],
+        options: InstrumentationOptions | None,
+        cancel: threading.Event | None,
+    ) -> list[RunResult]:
+        futures = [pool.submit(execute_run, spec, options) for spec in specs]
+        results: list[RunResult] = []
+        try:
+            for spec, future in zip(specs, futures):
+                results.append(self._await(spec, future, cancel))
+        except BaseException:
+            for pending in futures:
+                pending.cancel()
+            raise
+        return results
+
+    def _await(self, spec: RunSpec, future, cancel: threading.Event | None):
+        if cancel is None:
+            try:
+                return future.result(timeout=self.timeout)
+            except FutureTimeoutError:
+                raise RunTimeoutError(
+                    f"run with seed {spec.seed} exceeded "
+                    f"{self.timeout}s timeout"
+                ) from None
+        deadline = (
+            time.monotonic() + self.timeout
+            if self.timeout is not None
+            else None
+        )
+        while True:
+            if cancel.is_set():
+                raise RunCancelledError(
+                    f"batch cancelled while awaiting seed {spec.seed}"
+                )
+            try:
+                return future.result(timeout=_CANCEL_POLL_SECONDS)
+            except FutureTimeoutError:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise RunTimeoutError(
+                        f"run with seed {spec.seed} exceeded "
+                        f"{self.timeout}s timeout"
+                    ) from None

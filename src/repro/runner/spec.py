@@ -306,3 +306,19 @@ class EnsembleSpec:
             )
             for i in range(self.num_runs)
         )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-ready dict (the service protocol's wire form)."""
+        return {
+            "template": self.template.to_dict(),
+            "num_runs": self.num_runs,
+            "base_seed": self.base_seed,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EnsembleSpec":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(data)
+        data["template"] = RunSpec.from_dict(data["template"])
+        return cls(**data)

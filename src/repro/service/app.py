@@ -1,0 +1,461 @@
+"""The simulation service: routes, lifecycle, and entry points.
+
+``SimulationService`` wires the pieces together: the asyncio HTTP
+transport (:mod:`repro.service.http11`) feeds requests to a small
+dispatcher; POST ``/v1/run`` validates the spec through the runner
+types and admits it to the :class:`~repro.service.scheduler.Scheduler`
+(429 + ``Retry-After`` when the queue is full, coalescing duplicates
+onto in-flight jobs); the scheduler's worker slots execute ensembles on
+the persistent :class:`~repro.service.workers.WorkerTier`; GET
+``/v1/result/<id>`` serves the canonical payload bytes; ``/healthz``
+and ``/metrics`` expose liveness and live counters.
+
+Three ways to run it:
+
+* ``repro serve`` → :func:`run_server` — blocks, installs
+  SIGTERM/SIGINT handlers, drains gracefully (stop accepting, finish
+  queued + running jobs, close the pool) before exiting 0;
+* :class:`ServiceThread` — the same service on a private event loop in
+  a daemon thread, for tests, notebooks, and the load benchmark;
+* ``await SimulationService(config).start()`` — embed it in an
+  existing event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+import threading
+from dataclasses import dataclass
+
+from ..observability.hub import observability_hub
+from ..runner.api import expand_runs
+from ..runner.cache import ResultCache, spec_digest
+from .http11 import HttpError, Request, encode_response, read_request
+from .metrics import ServiceMetrics
+from .protocol import ProtocolError, canonical_json, parse_run_request
+from .scheduler import (
+    DONE,
+    EXPIRED,
+    FAILED,
+    QueueFullError,
+    Scheduler,
+)
+from .workers import WorkerTier
+
+__all__ = ["ServiceConfig", "SimulationService", "ServiceThread", "run_server"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` can turn into a running service.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; ``port=0`` lets the OS pick (the bound port is on
+        ``SimulationService.port`` after ``start()``).
+    jobs:
+        Worker processes in the persistent pool (1 = in-process serial).
+    max_queue:
+        Admission-queue capacity; beyond it requests get 429.
+    concurrency:
+        Ensembles executing at once (each fans its runs across the
+        shared pool).
+    deadline_s:
+        Default per-request deadline; ``None`` means no limit unless
+        the request carries its own ``deadline_s``.
+    drain_timeout_s:
+        How long a graceful shutdown waits for in-flight work.
+    cache_enabled, cache_dir:
+        The shared result cache (the coalescing digests key on it).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    jobs: int = 1
+    max_queue: int = 64
+    concurrency: int = 2
+    deadline_s: float | None = None
+    drain_timeout_s: float = 30.0
+    cache_enabled: bool = True
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
+
+
+def coalesce_key(spec) -> tuple:
+    """The single-flight identity of an ensemble request.
+
+    Keyed on the result cache's own digests of every expanded run (so
+    two requests coalesce exactly when they denote the same cached
+    computation, engine override included) plus the display label,
+    which is part of the payload bytes.
+    """
+    return (
+        spec.label,
+        tuple(spec_digest(run) for run in expand_runs(spec)),
+    )
+
+
+class SimulationService:
+    """One running quarantine-simulation server."""
+
+    def __init__(
+        self, config: ServiceConfig, *, runner=None
+    ) -> None:
+        self.config = config
+        cache = (
+            ResultCache(config.cache_dir) if config.cache_enabled else None
+        )
+        self.workers = WorkerTier(jobs=config.jobs, cache=cache)
+        self.cache = cache
+        # ``runner`` injection lets tests drive the scheduler with a
+        # gate-controlled function instead of real simulations.
+        self.scheduler = Scheduler(
+            runner if runner is not None else self.workers.run,
+            max_queue=config.max_queue,
+        )
+        self.metrics = ServiceMetrics()
+        self.port: int | None = None
+        self.draining = False
+        self._server: asyncio.base_events.Server | None = None
+        self._worker_tasks: list[asyncio.Task] = []
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and spawn the worker slots."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._worker_tasks = [
+            asyncio.ensure_future(self.scheduler.worker_loop())
+            for _ in range(self.config.concurrency)
+        ]
+
+    async def stop(self, *, drain: bool = True) -> bool:
+        """Stop accepting, optionally drain, release the pool.
+
+        Returns True when every in-flight job finished inside the drain
+        timeout.
+        """
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        drained = True
+        if drain:
+            drained = await self.scheduler.join(
+                self.config.drain_timeout_s
+            )
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        # Hang up idle keep-alive connections so their handler tasks
+        # see EOF and exit before the loop tears down.
+        for writer in list(self._connections):
+            writer.close()
+        await asyncio.sleep(0)
+        self.workers.close()
+        return drained
+
+    # ------------------------------------------------------------------
+    # HTTP handling
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(
+                        encode_response(
+                            exc.status,
+                            canonical_json({"error": exc.message}),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                started = asyncio.get_running_loop().time()
+                endpoint, response = self._dispatch(request)
+                writer.write(response)
+                await writer.drain()
+                self.metrics.record(
+                    endpoint,
+                    asyncio.get_running_loop().time() - started,
+                )
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to salvage
+        except asyncio.CancelledError:
+            pass  # loop shutting down; the connection dies with it
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _dispatch(self, request: Request) -> tuple[str, bytes]:
+        """Route one request; returns (endpoint template, response bytes)."""
+        path = request.path
+        if path == "/v1/run":
+            if request.method != "POST":
+                return "/v1/run", self._error(405, "use POST")
+            return "/v1/run", self._handle_run(request)
+        if path.startswith("/v1/result/"):
+            if request.method != "GET":
+                return "/v1/result", self._error(405, "use GET")
+            job_id = path[len("/v1/result/"):]
+            return "/v1/result", self._handle_result(job_id)
+        if path == "/healthz":
+            if request.method != "GET":
+                return "/healthz", self._error(405, "use GET")
+            return "/healthz", self._handle_healthz()
+        if path == "/metrics":
+            if request.method != "GET":
+                return "/metrics", self._error(405, "use GET")
+            return "/metrics", self._handle_metrics()
+        return "*", self._error(404, f"no such endpoint: {path}")
+
+    @staticmethod
+    def _error(status: int, message: str, **extra) -> bytes:
+        return encode_response(
+            status, canonical_json({"error": message, **extra})
+        )
+
+    @staticmethod
+    def _json(status: int, obj, headers: dict[str, str] | None = None) -> bytes:
+        return encode_response(
+            status, canonical_json(obj), extra_headers=headers
+        )
+
+    def _handle_run(self, request: Request) -> bytes:
+        if self.draining:
+            return self._error(503, "service is draining")
+        try:
+            spec, deadline_s = parse_run_request(request.body)
+        except ProtocolError as exc:
+            return self._error(400, str(exc))
+        if deadline_s is None:
+            deadline_s = self.config.deadline_s
+        try:
+            job, coalesced = self.scheduler.submit(
+                spec, key=coalesce_key(spec), deadline_s=deadline_s
+            )
+        except QueueFullError as exc:
+            return self._json(
+                429,
+                {
+                    "error": "admission queue full",
+                    "queue_depth": exc.depth,
+                    "retry_after_s": exc.retry_after,
+                },
+                headers={"Retry-After": str(exc.retry_after)},
+            )
+        return self._json(
+            202,
+            {
+                "id": job.id,
+                "status": job.status,
+                "coalesced": coalesced,
+                "queue_depth": self.scheduler.queue_depth,
+            },
+        )
+
+    def _handle_result(self, job_id: str) -> bytes:
+        job = self.scheduler.get(job_id)
+        if job is None:
+            return self._error(404, f"unknown job id: {job_id}")
+        if job.status == DONE:
+            assert job.payload is not None
+            return encode_response(200, job.payload)
+        if job.status == FAILED:
+            return self._json(
+                500, {"id": job.id, "status": FAILED, "error": job.error}
+            )
+        if job.status == EXPIRED:
+            return self._json(
+                504,
+                {"id": job.id, "status": EXPIRED, "error": job.error},
+            )
+        return self._json(202, {"id": job.id, "status": job.status})
+
+    def _handle_healthz(self) -> bytes:
+        return self._json(
+            200,
+            {
+                "status": "draining" if self.draining else "ok",
+                "uptime_s": round(self.metrics.uptime_s, 3),
+            },
+        )
+
+    def _handle_metrics(self) -> bytes:
+        hub = observability_hub()
+        cache_stats = None
+        if self.cache is not None:
+            probes = self.cache.hits + self.cache.misses
+            cache_stats = {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "stores": self.cache.stores,
+                "hit_rate": round(self.cache.hits / probes, 4)
+                if probes
+                else 0.0,
+            }
+        payload = {
+            "uptime_s": round(self.metrics.uptime_s, 3),
+            "queue": {
+                "depth": self.scheduler.queue_depth,
+                "running": self.scheduler.running,
+                "max": self.scheduler.max_queue,
+                "concurrency": self.config.concurrency,
+            },
+            "jobs": dict(self.scheduler.counters),
+            "cache": cache_stats,
+            "workers": {
+                "jobs": self.workers.executor.jobs,
+                "mode": self.workers.mode,
+                "restarts": self.workers.restarts,
+            },
+            "observability": {
+                "counters": dict(hub.counters),
+                "phase_seconds": {
+                    phase: round(seconds, 6)
+                    for phase, seconds in hub.phase_seconds.items()
+                },
+                "runs_recorded": hub.runs_recorded,
+            },
+            "latency": self.metrics.snapshot(),
+        }
+        return self._json(200, payload)
+
+
+def run_server(config: ServiceConfig, out=sys.stdout) -> int:
+    """Blocking entry point behind ``repro serve``.
+
+    Serves until SIGTERM/SIGINT, then drains gracefully: the listener
+    closes first (new connections refused), queued and running jobs
+    finish within ``drain_timeout_s``, the worker pool shuts down, and
+    the process exits 0.
+    """
+
+    async def _serve() -> int:
+        service = SimulationService(config)
+        await service.start()
+        print(
+            f"repro.service listening on "
+            f"http://{config.host}:{service.port} "
+            f"(jobs={config.jobs}, max_queue={config.max_queue}, "
+            f"concurrency={config.concurrency})",
+            file=out,
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread or exotic platform
+        await stop.wait()
+        print("repro.service draining...", file=out, flush=True)
+        drained = await service.stop(drain=True)
+        print(
+            "repro.service stopped "
+            f"({'clean' if drained else 'drain timeout'})",
+            file=out,
+            flush=True,
+        )
+        return 0 if drained else 1
+
+    return asyncio.run(_serve())
+
+
+class ServiceThread:
+    """The service on a private event loop in a daemon thread.
+
+    The shape tests and benchmarks want: ``with ServiceThread(config)
+    as service:`` yields a started service whose ``port`` is bound;
+    exit drains and joins.
+    """
+
+    def __init__(self, config: ServiceConfig, *, runner=None) -> None:
+        self.config = config
+        self.service: SimulationService | None = None
+        self.port: int | None = None
+        self._runner = runner
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+
+    def start(self) -> "ServiceThread":
+        """Spawn the loop thread and wait for the listener to bind."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service failed to start within 30s")
+        if self._error is not None:
+            raise RuntimeError("service failed to start") from self._error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            self.service = SimulationService(
+                self.config, runner=self._runner
+            )
+            await self.service.start()
+            self.port = self.service.port
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop.wait()
+        await self.service.stop(drain=True)
+
+    def stop(self) -> None:
+        """Drain the service and join the loop thread (idempotent)."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

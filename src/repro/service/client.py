@@ -1,0 +1,227 @@
+"""Blocking stdlib client for the simulation service.
+
+``ServiceClient`` speaks the protocol over one keep-alive
+``http.client`` connection (reconnecting transparently when the server
+side closes): submit a spec, poll its job, decode the payload back
+into a full :class:`~repro.runner.results.EnsembleResult`.  Intended
+users are the load generator, the CI smoke script, the test suite, and
+anyone driving experiments from a separate process — the decoded
+result is indistinguishable from a local ``run_ensemble`` return.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+
+from ..runner.results import EnsembleResult
+from ..runner.spec import EnsembleSpec
+from .protocol import decode_ensemble_result
+
+__all__ = [
+    "ServiceError",
+    "QueueFull",
+    "JobFailed",
+    "ServiceClient",
+]
+
+
+class ServiceError(RuntimeError):
+    """An unexpected response from the service."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class QueueFull(ServiceError):
+    """Admission refused (HTTP 429); honor :attr:`retry_after_s`."""
+
+    def __init__(self, status: int, payload: Any, retry_after_s: int) -> None:
+        super().__init__(status, payload)
+        self.retry_after_s = retry_after_s
+
+
+class JobFailed(ServiceError):
+    """The job reached a terminal non-success state (failed/expired)."""
+
+
+class ServiceClient:
+    """One connection to one service instance."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        *,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        """Drop the connection (reopened automatically on next use)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        headers = {}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        for attempt in (1, 2):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                payload = response.read()
+                return (
+                    response.status,
+                    {k.lower(): v for k, v in response.getheaders()},
+                    payload,
+                )
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # Keep-alive connection went stale; reconnect once.
+                self.close()
+                if attempt == 2:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    def _decode(payload: bytes) -> Any:
+        try:
+            return json.loads(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return payload.decode("utf-8", errors="replace")
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, spec: EnsembleSpec, *, deadline_s: float | None = None
+    ) -> dict[str, Any]:
+        """POST the spec; returns the 202 admission body.
+
+        Raises :class:`QueueFull` on 429 (with the server's suggested
+        ``retry_after_s``) and :class:`ServiceError` otherwise.
+        """
+        request: dict[str, Any] = {"spec": spec.to_dict()}
+        if deadline_s is not None:
+            request["deadline_s"] = deadline_s
+        status, headers, payload = self._request(
+            "POST", "/v1/run", json.dumps(request).encode("utf-8")
+        )
+        body = self._decode(payload)
+        if status == 429:
+            raise QueueFull(
+                status, body, int(headers.get("retry-after", "1"))
+            )
+        if status != 202:
+            raise ServiceError(status, body)
+        return body
+
+    def poll(self, job_id: str) -> dict[str, Any]:
+        """GET the job once; ``{"status": ..., "payload": bytes?}``."""
+        status, _headers, payload = self._request(
+            "GET", f"/v1/result/{job_id}"
+        )
+        if status == 200:
+            return {"status": "done", "payload": payload}
+        body = self._decode(payload)
+        if status in (202, 500, 504):
+            return body
+        raise ServiceError(status, body)
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 300.0,
+        interval: float = 0.05,
+    ) -> bytes:
+        """Poll until the job is terminal; returns the payload bytes.
+
+        Raises :class:`JobFailed` for failed/expired jobs and
+        :class:`TimeoutError` when the wait budget runs out.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            state = self.poll(job_id)
+            if state["status"] == "done":
+                return state["payload"]
+            if state["status"] in ("failed", "expired"):
+                raise JobFailed(500, state)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state['status']} "
+                    f"after {timeout}s"
+                )
+            time.sleep(interval)
+
+    def run_bytes(
+        self,
+        spec: EnsembleSpec,
+        *,
+        deadline_s: float | None = None,
+        timeout: float = 300.0,
+    ) -> bytes:
+        """Submit and wait; returns the canonical payload bytes."""
+        job = self.submit(spec, deadline_s=deadline_s)
+        return self.wait(job["id"], timeout=timeout)
+
+    def run(
+        self,
+        spec: EnsembleSpec,
+        *,
+        deadline_s: float | None = None,
+        timeout: float = 300.0,
+    ) -> EnsembleResult:
+        """Submit, wait, and decode into a full :class:`EnsembleResult`."""
+        return decode_ensemble_result(
+            self.run_bytes(spec, deadline_s=deadline_s, timeout=timeout)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        """The liveness document."""
+        status, _headers, payload = self._request("GET", "/healthz")
+        body = self._decode(payload)
+        if status != 200:
+            raise ServiceError(status, body)
+        return body
+
+    def metrics(self) -> dict[str, Any]:
+        """The live metrics document."""
+        status, _headers, payload = self._request("GET", "/metrics")
+        body = self._decode(payload)
+        if status != 200:
+            raise ServiceError(status, body)
+        return body

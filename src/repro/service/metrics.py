@@ -1,0 +1,80 @@
+"""Live service metrics: endpoint latencies and counter plumbing.
+
+Latencies reuse the observability layer's decade bucketing
+(:func:`repro.observability.stats.bucket_label`) so a service histogram
+reads exactly like a simulator queue histogram: stable string-labeled
+buckets that serialize as plain JSON and merge with ``merge_counts``.
+The full ``/metrics`` document is assembled by the application from
+these snapshots plus the scheduler counters, the result-cache hit
+counters, and the process-wide observability hub.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..observability.stats import bucket_label
+
+__all__ = ["EndpointLatency", "ServiceMetrics"]
+
+
+class EndpointLatency:
+    """Latency accounting for one endpoint, decade-bucketed in ms."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+        self.histogram: dict[str, int] = {}
+
+    def record(self, seconds: float) -> None:
+        """Fold one request's wall time into the aggregate."""
+        ms = seconds * 1000.0
+        self.count += 1
+        self.total_ms += ms
+        self.max_ms = max(self.max_ms, ms)
+        label = bucket_label(int(ms))
+        self.histogram[label] = self.histogram.get(label, 0) + 1
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary."""
+        return {
+            "count": self.count,
+            "total_ms": round(self.total_ms, 3),
+            "mean_ms": round(self.total_ms / self.count, 3)
+            if self.count
+            else 0.0,
+            "max_ms": round(self.max_ms, 3),
+            "histogram_ms": dict(self.histogram),
+        }
+
+
+class ServiceMetrics:
+    """Per-endpoint latency table plus service uptime.
+
+    Mutated only from the event loop (the connection handler records
+    after each response), so no locking is needed.
+    """
+
+    def __init__(self) -> None:
+        self.started_at = time.monotonic()
+        self.endpoints: dict[str, EndpointLatency] = {}
+
+    def record(self, endpoint: str, seconds: float) -> None:
+        """Record one served request against its endpoint template."""
+        latency = self.endpoints.get(endpoint)
+        if latency is None:
+            latency = self.endpoints[endpoint] = EndpointLatency()
+        latency.record(seconds)
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since the service started."""
+        return time.monotonic() - self.started_at
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-endpoint latency table."""
+        return {
+            endpoint: latency.snapshot()
+            for endpoint, latency in sorted(self.endpoints.items())
+        }

@@ -1,0 +1,145 @@
+"""Wire protocol: specs in, results out, bytes deterministic.
+
+The service speaks plain JSON over HTTP, validated through the existing
+:mod:`repro.runner.spec` types — a POSTed ensemble is decoded with
+``EnsembleSpec.from_dict``, so the server rejects exactly what
+``run_ensemble`` would reject, with the same messages.
+
+Result payloads are **canonical**: :func:`result_payload` serializes an
+:class:`~repro.runner.results.EnsembleResult` to sorted-key,
+no-whitespace JSON after projecting out the only nondeterministic
+fields (per-run wall time and profiling seconds).  Everything that
+remains — specs, trajectories, packet counters, histograms, deployment
+summaries — is a pure function of (spec, seeds, engine), so a served
+ensemble is *byte-identical* to an in-process ``run_ensemble`` of the
+same spec, which is both the correctness contract the parity tests
+assert and what makes coalesced/cached responses indistinguishable from
+fresh ones.  Timings are observability, not results; they live on the
+``/metrics`` endpoint instead.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..runner.results import EnsembleResult, RunResult
+from ..runner.spec import EnsembleSpec, SpecError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "VOLATILE_METRIC_FIELDS",
+    "ProtocolError",
+    "canonical_json",
+    "decode_ensemble_spec",
+    "parse_run_request",
+    "encode_run_result",
+    "encode_ensemble_result",
+    "result_payload",
+    "decode_ensemble_result",
+]
+
+#: Version tag on every result payload; bump on shape changes.
+SCHEMA_VERSION = 1
+
+#: RunMetrics fields excluded from result payloads because they vary
+#: between executions of the same spec (wall clock is not a result).
+VOLATILE_METRIC_FIELDS = frozenset({"wall_time", "phase_seconds"})
+
+
+class ProtocolError(ValueError):
+    """A request the protocol cannot interpret (an HTTP 400)."""
+
+
+def canonical_json(obj: Any) -> bytes:
+    """The one true byte encoding of a JSON document."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def decode_ensemble_spec(data: Any) -> EnsembleSpec:
+    """Validate a JSON-decoded ensemble spec through the runner types."""
+    if not isinstance(data, dict):
+        raise ProtocolError("spec must be a JSON object")
+    try:
+        return EnsembleSpec.from_dict(data)
+    except (SpecError, KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid ensemble spec: {exc}") from exc
+
+
+def parse_run_request(body: bytes) -> tuple[EnsembleSpec, float | None]:
+    """Parse a POST ``/v1/run`` body: ``{"spec": ..., "deadline_s": ...}``.
+
+    ``deadline_s`` is optional; when present it must be a positive
+    number of seconds after which the server abandons the request.
+    """
+    try:
+        data = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"request body is not JSON: {exc}") from exc
+    if not isinstance(data, dict) or "spec" not in data:
+        raise ProtocolError('request body must be {"spec": {...}}')
+    unknown = set(data) - {"spec", "deadline_s"}
+    if unknown:
+        raise ProtocolError(f"unknown request fields: {sorted(unknown)}")
+    spec = decode_ensemble_spec(data["spec"])
+    deadline_s = data.get("deadline_s")
+    if deadline_s is not None:
+        if not isinstance(deadline_s, (int, float)) or isinstance(
+            deadline_s, bool
+        ):
+            raise ProtocolError("deadline_s must be a number")
+        if deadline_s <= 0:
+            raise ProtocolError(
+                f"deadline_s must be positive, got {deadline_s}"
+            )
+        deadline_s = float(deadline_s)
+    return spec, deadline_s
+
+
+def encode_run_result(run: RunResult) -> dict[str, Any]:
+    """JSON-ready dict of one run, volatile metrics projected out."""
+    data = run.to_dict()
+    data["metrics"] = {
+        key: value
+        for key, value in data["metrics"].items()
+        if key not in VOLATILE_METRIC_FIELDS
+    }
+    return data
+
+
+def encode_ensemble_result(result: EnsembleResult) -> dict[str, Any]:
+    """JSON-ready dict of an ensemble result (deterministic fields only)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "spec": result.spec.to_dict(),
+        "runs": [encode_run_result(run) for run in result.runs],
+    }
+
+
+def result_payload(result: EnsembleResult) -> bytes:
+    """The canonical bytes the result endpoint serves for ``result``."""
+    return canonical_json(encode_ensemble_result(result))
+
+
+def decode_ensemble_result(payload: bytes | dict[str, Any]) -> EnsembleResult:
+    """Rebuild a full :class:`EnsembleResult` from a served payload.
+
+    The mean trajectory and aggregate metrics are recomputed from the
+    runs by ``EnsembleResult.__post_init__`` — they are derived data,
+    so the wire never carries them.
+    """
+    data = json.loads(payload) if isinstance(payload, bytes) else payload
+    try:
+        if data.get("schema") != SCHEMA_VERSION:
+            raise ProtocolError(
+                f"unsupported result schema {data.get('schema')!r}"
+            )
+        spec = EnsembleSpec.from_dict(data["spec"])
+        runs = [RunResult.from_dict(run) for run in data["runs"]]
+    except ProtocolError:
+        raise
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed result payload: {exc}") from exc
+    return EnsembleResult(spec=spec, runs=runs)

@@ -1,0 +1,294 @@
+"""Admission control, request coalescing, and the job lifecycle.
+
+The scheduler is the service's queueing discipline, kept free of HTTP
+and of simulation detail: it accepts :class:`~repro.runner.spec.
+EnsembleSpec` jobs with opaque coalescing keys, bounds how many may
+wait (explicit backpressure instead of unbounded buffering), collapses
+concurrent duplicates onto one in-flight computation, enforces
+per-request deadlines, and hands the survivors to a runner callable on
+a worker thread.
+
+**Coalescing.**  Two requests with the same key — the service keys on
+the :func:`~repro.runner.cache.spec_digest` of every expanded run, i.e.
+on the result cache's own identity — denote the same computation, so
+the second *attaches* to the first job instead of queueing a duplicate
+(single-flight).  Followers share the leader's job id and therefore its
+payload bytes; only jobs that are queued or running coalesce, because a
+finished job's cache entries already make a rerun cheap.
+
+**Deadlines.**  A job past its deadline while queued is skipped; one
+that exceeds it while running has its cancel event set, which the
+worker tier honors by cancelling not-yet-started runs (runs already
+executing in a worker process finish and are discarded).  Either way
+the job reports ``expired`` and the client gets a 504.
+
+**Bounded state.**  Finished jobs are retained for polling but only the
+most recent :attr:`Scheduler.retain_finished` of them — a long-lived
+server must bound per-request state (cf. the hyper-compact estimator
+line of work in PAPERS.md), so old results age out of memory and live
+on only in the result cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass, field
+
+from ..runner.spec import EnsembleSpec
+
+__all__ = [
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "EXPIRED",
+    "QueueFullError",
+    "Job",
+    "Scheduler",
+]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+EXPIRED = "expired"
+
+#: States a new request may attach to (single-flight window).
+_COALESCABLE = (QUEUED, RUNNING)
+_TERMINAL = (DONE, FAILED, EXPIRED)
+
+
+class QueueFullError(Exception):
+    """Admission refused: the queue is at capacity (an HTTP 429)."""
+
+    def __init__(self, depth: int, retry_after: int) -> None:
+        super().__init__(f"admission queue full ({depth} jobs waiting)")
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+@dataclass
+class Job:
+    """One admitted computation and its lifecycle state."""
+
+    id: str
+    spec: EnsembleSpec
+    key: Hashable
+    deadline: float | None  # monotonic-clock absolute, None = no limit
+    status: str = QUEUED
+    payload: bytes | None = None
+    error: str | None = None
+    created: float = 0.0
+    started: float | None = None
+    finished: float | None = None
+    cancel: threading.Event = field(default_factory=threading.Event)
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job has reached a final state."""
+        return self.status in _TERMINAL
+
+
+class Scheduler:
+    """Bounded FIFO admission queue with single-flight coalescing.
+
+    Parameters
+    ----------
+    runner:
+        Blocking callable ``(spec, cancel_event) -> payload bytes``;
+        executed on a worker thread via ``asyncio.to_thread``.  It must
+        honor ``cancel_event`` promptly (the persistent executor polls
+        it every 50 ms).
+    max_queue:
+        Maximum number of jobs *waiting* (running jobs do not count);
+        admission beyond that raises :class:`QueueFullError`.
+    retain_finished:
+        How many terminal jobs stay pollable before aging out.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[EnsembleSpec, threading.Event], bytes],
+        *,
+        max_queue: int = 64,
+        retain_finished: int = 1024,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self._runner = runner
+        self.max_queue = max_queue
+        self.retain_finished = retain_finished
+        self._queue: asyncio.Queue[Job] = asyncio.Queue()
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[Hashable, Job] = {}
+        self._finished: OrderedDict[str, None] = OrderedDict()
+        self._running = 0
+        # Exponential moving average of job wall time, seeding the
+        # Retry-After estimate before the first job completes.
+        self._ema_job_seconds = 1.0
+        self.counters = {
+            "accepted": 0,
+            "rejected": 0,
+            "coalesced": 0,
+            "completed": 0,
+            "failed": 0,
+            "expired": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting for a worker slot."""
+        return self._queue.qsize()
+
+    @property
+    def running(self) -> int:
+        """Jobs currently executing."""
+        return self._running
+
+    def retry_after(self) -> int:
+        """Seconds a 429'd client should wait before retrying."""
+        backlog = self.queue_depth + self._running
+        estimate = backlog * self._ema_job_seconds
+        return max(1, min(60, round(estimate)))
+
+    def submit(
+        self,
+        spec: EnsembleSpec,
+        *,
+        key: Hashable,
+        deadline_s: float | None = None,
+    ) -> tuple[Job, bool]:
+        """Admit (or coalesce) a request; returns ``(job, coalesced)``.
+
+        Raises :class:`QueueFullError` when the waiting line is at
+        capacity — the service maps that to 429 + ``Retry-After``.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None and existing.status in _COALESCABLE:
+            self.counters["coalesced"] += 1
+            return existing, True
+        if self._queue.qsize() >= self.max_queue:
+            self.counters["rejected"] += 1
+            raise QueueFullError(self._queue.qsize(), self.retry_after())
+        now = time.monotonic()
+        job = Job(
+            id=uuid.uuid4().hex[:16],
+            spec=spec,
+            key=key,
+            deadline=(now + deadline_s) if deadline_s is not None else None,
+            created=now,
+        )
+        self._jobs[job.id] = job
+        self._inflight[key] = job
+        self._queue.put_nowait(job)
+        self.counters["accepted"] += 1
+        return job, False
+
+    def get(self, job_id: str) -> Job | None:
+        """Look a job up for polling (lazily expiring stale queued ones)."""
+        job = self._jobs.get(job_id)
+        if (
+            job is not None
+            and job.status == QUEUED
+            and job.deadline is not None
+            and time.monotonic() >= job.deadline
+        ):
+            self._expire(job)
+        return job
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    async def worker_loop(self) -> None:
+        """Drain the queue forever; run one of these per worker slot."""
+        while True:
+            job = await self._queue.get()
+            try:
+                await self._execute(job)
+            finally:
+                self._queue.task_done()
+
+    async def _execute(self, job: Job) -> None:
+        if job.terminal:
+            return  # expired while queued
+        now = time.monotonic()
+        if job.deadline is not None and now >= job.deadline:
+            self._expire(job)
+            return
+        job.status = RUNNING
+        job.started = now
+        self._running += 1
+        remaining = (
+            job.deadline - now if job.deadline is not None else None
+        )
+        task = asyncio.ensure_future(
+            asyncio.to_thread(self._runner, job.spec, job.cancel)
+        )
+        try:
+            done, pending = await asyncio.wait({task}, timeout=remaining)
+            if pending:
+                # Deadline hit mid-run: cancel cooperatively, then join
+                # the worker thread (it unblocks within the executor's
+                # 50 ms cancel-poll interval) so no thread is leaked.
+                job.cancel.set()
+                try:
+                    await task
+                except Exception:
+                    pass
+                self._expire(job)
+                return
+            try:
+                job.payload = task.result()
+            except Exception as exc:
+                job.status = FAILED
+                job.error = f"{type(exc).__name__}: {exc}"
+                self.counters["failed"] += 1
+            else:
+                job.status = DONE
+                self.counters["completed"] += 1
+        finally:
+            self._running -= 1
+            if job.terminal:
+                self._finish(job)
+
+    def _expire(self, job: Job) -> None:
+        job.status = EXPIRED
+        job.error = "deadline exceeded"
+        self.counters["expired"] += 1
+        self._finish(job)
+
+    def _finish(self, job: Job) -> None:
+        if job.finished is not None:
+            return
+        job.finished = time.monotonic()
+        if job.started is not None and job.status == DONE:
+            elapsed = job.finished - job.started
+            self._ema_job_seconds = (
+                0.7 * self._ema_job_seconds + 0.3 * elapsed
+            )
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+        job.done.set()
+        self._finished[job.id] = None
+        while len(self._finished) > self.retain_finished:
+            evicted, _ = self._finished.popitem(last=False)
+            self._jobs.pop(evicted, None)
+
+    async def join(self, timeout: float | None = None) -> bool:
+        """Wait for the queue to drain; True if it emptied in time."""
+        try:
+            await asyncio.wait_for(self._queue.join(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False

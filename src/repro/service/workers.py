@@ -1,0 +1,92 @@
+"""The service's worker tier: one persistent pool, many ensembles.
+
+``run_ensemble`` historically built a fresh ``ParallelExecutor`` — and
+therefore a fresh process pool — per call (``executor_from_config``),
+which a one-shot CLI invocation never notices but a server pays on
+every request.  The tier instead owns a single
+:class:`~repro.runner.executors.PersistentExecutor`, created once at
+startup and closed on drain; every job shares it, each under its own
+cancellation event (bound per-job via :class:`CancellableExecutor`).
+Worker crashes are absorbed by the executor's restart path and surface
+in ``/metrics`` as ``workers.restarts``.
+
+Jobs still execute through :func:`repro.runner.run_ensemble`, so the
+engine/seed semantics, the engine override, and the shared result
+cache behave exactly as they do in-process — the service adds
+scheduling, not a second execution path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+
+from ..observability.instrumentation import InstrumentationOptions
+from ..runner.api import run_ensemble
+from ..runner.cache import ResultCache
+from ..runner.executors import Executor, PersistentExecutor
+from ..runner.results import RunResult
+from ..runner.spec import EnsembleSpec, RunSpec
+from .protocol import result_payload
+
+__all__ = ["CancellableExecutor", "WorkerTier"]
+
+
+class CancellableExecutor(Executor):
+    """A per-job view of the shared pool, bound to one cancel event."""
+
+    def __init__(
+        self, handle: PersistentExecutor, cancel: threading.Event
+    ) -> None:
+        self._handle = handle
+        self._cancel = cancel
+
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        options: InstrumentationOptions | None = None,
+    ) -> list[RunResult]:
+        return self._handle.run_specs(specs, options, cancel=self._cancel)
+
+
+class WorkerTier:
+    """Executes admitted jobs on the persistent pool and encodes them."""
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        timeout: float | None = None,
+        cache: ResultCache | None = None,
+    ) -> None:
+        self.executor = PersistentExecutor(jobs, timeout=timeout)
+        self.cache = cache
+
+    @property
+    def mode(self) -> str:
+        """``"pool"`` with worker processes, ``"serial"`` in-process."""
+        return "pool" if self.executor.jobs > 1 else "serial"
+
+    @property
+    def restarts(self) -> int:
+        """How many times a dead worker pool was replaced."""
+        return self.executor.restarts
+
+    def run(self, spec: EnsembleSpec, cancel: threading.Event) -> bytes:
+        """The scheduler's runner callable: one ensemble → payload bytes.
+
+        Runs on a worker thread (``asyncio.to_thread``); the blocking
+        parts — cache probes and pool waits — happen here, never on the
+        event loop.
+        """
+        result = run_ensemble(
+            spec,
+            executor=CancellableExecutor(self.executor, cancel),
+            cache=self.cache,
+            use_cache=self.cache is not None,
+        )
+        return result_payload(result)
+
+    def close(self) -> None:
+        """Release the pool (idempotent); called on graceful drain."""
+        self.executor.close()

@@ -260,6 +260,95 @@ class TestObservabilityFlags:
         assert "phase" not in plain.split("time to")[0].split("===")[0]
 
 
+class TestVersion:
+    def test_version_flag_prints_and_exits(self, capsys):
+        from repro.cli import package_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert package_version() in capsys.readouterr().out
+
+    def test_package_version_matches_source_tree(self):
+        import repro
+        from repro.cli import package_version
+
+        # Installed-distribution metadata when available, the source
+        # tree's __version__ otherwise — either way a non-empty string.
+        version = package_version()
+        assert version
+        assert version == getattr(repro, "__version__", version)
+
+
+class TestCacheCommand:
+    def warm(self, tmp_path) -> tuple[str, ...]:
+        argv = (
+            "compare",
+            "--nodes", "120",
+            "--runs", "2",
+            "--ticks", "60",
+            "--strategy", "none",
+            "--strategy", "backbone:0.05",
+            "--cache-dir", str(tmp_path),
+        )
+        run_cli(*argv)
+        return argv
+
+    def test_stats_reports_entries_and_bytes(self, tmp_path):
+        self.warm(tmp_path)
+        output = run_cli("cache", "--stats", "--cache-dir", str(tmp_path))
+        assert str(tmp_path) in output
+        assert "entries:   4" in output
+        size = int(output.split("bytes:")[1].strip())
+        assert size > 0
+
+    def test_bare_cache_defaults_to_stats(self, tmp_path):
+        output = run_cli("cache", "--cache-dir", str(tmp_path))
+        assert "entries:   0" in output
+        assert "bytes:     0" in output
+
+    def test_clear_empties_the_cache(self, tmp_path):
+        self.warm(tmp_path)
+        output = run_cli("cache", "--clear", "--cache-dir", str(tmp_path))
+        assert "removed 4 cached runs" in output
+        assert list(tmp_path.glob("*.json")) == []
+        output = run_cli("cache", "--stats", "--cache-dir", str(tmp_path))
+        assert "entries:   0" in output
+
+    def test_stats_and_clear_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "--stats", "--clear"])
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        assert args.jobs == 1
+        assert args.max_queue == 64
+        assert args.concurrency == 2
+        assert args.deadline is None
+        assert args.drain_timeout == 30.0
+        assert args.no_cache is False
+        assert args.engine is None
+
+    def test_counts_must_be_positive(self):
+        for argv in (
+            ["serve", "--jobs", "0"],
+            ["serve", "--max-queue", "0"],
+            ["serve", "--concurrency", "-1"],
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(argv)
+
+    def test_engine_choice_validated(self):
+        args = build_parser().parse_args(["serve", "--engine", "fast"])
+        assert args.engine == "fast"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--engine", "warp"])
+
+
 class TestMoreCommands:
     def test_every_analytic_figure_renders(self):
         for figure_id in ("fig1a", "fig2", "fig7a", "fig7b", "fig10"):

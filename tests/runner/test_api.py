@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -108,6 +110,69 @@ class TestRunEnsemble:
         with pytest.warns(RuntimeWarning, match="cache unwritable"):
             result = run_ensemble(tiny_ensemble(), cache=cache)
         assert result.metrics.runs == 3  # the experiment still completed
+
+    def test_unwritable_cache_warns_once_and_stops_storing(
+        self, monkeypatch, tmp_path
+    ):
+        # After the first OSError the cache is dropped for the rest of
+        # the ensemble: one store attempt, one warning, no retries.
+        cache = ResultCache(tmp_path)
+        attempts = []
+
+        def refuse(result):
+            attempts.append(result.spec.seed)
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr(cache, "store", refuse)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_ensemble(tiny_ensemble(), cache=cache)
+        degradations = [
+            w for w in caught if "cache unwritable" in str(w.message)
+        ]
+        assert len(attempts) == 1
+        assert len(degradations) == 1
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_degraded_run_matches_uncached_run(self, monkeypatch, tmp_path):
+        cache = ResultCache(tmp_path)
+        monkeypatch.setattr(
+            cache,
+            "store",
+            lambda result: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        with pytest.warns(RuntimeWarning, match="cache unwritable"):
+            degraded = run_ensemble(tiny_ensemble(), cache=cache)
+        pristine = run_ensemble(tiny_ensemble(), use_cache=False)
+        np.testing.assert_array_equal(
+            degraded.mean.infected, pristine.mean.infected
+        )
+        assert degraded.metrics.total_packets_injected == (
+            pristine.metrics.total_packets_injected
+        )
+
+    def test_partial_store_failure_keeps_earlier_entries(
+        self, monkeypatch, tmp_path
+    ):
+        # The first run persists; the second store fails; the ensemble
+        # still completes and the surviving entry replays as a hit.
+        cache = ResultCache(tmp_path)
+        real_store = cache.store
+        calls = []
+
+        def flaky(result):
+            calls.append(result.spec.seed)
+            if len(calls) == 2:
+                raise OSError("quota exceeded")
+            return real_store(result)
+
+        monkeypatch.setattr(cache, "store", flaky)
+        with pytest.warns(RuntimeWarning, match="cache unwritable"):
+            run_ensemble(tiny_ensemble(), cache=cache)
+        assert len(calls) == 2  # third run never attempts a store
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        replay = run_ensemble(tiny_ensemble(), cache=ResultCache(tmp_path))
+        assert replay.metrics.cache_hits == 1
 
 
 class TestConfiguration:

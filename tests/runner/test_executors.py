@@ -22,7 +22,12 @@ from repro.runner import (
     WormSpec,
     run_ensemble,
 )
-from repro.runner.executors import RunTimeoutError
+from repro.runner.executors import (
+    ExecutorError,
+    PersistentExecutor,
+    RunCancelledError,
+    RunTimeoutError,
+)
 
 
 def small_ensemble(num_runs: int = 3) -> EnsembleSpec:
@@ -207,3 +212,150 @@ class TestParallelExecutor:
             ParallelExecutor(jobs=0)
         with pytest.raises(ValueError):
             ParallelExecutor(jobs=2, timeout=-1.0)
+
+
+class TestPersistentExecutor:
+    """The reusable pool behind the service worker tier."""
+
+    def test_parity_with_serial(self):
+        specs = small_ensemble(num_runs=3).expand()
+        serial = SerialExecutor().run_specs(specs)
+        with PersistentExecutor(2) as executor:
+            pooled = executor.run_specs(specs)
+        for s, p in zip(serial, pooled):
+            assert s.spec == p.spec
+            np.testing.assert_array_equal(
+                s.trajectory.infected, p.trajectory.infected
+            )
+            assert s.metrics.packets_injected == p.metrics.packets_injected
+
+    def test_pool_created_once_and_reused(self, monkeypatch):
+        # The whole point of the executor: batch N+1 must not pay pool
+        # startup again.
+        import repro.runner.executors as executors
+
+        built = []
+        real_pool = executors.ProcessPoolExecutor
+
+        class CountingPool(real_pool):
+            def __init__(self, *args, **kwargs):
+                built.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(executors, "ProcessPoolExecutor", CountingPool)
+        with PersistentExecutor(2) as executor:
+            specs = small_ensemble(num_runs=2).expand()
+            first = executor.run_specs(specs)
+            second = executor.run_specs(specs)
+        assert len(built) == 1
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(
+                a.trajectory.infected, b.trajectory.infected
+            )
+
+    def test_jobs_one_never_builds_a_pool(self, monkeypatch):
+        import repro.runner.executors as executors
+
+        def explode(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("pool should not be created for jobs=1")
+
+        monkeypatch.setattr(executors, "ProcessPoolExecutor", explode)
+        with PersistentExecutor(1) as executor:
+            results = executor.run_specs(
+                small_ensemble(num_runs=2).expand()
+            )
+        assert len(results) == 2
+
+    def test_dead_pool_restarts_transparently(self):
+        import os
+
+        specs = small_ensemble(num_runs=2).expand()
+        with PersistentExecutor(2) as executor:
+            # Kill a worker out from under the pool: the next batch hits
+            # BrokenProcessPool, retires the pool, and retries fresh.
+            pool = executor._ensure_pool()
+            pool.submit(os._exit, 1)
+            import concurrent.futures
+            import time
+
+            # The pool notices the abrupt death asynchronously; probe
+            # until it reports itself broken.
+            deadline = time.monotonic() + 30
+            while True:
+                try:
+                    pool.submit(execute_probe).result(timeout=30)
+                except concurrent.futures.BrokenExecutor:
+                    break
+                assert time.monotonic() < deadline, "pool never broke"
+                time.sleep(0.05)
+            results = executor.run_specs(specs)
+            assert executor.restarts == 1
+        assert [r.spec.seed for r in results] == [s.seed for s in specs]
+
+    def test_persistently_broken_pool_falls_back_to_serial(
+        self, monkeypatch
+    ):
+        import concurrent.futures
+
+        import repro.runner.executors as executors
+
+        class DOAPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def submit(self, fn, *args):
+                raise concurrent.futures.BrokenExecutor("stillborn")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(executors, "ProcessPoolExecutor", DOAPool)
+        specs = small_ensemble(num_runs=2).expand()
+        with PersistentExecutor(2) as executor:
+            with pytest.warns(
+                RuntimeWarning, match="falling back to serial"
+            ):
+                results = executor.run_specs(specs)
+            assert executor.restarts == 2
+        assert [r.spec.seed for r in results] == [s.seed for s in specs]
+
+    def test_closed_executor_refuses_work(self):
+        executor = PersistentExecutor(2)
+        executor.close()
+        assert executor.closed
+        executor.close()  # idempotent
+        with pytest.raises(ExecutorError, match="closed"):
+            executor.run_specs(small_ensemble(num_runs=2).expand())
+
+    def test_preset_cancel_aborts_serial_batch(self):
+        import threading
+
+        cancel = threading.Event()
+        cancel.set()
+        with PersistentExecutor(1) as executor:
+            with pytest.raises(RunCancelledError, match="cancelled"):
+                executor.run_specs(
+                    small_ensemble(num_runs=2).expand(), cancel=cancel
+                )
+
+    def test_preset_cancel_aborts_pooled_batch(self):
+        import threading
+
+        cancel = threading.Event()
+        cancel.set()
+        with PersistentExecutor(2) as executor:
+            with pytest.raises(RunCancelledError, match="cancelled"):
+                executor.run_specs(
+                    small_ensemble(num_runs=3).expand(), cancel=cancel
+                )
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            PersistentExecutor(0)
+        with pytest.raises(ValueError):
+            PersistentExecutor(2, timeout=0)
+
+
+def execute_probe() -> int:
+    """Picklable probe for the crash-restart test."""
+    return 1

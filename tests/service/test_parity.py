@@ -1,0 +1,130 @@
+"""Served results must be byte-identical to in-process ``run_ensemble``.
+
+This is the service's core contract: it adds scheduling, not a second
+execution path.  For every engine, a spec submitted over HTTP must come
+back as exactly the canonical payload bytes an in-process run of the
+same spec produces — and decode into an equivalent ``EnsembleResult``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runner import (
+    EnsembleSpec,
+    ResultCache,
+    RunSpec,
+    TopologySpec,
+    run_ensemble,
+)
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+from repro.service.protocol import decode_ensemble_result, result_payload
+
+
+def ensemble(engine: str, *, num_runs: int = 3) -> EnsembleSpec:
+    return EnsembleSpec(
+        template=RunSpec(
+            topology=TopologySpec(kind="powerlaw", num_nodes=80),
+            max_ticks=25,
+            engine=engine,
+        ),
+        num_runs=num_runs,
+        base_seed=41,
+        label=f"parity-{engine}",
+    )
+
+
+@pytest.fixture(scope="module")
+def service():
+    config = ServiceConfig(
+        port=0, jobs=1, max_queue=16, concurrency=2, cache_enabled=False
+    )
+    with ServiceThread(config) as thread:
+        with ServiceClient(port=thread.port, timeout=120) as client:
+            yield client
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+class TestByteParity:
+    def test_served_bytes_match_in_process(self, service, engine):
+        spec = ensemble(engine)
+        served = service.run_bytes(spec, timeout=120)
+        local = result_payload(run_ensemble(spec, use_cache=False))
+        assert served == local
+
+    def test_decoded_result_matches_in_process(self, service, engine):
+        spec = ensemble(engine)
+        served = decode_ensemble_result(
+            service.run_bytes(spec, timeout=120)
+        )
+        local = run_ensemble(spec, use_cache=False)
+        assert served.spec == local.spec
+        np.testing.assert_array_equal(
+            served.mean.infected, local.mean.infected
+        )
+        for ours, theirs in zip(served.runs, local.runs):
+            assert ours.spec == theirs.spec
+            np.testing.assert_array_equal(
+                ours.trajectory.infected, theirs.trajectory.infected
+            )
+            assert ours.metrics.packets_injected == (
+                theirs.metrics.packets_injected
+            )
+
+    def test_repeat_submissions_are_stable(self, service, engine):
+        spec = ensemble(engine, num_runs=2)
+        first = service.run_bytes(spec, timeout=120)
+        second = service.run_bytes(spec, timeout=120)
+        assert first == second
+
+
+class TestPoolAndCacheParity:
+    def test_pool_served_bytes_match_serial_in_process(self, tmp_path):
+        """jobs>1 (process pool) must not change a single byte."""
+        spec = ensemble("reference")
+        config = ServiceConfig(
+            port=0, jobs=2, max_queue=8, concurrency=1, cache_enabled=False
+        )
+        with ServiceThread(config) as thread:
+            with ServiceClient(port=thread.port, timeout=120) as client:
+                served = client.run_bytes(spec, timeout=120)
+        local = result_payload(run_ensemble(spec, use_cache=False))
+        assert served == local
+
+    def test_cache_replay_serves_identical_bytes(self, tmp_path):
+        """A cache-hit response equals the cold-computed one."""
+        spec = ensemble("fast")
+        config = ServiceConfig(
+            port=0,
+            jobs=1,
+            max_queue=8,
+            concurrency=1,
+            cache_dir=str(tmp_path),
+        )
+        with ServiceThread(config) as thread:
+            with ServiceClient(port=thread.port, timeout=120) as client:
+                cold = client.run_bytes(spec, timeout=120)
+                warm = client.run_bytes(spec, timeout=120)
+                cache = client.metrics()["cache"]
+        assert cold == warm
+        assert cache["stores"] == spec.num_runs
+        assert cache["hits"] == spec.num_runs
+
+    def test_served_cache_entries_replay_in_process(self, tmp_path):
+        """In-process runs can reuse what the service cached."""
+        spec = ensemble("fast")
+        config = ServiceConfig(
+            port=0,
+            jobs=1,
+            max_queue=8,
+            concurrency=1,
+            cache_dir=str(tmp_path),
+        )
+        with ServiceThread(config) as thread:
+            with ServiceClient(port=thread.port, timeout=120) as client:
+                served = client.run_bytes(spec, timeout=120)
+        cache = ResultCache(str(tmp_path))
+        local = run_ensemble(spec, cache=cache)
+        assert cache.hits == spec.num_runs
+        assert result_payload(local) == served

@@ -1,0 +1,288 @@
+"""Unit tests for the scheduler: admission, coalescing, deadlines.
+
+These exercise :class:`repro.service.scheduler.Scheduler` directly on a
+private event loop, with plain functions as runners — no HTTP, no
+simulations — so every queueing decision is observable and exact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.runner import EnsembleSpec, RunSpec, TopologySpec
+from repro.service.scheduler import (
+    DONE,
+    EXPIRED,
+    FAILED,
+    QUEUED,
+    QueueFullError,
+    Scheduler,
+)
+
+
+def spec(label: str = "unit") -> EnsembleSpec:
+    return EnsembleSpec(
+        template=RunSpec(topology=TopologySpec(kind="star", num_nodes=10)),
+        num_runs=1,
+        label=label,
+    )
+
+
+def echo_runner(job_spec, cancel) -> bytes:
+    return job_spec.label.encode()
+
+
+async def drive(scheduler: Scheduler, *jobs) -> None:
+    """Run worker slots until the given jobs are all terminal."""
+    worker = asyncio.ensure_future(scheduler.worker_loop())
+    try:
+        await asyncio.wait_for(
+            asyncio.gather(*(job.done.wait() for job in jobs)), timeout=30
+        )
+    finally:
+        worker.cancel()
+        try:
+            await worker
+        except asyncio.CancelledError:
+            pass
+
+
+class TestAdmission:
+    def test_jobs_run_in_fifo_order(self):
+        async def scenario():
+            order = []
+
+            def runner(job_spec, cancel):
+                order.append(job_spec.label)
+                return b"ok"
+
+            scheduler = Scheduler(runner, max_queue=8)
+            jobs = [
+                scheduler.submit(spec(label), key=label)[0]
+                for label in ("a", "b", "c")
+            ]
+            await drive(scheduler, *jobs)
+            return order, [job.status for job in jobs]
+
+        order, statuses = asyncio.run(scenario())
+        assert order == ["a", "b", "c"]
+        assert statuses == [DONE, DONE, DONE]
+
+    def test_queue_bound_is_enforced(self):
+        async def scenario():
+            scheduler = Scheduler(echo_runner, max_queue=2)
+            scheduler.submit(spec("a"), key="a")
+            scheduler.submit(spec("b"), key="b")
+            with pytest.raises(QueueFullError) as excinfo:
+                scheduler.submit(spec("c"), key="c")
+            return excinfo.value, dict(scheduler.counters)
+
+        error, counters = asyncio.run(scenario())
+        assert error.depth == 2
+        assert error.retry_after >= 1
+        assert counters["rejected"] == 1
+        assert counters["accepted"] == 2
+
+    def test_retry_after_tracks_backlog(self):
+        async def scenario():
+            scheduler = Scheduler(echo_runner, max_queue=100)
+            scheduler._ema_job_seconds = 10.0
+            for index in range(4):
+                scheduler.submit(spec(str(index)), key=str(index))
+            return scheduler.retry_after()
+
+        assert asyncio.run(scenario()) == 40
+
+    def test_retry_after_is_clamped(self):
+        async def scenario():
+            scheduler = Scheduler(echo_runner, max_queue=100)
+            scheduler._ema_job_seconds = 1000.0
+            scheduler.submit(spec("a"), key="a")
+            return scheduler.retry_after()
+
+        assert asyncio.run(scenario()) == 60
+
+    def test_failure_is_contained_to_its_job(self):
+        async def scenario():
+            def runner(job_spec, cancel):
+                if job_spec.label == "bad":
+                    raise ValueError("no such worm")
+                return b"ok"
+
+            scheduler = Scheduler(runner, max_queue=8)
+            bad = scheduler.submit(spec("bad"), key="bad")[0]
+            good = scheduler.submit(spec("good"), key="good")[0]
+            await drive(scheduler, bad, good)
+            return bad, good
+
+        bad, good = asyncio.run(scenario())
+        assert bad.status == FAILED
+        assert "no such worm" in bad.error
+        assert good.status == DONE
+        assert good.payload == b"ok"
+
+
+class TestCoalescing:
+    def test_same_key_attaches_to_queued_job(self):
+        async def scenario():
+            scheduler = Scheduler(echo_runner, max_queue=8)
+            first, coalesced_first = scheduler.submit(spec("x"), key="x")
+            second, coalesced_second = scheduler.submit(spec("x"), key="x")
+            assert first.status == QUEUED
+            await drive(scheduler, first)
+            return (
+                first,
+                second,
+                coalesced_first,
+                coalesced_second,
+                dict(scheduler.counters),
+            )
+
+        first, second, cf, cs, counters = asyncio.run(scenario())
+        assert second is first
+        assert (cf, cs) == (False, True)
+        assert counters["coalesced"] == 1
+        assert counters["accepted"] == 1
+        assert counters["completed"] == 1  # one computation, not two
+
+    def test_terminal_job_does_not_coalesce(self):
+        async def scenario():
+            scheduler = Scheduler(echo_runner, max_queue=8)
+            first, _ = scheduler.submit(spec("x"), key="x")
+            await drive(scheduler, first)
+            second, coalesced = scheduler.submit(spec("x"), key="x")
+            assert not coalesced
+            assert second is not first
+            await drive(scheduler, second)
+            return dict(scheduler.counters)
+
+        counters = asyncio.run(scenario())
+        assert counters["coalesced"] == 0
+        assert counters["completed"] == 2
+
+    def test_distinct_keys_never_coalesce(self):
+        async def scenario():
+            scheduler = Scheduler(echo_runner, max_queue=8)
+            a, _ = scheduler.submit(spec("same-label"), key=("k", 1))
+            b, _ = scheduler.submit(spec("same-label"), key=("k", 2))
+            assert a is not b
+            await drive(scheduler, a, b)
+            return dict(scheduler.counters)
+
+        assert asyncio.run(scenario())["coalesced"] == 0
+
+
+class TestDeadlines:
+    def test_expired_queued_job_is_skipped_not_run(self):
+        async def scenario():
+            ran = []
+
+            def runner(job_spec, cancel):
+                ran.append(job_spec.label)
+                return b"ok"
+
+            scheduler = Scheduler(runner, max_queue=8)
+            job, _ = scheduler.submit(
+                spec("stale"), key="stale", deadline_s=0.01
+            )
+            await asyncio.sleep(0.05)
+            await drive(scheduler, job)
+            return job, ran, dict(scheduler.counters)
+
+        job, ran, counters = asyncio.run(scenario())
+        assert job.status == EXPIRED
+        assert "deadline exceeded" in job.error
+        assert ran == []
+        assert counters["expired"] == 1
+
+    def test_polling_expires_stale_queued_job(self):
+        async def scenario():
+            scheduler = Scheduler(echo_runner, max_queue=8)
+            job, _ = scheduler.submit(
+                spec("stale"), key="stale", deadline_s=0.01
+            )
+            await asyncio.sleep(0.05)
+            # No worker ran: the lookup itself must notice the deadline.
+            return scheduler.get(job.id)
+
+        job = asyncio.run(scenario())
+        assert job.status == EXPIRED
+
+    def test_running_job_is_cancelled_at_deadline(self):
+        async def scenario():
+            release = threading.Event()
+            saw_cancel = threading.Event()
+
+            def runner(job_spec, cancel):
+                while not release.wait(timeout=0.005):
+                    if cancel.is_set():
+                        saw_cancel.set()
+                        raise RuntimeError("cancelled")
+                return b"ok"
+
+            scheduler = Scheduler(runner, max_queue=8)
+            job, _ = scheduler.submit(
+                spec("slow"), key="slow", deadline_s=0.05
+            )
+            try:
+                await drive(scheduler, job)
+            finally:
+                release.set()
+            return job, saw_cancel.is_set(), dict(scheduler.counters)
+
+        job, saw_cancel, counters = asyncio.run(scenario())
+        assert job.status == EXPIRED
+        assert saw_cancel
+        assert counters["expired"] == 1
+        assert counters["completed"] == 0
+
+    def test_expired_job_frees_its_coalescing_key(self):
+        async def scenario():
+            scheduler = Scheduler(echo_runner, max_queue=8)
+            stale, _ = scheduler.submit(
+                spec("x"), key="x", deadline_s=0.01
+            )
+            await asyncio.sleep(0.05)
+            scheduler.get(stale.id)  # expire it
+            fresh, coalesced = scheduler.submit(spec("x"), key="x")
+            assert not coalesced and fresh is not stale
+            await drive(scheduler, fresh)
+            return fresh.status
+
+        assert asyncio.run(scenario()) == DONE
+
+
+class TestRetention:
+    def test_finished_jobs_age_out_beyond_retention(self):
+        async def scenario():
+            scheduler = Scheduler(
+                echo_runner, max_queue=16, retain_finished=3
+            )
+            jobs = [
+                scheduler.submit(spec(str(index)), key=str(index))[0]
+                for index in range(5)
+            ]
+            await drive(scheduler, *jobs)
+            return scheduler, jobs
+
+        scheduler, jobs = asyncio.run(scenario())
+        # The two oldest are gone; the three newest still poll.
+        assert scheduler.get(jobs[0].id) is None
+        assert scheduler.get(jobs[1].id) is None
+        for job in jobs[2:]:
+            assert scheduler.get(job.id) is job
+
+    def test_ema_tracks_completed_job_seconds(self):
+        async def scenario():
+            scheduler = Scheduler(echo_runner, max_queue=8)
+            before = scheduler._ema_job_seconds
+            job, _ = scheduler.submit(spec("quick"), key="quick")
+            await drive(scheduler, job)
+            return before, scheduler._ema_job_seconds
+
+        before, after = asyncio.run(scenario())
+        assert after != before  # a fast real job pulls the estimate down
+        assert 0 < after < before
