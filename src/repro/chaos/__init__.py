@@ -1,0 +1,60 @@
+"""Deterministic fault injection for the runner + service stack.
+
+The paper's claim — quarantine keeps working under degraded conditions
+— is only credible for this codebase if its own failure paths are
+*scheduled and asserted on*, not merely survived by accident.  This
+package provides:
+
+* :mod:`repro.chaos.plan` — :class:`FaultPlan`, a seed-derived fault
+  schedule over named injection sites (plain data, JSON round-trip);
+* :mod:`repro.chaos.controller` — the process-wide controller and the
+  two calls the instrumented layers make: :func:`fault_point` (no-op
+  by default) and :func:`corrupt` (identity by default);
+* :mod:`repro.chaos.replay` — ``repro chaos --plan-seed N --replay``,
+  which regenerates a failing test's exact fault sequence locally.
+
+Injection sites live in :mod:`repro.runner.executors`,
+:mod:`repro.runner.cache`, :mod:`repro.service.scheduler`,
+:mod:`repro.service.workers`, and :mod:`repro.service.http11`; the
+scenario and soak tests under ``tests/chaos/`` assert the degradation
+behavior each one guards.
+"""
+
+from .controller import (
+    ChaosController,
+    chaos_active,
+    corrupt,
+    current,
+    fault_point,
+    install,
+    uninstall,
+)
+from .plan import (
+    DEFAULT_SITES,
+    FAULT_KINDS,
+    SOAK_SITES,
+    Fault,
+    FaultPlan,
+    SiteModel,
+    site_models,
+)
+from .replay import ReplayReport, replay_plan
+
+__all__ = [
+    "FAULT_KINDS",
+    "DEFAULT_SITES",
+    "SOAK_SITES",
+    "Fault",
+    "SiteModel",
+    "FaultPlan",
+    "site_models",
+    "ChaosController",
+    "install",
+    "uninstall",
+    "current",
+    "chaos_active",
+    "fault_point",
+    "corrupt",
+    "ReplayReport",
+    "replay_plan",
+]

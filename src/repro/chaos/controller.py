@@ -1,0 +1,182 @@
+"""The process-wide chaos controller and the fault-point API.
+
+The instrumented layers call exactly two functions:
+
+* :func:`fault_point` at control-flow seams — with no plan installed it
+  is a single global read and a ``None`` check (measured as a no-op by
+  the chaos suite; the sites sit on per-run / per-request paths, never
+  per-tick ones);
+* :func:`corrupt` at byte-emission seams (the HTTP response encoder) —
+  identity unless the active plan schedules a ``truncate``/``garble``.
+
+With a :class:`~repro.chaos.plan.FaultPlan` installed, every call
+increments the site's invocation counter (under a lock — the service
+fires sites from worker threads) and executes the fault scheduled for
+that invocation, if any: sleeping for ``delay``, raising the stdlib
+exception the site's own error handling already catches (``OSError``,
+``BrokenExecutor``, ``TimeoutError``, ``RuntimeError``), or returning
+the fault for kinds the site interprets itself (``reject``,
+``truncate``, ``garble``).  Everything fired is appended to
+:attr:`ChaosController.fired`, so tests can assert the *exact* fault
+sequence a seed reproduces.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from contextlib import contextmanager
+
+from .plan import Fault, FaultPlan
+
+__all__ = [
+    "ChaosController",
+    "install",
+    "uninstall",
+    "current",
+    "chaos_active",
+    "fault_point",
+    "corrupt",
+]
+
+#: Fault kinds :func:`fault_point` raises on behalf of the site; the
+#: exception types are exactly what the instrumented layers' existing
+#: degradation paths already catch.
+_RAISING_KINDS = {
+    "io_error": lambda msg: OSError(msg),
+    "break_pool": lambda msg: BrokenExecutor(msg),
+    "timeout": lambda msg: FutureTimeoutError(msg),
+    "error": lambda msg: RuntimeError(msg),
+}
+
+
+class ChaosController:
+    """Counts fault-point invocations and fires one plan's faults."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.fired: list[tuple[str, int, Fault]] = []
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+        # Injectable so tests can observe delays without sleeping.
+        self.sleep = time.sleep
+
+    def invocations(self, site: str) -> int:
+        """How many times a site has fired so far."""
+        with self._lock:
+            return self._counts.get(site, 0)
+
+    def fired_log(self) -> list[tuple[str, int, str]]:
+        """The fired faults as comparable ``(site, invocation, kind)``."""
+        with self._lock:
+            return [
+                (site, invocation, fault.kind)
+                for site, invocation, fault in self.fired
+            ]
+
+    def _next(self, site: str) -> tuple[int, Fault | None]:
+        with self._lock:
+            invocation = self._counts.get(site, 0)
+            self._counts[site] = invocation + 1
+            fault = self.plan.faults_for(site).get(invocation)
+            if fault is not None:
+                self.fired.append((site, invocation, fault))
+            return invocation, fault
+
+    def trigger(self, site: str) -> Fault | None:
+        """Advance the site's counter; execute any scheduled fault.
+
+        Sleeps for ``delay`` faults, raises for the stdlib-exception
+        kinds, and returns the fault itself for site-interpreted kinds
+        (``reject``/``truncate``/``garble``) — and, informationally,
+        for ``delay`` after the sleep.
+        """
+        invocation, fault = self._next(site)
+        if fault is None:
+            return None
+        message = (
+            f"chaos[{site}@{invocation}]: injected {fault.kind} "
+            f"(plan seed {self.plan.seed})"
+        )
+        if fault.kind == "delay":
+            self.sleep(fault.delay_s)
+            return fault
+        raiser = _RAISING_KINDS.get(fault.kind)
+        if raiser is not None:
+            raise raiser(message)
+        return fault
+
+
+_CONTROLLER: ChaosController | None = None
+_INSTALL_LOCK = threading.Lock()
+
+
+def install(plan: FaultPlan) -> ChaosController:
+    """Activate a plan process-wide; returns its controller."""
+    global _CONTROLLER
+    with _INSTALL_LOCK:
+        if _CONTROLLER is not None:
+            raise RuntimeError(
+                "a chaos plan is already installed; uninstall() it first"
+            )
+        _CONTROLLER = ChaosController(plan)
+        return _CONTROLLER
+
+
+def uninstall() -> None:
+    """Deactivate chaos (idempotent); fault points become no-ops again."""
+    global _CONTROLLER
+    with _INSTALL_LOCK:
+        _CONTROLLER = None
+
+
+def current() -> ChaosController | None:
+    """The active controller, or ``None`` when chaos is off."""
+    return _CONTROLLER
+
+
+@contextmanager
+def chaos_active(plan: FaultPlan):
+    """Install a plan for one block; always uninstalls on exit."""
+    controller = install(plan)
+    try:
+        yield controller
+    finally:
+        uninstall()
+
+
+def fault_point(site: str) -> Fault | None:
+    """One injection point; no-op (``None``) unless a plan schedules it.
+
+    May sleep (``delay``) or raise (``io_error`` -> :class:`OSError`,
+    ``break_pool`` -> :class:`~concurrent.futures.BrokenExecutor`,
+    ``timeout`` -> :class:`~concurrent.futures.TimeoutError`,
+    ``error`` -> :class:`RuntimeError`); returns the fault for kinds
+    the calling site interprets itself.
+    """
+    controller = _CONTROLLER
+    if controller is None:
+        return None
+    return controller.trigger(site)
+
+
+def corrupt(site: str, data: bytes) -> bytes:
+    """A byte-stream injection point; identity unless a fault fires.
+
+    ``truncate`` drops the frame's last ``trim`` bytes (at least one);
+    ``garble`` flips the first byte, which for an HTTP response turns
+    the status line into garbage.
+    """
+    controller = _CONTROLLER
+    if controller is None:
+        return data
+    fault = controller.trigger(site)
+    if fault is None:
+        return data
+    if fault.kind == "truncate":
+        return data[: max(0, len(data) - max(fault.trim, 1))]
+    if fault.kind == "garble" and data:
+        return bytes([data[0] ^ 0xFF]) + data[1:]
+    return data

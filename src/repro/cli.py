@@ -291,6 +291,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine override applied to every served request",
     )
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="inspect or replay a deterministic fault-injection plan",
+        description="Derive the fault plan a chaos-test failure named "
+        "(`repro chaos --plan-seed N`) and optionally replay it against "
+        "a small canned ensemble (`--replay`).",
+    )
+    chaos.add_argument(
+        "--plan-seed", type=int, required=True, metavar="N",
+        help="the integer seed a failing chaos test printed",
+    )
+    chaos.add_argument(
+        "--replay", action="store_true",
+        help="run the canned ensemble under the plan and report the "
+        "faults fired, warnings raised, and result fidelity",
+    )
+    chaos.add_argument(
+        "--site", dest="sites", action="append", default=None,
+        metavar="NAME",
+        help="repeatable: restrict the derived plan to these injection "
+        "sites (default: every site)",
+    )
+
     return parser
 
 
@@ -439,6 +462,23 @@ def _cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
     return run_server(config, out=out)
 
 
+def _cmd_chaos(args: argparse.Namespace, out=sys.stdout) -> int:
+    # Imported lazily: the chaos harness is only needed by this command.
+    from .chaos import DEFAULT_SITES, FaultPlan, replay_plan, site_models
+
+    try:
+        sites = site_models(args.sites) if args.sites else DEFAULT_SITES
+        plan = FaultPlan.from_seed(args.plan_seed, sites=sites)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if not args.replay:
+        print(plan.describe(), file=out)
+        return 0
+    report = replay_plan(plan, out=out)
+    return 0 if report.outcome != "aborted" else 1
+
+
 def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -461,6 +501,8 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
                 return _cmd_cache(args, out=out)
             if args.command == "serve":
                 return _cmd_serve(args, out=out)
+            if args.command == "chaos":
+                return _cmd_chaos(args, out=out)
     finally:
         observability_hub().reset()
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

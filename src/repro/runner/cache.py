@@ -20,6 +20,7 @@ import os
 import tempfile
 from pathlib import Path
 
+from ..chaos.controller import fault_point
 from .results import RunResult
 from .spec import RunSpec
 
@@ -71,6 +72,9 @@ class ResultCache:
         """The cached result for ``spec``, or ``None`` on a miss."""
         path = self._path(spec)
         try:
+            # Chaos: ``io_error`` faults model an unreadable entry and
+            # degrade to a plain miss below.
+            fault_point("runner.cache.load")
             with path.open("r", encoding="utf-8") as handle:
                 data = json.load(handle)
         except (OSError, json.JSONDecodeError):
@@ -88,6 +92,9 @@ class ResultCache:
 
     def store(self, result: RunResult) -> Path:
         """Persist a run result; returns the entry's path."""
+        # Chaos: ``io_error`` faults model an unwritable cache; the
+        # OSError propagates to run_ensemble's warn-once handler.
+        fault_point("runner.cache.store")
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(result.spec)
         payload = json.dumps(result.to_dict())

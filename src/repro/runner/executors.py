@@ -26,6 +26,7 @@ from collections.abc import Sequence
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 
+from ..chaos.controller import fault_point
 from ..observability.instrumentation import InstrumentationOptions
 from .build import execute_run
 from .results import RunResult
@@ -86,7 +87,12 @@ class SerialExecutor(Executor):
         specs: Sequence[RunSpec],
         options: InstrumentationOptions | None = None,
     ) -> list[RunResult]:
-        return [execute_run(spec, options) for spec in specs]
+        results: list[RunResult] = []
+        for spec in specs:
+            # Chaos: ``delay`` faults model a slow run.
+            fault_point("runner.executor.run")
+            results.append(execute_run(spec, options))
+        return results
 
 
 class ParallelExecutor(Executor):
@@ -136,6 +142,9 @@ class ParallelExecutor(Executor):
         specs: Sequence[RunSpec],
         options: InstrumentationOptions | None,
     ) -> list[RunResult]:
+        # Chaos: ``break_pool`` faults model a worker death here, which
+        # the caller degrades to the serial fallback.
+        fault_point("runner.executor.pool")
         workers = min(self.jobs, len(specs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
@@ -283,6 +292,7 @@ class PersistentExecutor(Executor):
                 raise RunCancelledError(
                     f"batch cancelled before seed {spec.seed} ran"
                 )
+            fault_point("runner.executor.run")
             results.append(execute_run(spec, options))
         return results
 
@@ -293,6 +303,9 @@ class PersistentExecutor(Executor):
         options: InstrumentationOptions | None,
         cancel: threading.Event | None,
     ) -> list[RunResult]:
+        # Chaos: ``break_pool`` faults model a worker death mid-batch;
+        # ``run_specs`` absorbs it by restarting the pool and retrying.
+        fault_point("runner.executor.pool")
         futures = [pool.submit(execute_run, spec, options) for spec in specs]
         results: list[RunResult] = []
         try:
@@ -307,6 +320,10 @@ class PersistentExecutor(Executor):
     def _await(self, spec: RunSpec, future, cancel: threading.Event | None):
         if cancel is None:
             try:
+                # Chaos: ``timeout`` faults model a run overrunning its
+                # limit; the handler below maps them to RunTimeoutError
+                # exactly like a real overrun.
+                fault_point("runner.executor.await")
                 return future.result(timeout=self.timeout)
             except FutureTimeoutError:
                 raise RunTimeoutError(

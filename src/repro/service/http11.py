@@ -15,6 +15,8 @@ import asyncio
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, urlsplit
 
+from ..chaos.controller import corrupt
+
 __all__ = [
     "MAX_HEADER_BYTES",
     "MAX_BODY_BYTES",
@@ -150,4 +152,6 @@ def encode_response(
     for name, value in (extra_headers or {}).items():
         lines.append(f"{name}: {value}")
     head = "\r\n".join(lines) + "\r\n\r\n"
-    return head.encode("latin-1") + body
+    # Chaos: ``truncate``/``garble`` faults ship a damaged frame so
+    # client-resilience tests see real short reads and bad status lines.
+    return corrupt("service.http.response", head.encode("latin-1") + body)

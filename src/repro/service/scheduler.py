@@ -39,6 +39,7 @@ from collections import OrderedDict
 from collections.abc import Callable, Hashable
 from dataclasses import dataclass, field
 
+from ..chaos.controller import fault_point
 from ..runner.spec import EnsembleSpec
 
 __all__ = [
@@ -177,6 +178,12 @@ class Scheduler:
         if existing is not None and existing.status in _COALESCABLE:
             self.counters["coalesced"] += 1
             return existing, True
+        # Chaos: ``reject`` faults refuse admission as if the queue
+        # were saturated, exercising the full 429 + Retry-After path.
+        fault = fault_point("service.scheduler.admit")
+        if fault is not None and fault.kind == "reject":
+            self.counters["rejected"] += 1
+            raise QueueFullError(self._queue.qsize(), self.retry_after())
         if self._queue.qsize() >= self.max_queue:
             self.counters["rejected"] += 1
             raise QueueFullError(self._queue.qsize(), self.retry_after())

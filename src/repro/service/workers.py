@@ -21,6 +21,7 @@ from __future__ import annotations
 import threading
 from collections.abc import Sequence
 
+from ..chaos.controller import fault_point
 from ..observability.instrumentation import InstrumentationOptions
 from ..runner.api import run_ensemble
 from ..runner.cache import ResultCache
@@ -79,6 +80,9 @@ class WorkerTier:
         parts — cache probes and pool waits — happen here, never on the
         event loop.
         """
+        # Chaos: ``delay`` faults stall the job past its deadline (a
+        # 504); ``error`` faults fail it outright (a 500).
+        fault_point("service.worker.run")
         result = run_ensemble(
             spec,
             executor=CancellableExecutor(self.executor, cancel),

@@ -1,0 +1,68 @@
+"""Chaos-suite plumbing: seed matrices and failure-repro reporting.
+
+Every chaos test that derives its fault schedule from a seed tags that
+seed on its pytest item via :func:`tag_plan_seed`.  When such a test
+fails, :func:`pytest_runtest_makereport` appends a "chaos repro"
+section naming the exact ``repro chaos --plan-seed N --replay`` command
+that regenerates the fault schedule locally, and (when
+``REPRO_CHAOS_ARTIFACT`` points at a file — CI does this) records the
+failing seed there so the artifact survives the job.
+
+``REPRO_CHAOS_SEED_BASE`` offsets every seed matrix, so a CI matrix can
+sweep disjoint plan populations without any test edits.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: CI's knob: shifts every seeded matrix in this suite.
+SEED_BASE = int(os.environ.get("REPRO_CHAOS_SEED_BASE", "0") or "0")
+
+
+def seed_matrix(count: int) -> list[int]:
+    """``count`` consecutive plan seeds starting at the CI base."""
+    return [SEED_BASE + index for index in range(count)]
+
+
+def repro_command(seed: int) -> str:
+    """The shell command that replays a plan seed's fault schedule."""
+    return (
+        f"PYTHONPATH=src python -m repro chaos --plan-seed {seed} --replay"
+    )
+
+
+@pytest.fixture()
+def tag_plan_seed(request):
+    """Tag the running test with its fault-plan seed for reporting."""
+
+    def _tag(seed: int) -> int:
+        request.node._chaos_plan_seed = seed
+        return seed
+
+    return _tag
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    seed = getattr(item, "_chaos_plan_seed", None)
+    if seed is None or report.when != "call" or not report.failed:
+        return
+    command = repro_command(seed)
+    report.sections.append(
+        (
+            "chaos repro",
+            "replay this test's exact fault schedule locally:\n"
+            f"  {command}",
+        )
+    )
+    artifact = os.environ.get("REPRO_CHAOS_ARTIFACT")
+    if artifact:
+        with open(artifact, "a", encoding="utf-8") as handle:
+            handle.write(
+                f"{item.nodeid}\tplan_seed={seed}\t{command}\n"
+            )

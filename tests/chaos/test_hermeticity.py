@@ -1,0 +1,169 @@
+"""Regression tests for the suite's hermeticity and chaos reporting.
+
+The autouse fixtures in ``tests/conftest.py`` promise that no test can
+leak runner environment variables, process-wide config, observability
+state, or an installed chaos plan into the next test — and that the
+suite behaves identically under a polluted shell.  These tests pollute
+on purpose and check the cleanup actually happens, in-process and
+across a real subprocess boundary; the last class proves a failing
+chaos test really does print its ``repro chaos`` command and record the
+seed in the CI artifact file.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import FaultPlan, current, install
+from repro.observability import observability_hub
+from repro.runner import configure, current_config
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+pytestmark = pytest.mark.chaos
+
+
+class TestFixtureTeardown:
+    """Pollute in one test, observe a clean world in the next.
+
+    Pytest runs methods in definition order, so ``test_a_pollutes``
+    always precedes ``test_b_sees_a_clean_world``.
+    """
+
+    def test_a_pollutes_everything_it_can(self, tmp_path):
+        # Raw environment writes, not monkeypatch: survive this test's
+        # teardown on purpose so only the *next* test's scrub saves it.
+        os.environ["REPRO_ENGINE"] = "fast"
+        os.environ["REPRO_JOBS"] = "7"
+        configure(engine="fast", jobs=4, cache_enabled=True)
+        observability_hub().configure(profile=True)
+        install(FaultPlan.from_seed(99))
+        # The pollution is really in place (the fixture must undo all
+        # of it, not rely on these calls having failed).
+        assert current_config().engine == "fast"
+        assert observability_hub().active
+        assert current() is not None
+
+    def test_b_sees_a_clean_world(self):
+        assert "REPRO_ENGINE" not in os.environ
+        assert "REPRO_JOBS" not in os.environ
+        config = current_config()
+        assert config.engine is None
+        assert config.jobs == 1
+        assert config.cache_enabled is False
+        assert not observability_hub().active
+        assert current() is None
+
+
+class TestInnerProbe:
+    """Asserts run *inside* the subprocess the next class launches."""
+
+    @pytest.mark.skipif(
+        "REPRO_HERMETICITY_PROBE" not in os.environ,
+        reason="only meaningful under the polluted-subprocess harness",
+    )
+    def test_probe_sees_no_ambient_pollution(self):
+        # The launching process exported REPRO_ENGINE=fast etc.; the
+        # session + function fixtures must have neutralized all of it.
+        assert "REPRO_ENGINE" not in os.environ
+        assert "REPRO_JOBS" not in os.environ
+        assert "REPRO_CACHE" not in os.environ
+        config = current_config()
+        assert config.engine is None
+        assert config.jobs == 1
+        assert config.cache_enabled is False
+
+
+class TestSubprocessHermeticity:
+    def test_polluted_shell_does_not_reach_the_tests(self):
+        env = dict(os.environ)
+        env.update(
+            {
+                "PYTHONPATH": "src",
+                "REPRO_ENGINE": "fast",
+                "REPRO_JOBS": "7",
+                "REPRO_CACHE": "1",
+                "REPRO_HERMETICITY_PROBE": "1",
+            }
+        )
+        probe = (
+            "tests/chaos/test_hermeticity.py::TestInnerProbe"
+            "::test_probe_sees_no_ambient_pollution"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-m", "pytest", probe, "-v"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        # Passed, not skipped: the probe really ran under pollution.
+        assert "1 passed" in completed.stdout
+        assert "skipped" not in completed.stdout
+
+
+class TestReproReporting:
+    def test_failing_chaos_test_prints_its_repro_command(self, tmp_path):
+        # A miniature suite that reuses the *real* chaos conftest hook.
+        (tmp_path / "conftest.py").write_text(
+            textwrap.dedent(
+                """
+                from tests.chaos.conftest import (
+                    pytest_runtest_makereport,
+                    tag_plan_seed,
+                )
+                """
+            ),
+            encoding="utf-8",
+        )
+        (tmp_path / "test_fails.py").write_text(
+            textwrap.dedent(
+                """
+                def test_seeded_scenario(tag_plan_seed):
+                    tag_plan_seed(1234)
+                    assert False, "injected failure"
+                """
+            ),
+            encoding="utf-8",
+        )
+        artifact = tmp_path / "chaos-failures.txt"
+        env = dict(os.environ)
+        env.update(
+            {
+                "PYTHONPATH": f"{REPO_ROOT / 'src'}:{REPO_ROOT}",
+                "REPRO_CHAOS_ARTIFACT": str(artifact),
+            }
+        )
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "test_fails.py",
+                "-q",
+                "-p",
+                "no:cacheprovider",
+            ],
+            cwd=tmp_path,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 1, completed.stdout + completed.stderr
+        command = "python -m repro chaos --plan-seed 1234 --replay"
+        assert "chaos repro" in completed.stdout
+        assert command in completed.stdout
+        # The CI artifact names the failing test and its plan seed.
+        recorded = artifact.read_text(encoding="utf-8")
+        assert "test_fails.py::test_seeded_scenario" in recorded
+        assert "plan_seed=1234" in recorded
+        assert command in recorded

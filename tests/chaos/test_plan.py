@@ -1,0 +1,193 @@
+"""Fault plans: deterministic, model-respecting, round-trippable.
+
+The plan layer is the harness's reproducibility contract — a failing
+chaos test is only actionable if its single integer seed regenerates
+the *identical* fault schedule on every platform and every rerun — so
+these tests pin derivation determinism, the site models' bounds, the
+JSON round trip, and the ``repro chaos`` CLI that prints it all.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import (
+    DEFAULT_SITES,
+    FAULT_KINDS,
+    SOAK_SITES,
+    Fault,
+    FaultPlan,
+    SiteModel,
+    site_models,
+)
+from repro.cli import main
+
+pytestmark = pytest.mark.chaos
+
+
+class TestDerivation:
+    def test_same_seed_same_plan(self):
+        for seed in (0, 1, 42, 999_983):
+            first = FaultPlan.from_seed(seed)
+            second = FaultPlan.from_seed(seed)
+            assert first == second
+            assert first.describe() == second.describe()
+            assert first.seed == seed
+
+    def test_adjacent_seeds_are_decorrelated(self):
+        schedules = {
+            FaultPlan.from_seed(seed).describe() for seed in range(30)
+        }
+        # Neighboring seeds must not collapse onto a handful of plans.
+        assert len(schedules) >= 15
+
+    def test_plans_respect_their_site_models(self):
+        models = {model.site: model for model in DEFAULT_SITES}
+        for seed in range(50):
+            plan = FaultPlan.from_seed(seed)
+            for site, faults in plan.events.items():
+                model = models[site]
+                assert 0 < len(faults) <= model.max_faults
+                for invocation, fault in faults.items():
+                    assert 0 <= invocation < model.horizon
+                    assert fault.kind in model.kinds
+                    if fault.kind == "delay":
+                        assert fault.delay_s > 0
+                    else:
+                        assert fault.delay_s == 0
+                    if fault.kind == "truncate":
+                        assert fault.trim > 0
+                    else:
+                        assert fault.trim == 0
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan.from_seed(-1)
+
+    def test_soak_sites_schedule_no_hard_failures(self):
+        # The soak's invariant is {result, 429, 504}; ``error`` (a 500)
+        # and frame corruption must never appear in a soak plan.
+        allowed = {"break_pool", "io_error", "delay", "reject"}
+        for seed in range(100):
+            plan = FaultPlan.from_seed(seed, sites=SOAK_SITES)
+            for faults in plan.events.values():
+                for fault in faults.values():
+                    assert fault.kind in allowed
+
+    def test_site_subset_restricts_events(self):
+        sites = site_models(["runner.cache.store"])
+        for seed in range(20):
+            plan = FaultPlan.from_seed(seed, sites=sites)
+            assert set(plan.events) <= {"runner.cache.store"}
+
+    def test_unknown_site_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault sites"):
+            site_models(["runner.cache.store", "no.such.site"])
+
+
+class TestRoundTrip:
+    def test_dict_and_json_round_trip(self):
+        for seed in range(20):
+            plan = FaultPlan.from_seed(seed)
+            assert FaultPlan.from_dict(plan.to_dict()) == plan
+            wire = json.dumps(plan.to_dict(), sort_keys=True)
+            assert FaultPlan.from_dict(json.loads(wire)) == plan
+
+    def test_single_fault_plan(self):
+        plan = FaultPlan.single(
+            "runner.cache.store", Fault("io_error"), at=3
+        )
+        assert plan.seed is None
+        assert plan.total_faults == 1
+        assert plan.faults_for("runner.cache.store")[3].kind == "io_error"
+        assert plan.faults_for("runner.cache.load") == {}
+
+
+class TestValidation:
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError, match="fault kind"):
+            Fault("meteor_strike")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay_s"):
+            Fault("delay", delay_s=-0.1)
+
+    def test_negative_trim_rejected(self):
+        with pytest.raises(ValueError, match="trim"):
+            Fault("truncate", trim=-1)
+
+    def test_site_model_validates_kinds(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            SiteModel("x", ("nope",))
+
+    def test_every_declared_kind_is_constructible(self):
+        for kind in FAULT_KINDS:
+            assert Fault(kind).kind == kind
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32))
+def test_derivation_is_a_pure_function_of_the_seed(seed):
+    plan = FaultPlan.from_seed(seed)
+    assert plan == FaultPlan.from_seed(seed)
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestCli:
+    def test_describe_prints_the_plan(self):
+        buffer = io.StringIO()
+        assert main(["chaos", "--plan-seed", "42"], out=buffer) == 0
+        out = buffer.getvalue()
+        assert "fault plan (seed=42" in out
+        assert out.strip() == FaultPlan.from_seed(42).describe()
+
+    def test_site_filter_restricts_the_plan(self):
+        buffer = io.StringIO()
+        code = main(
+            [
+                "chaos",
+                "--plan-seed",
+                "3",
+                "--site",
+                "runner.cache.store",
+            ],
+            out=buffer,
+        )
+        assert code == 0
+        out = buffer.getvalue()
+        assert "runner.cache.load" not in out
+        assert "service." not in out
+
+    def test_unknown_site_is_a_clean_error(self):
+        buffer = io.StringIO()
+        code = main(
+            ["chaos", "--plan-seed", "1", "--site", "nope"], out=buffer
+        )
+        assert code == 2
+        assert "unknown fault sites" in buffer.getvalue()
+
+    def test_replay_reports_fidelity(self, tag_plan_seed):
+        tag_plan_seed(5)
+        buffer = io.StringIO()
+        code = main(
+            [
+                "chaos",
+                "--plan-seed",
+                "5",
+                "--site",
+                "runner.cache.load",
+                "--site",
+                "runner.cache.store",
+                "--replay",
+            ],
+            out=buffer,
+        )
+        assert code == 0
+        out = buffer.getvalue()
+        assert "fault plan (seed=5" in out
+        assert "replay result" in out

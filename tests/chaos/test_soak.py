@@ -1,0 +1,208 @@
+"""Soaks: no job is ever lost, whatever the fault schedule.
+
+The harness's acceptance invariant: under any ``SOAK_SITES`` fault plan
+every submitted request terminates in exactly one of {result, 429, 504},
+and ``/metrics`` reconciles with the responses the clients actually saw.
+The end-to-end soak drives a real service through 20 seeded plans; the
+hypothesis soak drives the scheduler directly through arbitrary plan
+seeds (where 500s from ``error`` faults are also in scope) and checks
+the same accounting identities.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import SOAK_SITES, FaultPlan, chaos_active, site_models
+from repro.chaos.controller import fault_point
+from repro.runner import EnsembleSpec, RunSpec, TopologySpec
+from repro.service import (
+    QueueFull,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+)
+from repro.service.scheduler import QueueFullError, Scheduler
+
+from .conftest import seed_matrix
+
+pytestmark = [pytest.mark.slow, pytest.mark.service, pytest.mark.chaos]
+
+TERMINAL = {"done", "failed", "expired"}
+
+
+def spec_with(label: str) -> EnsembleSpec:
+    return EnsembleSpec(
+        template=RunSpec(
+            topology=TopologySpec(kind="star", num_nodes=30),
+            max_ticks=10,
+        ),
+        num_runs=2,
+        base_seed=7,
+        label=label,
+    )
+
+
+def poll_until_terminal(
+    client: ServiceClient, job_id: str, timeout: float = 60.0
+) -> dict:
+    state: dict = {}
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        state = client.poll(job_id)
+        if state["status"] in TERMINAL:
+            return state
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never terminal: {state}")
+
+
+class TestServiceSoak:
+    @pytest.mark.parametrize("plan_seed", seed_matrix(20))
+    def test_every_request_is_accounted_for(
+        self, plan_seed, tmp_path, tag_plan_seed
+    ):
+        tag_plan_seed(plan_seed)
+        plan = FaultPlan.from_seed(plan_seed, sites=SOAK_SITES)
+        rng = random.Random(f"soak:{plan_seed}")
+        config = ServiceConfig(
+            port=0,
+            jobs=1,
+            max_queue=3,
+            concurrency=2,
+            cache_enabled=True,
+            cache_dir=tmp_path,
+        )
+        submits = 10
+        rejections = 0
+        job_ids: list[str] = []
+        with chaos_active(plan):
+            with ServiceThread(config) as thread:
+                client = ServiceClient(port=thread.port)
+                try:
+                    for _ in range(submits):
+                        label = f"soak-{rng.randrange(3)}"
+                        deadline = 0.08 if rng.random() < 0.3 else None
+                        try:
+                            job = client.submit(
+                                spec_with(label), deadline_s=deadline
+                            )
+                            job_ids.append(job["id"])
+                        except QueueFull as exc:
+                            # The 429 leg of the invariant; both real
+                            # saturation and injected rejects land here.
+                            assert exc.retry_after_s >= 1
+                            rejections += 1
+                    states = {
+                        job_id: poll_until_terminal(client, job_id)
+                        for job_id in set(job_ids)
+                    }
+                    metrics = client.metrics()
+                finally:
+                    client.close()
+
+        # SOAK_SITES schedules no ``error`` faults: a hard 500 would
+        # mean a fault escaped its degradation path.
+        jobs = metrics["jobs"]
+        assert jobs["failed"] == 0
+        assert all(s["status"] != "failed" for s in states.values())
+        # Every submit is exactly one of accepted/rejected/coalesced...
+        assert (
+            jobs["accepted"] + jobs["rejected"] + jobs["coalesced"]
+            == submits
+        )
+        # ...and the server's counts match what the client saw.
+        assert jobs["rejected"] == rejections
+        assert jobs["accepted"] == len(set(job_ids))
+        assert jobs["completed"] + jobs["expired"] == jobs["accepted"]
+        # Cache hygiene: atomic writes only, every entry parseable,
+        # and no spec stored more often than it missed.
+        assert list(tmp_path.glob("*.tmp")) == []
+        for path in tmp_path.glob("*.json"):
+            json.loads(path.read_text(encoding="utf-8"))
+        cache = metrics["cache"]
+        assert cache is not None
+        assert cache["stores"] <= cache["misses"]
+
+
+class TestSchedulerPropertySoak:
+    @settings(max_examples=15, deadline=None)
+    @given(plan_seed=st.integers(min_value=0, max_value=10_000))
+    def test_counters_reconcile_for_any_plan(self, plan_seed):
+        asyncio.run(self._drive(plan_seed))
+
+    @staticmethod
+    async def _drive(plan_seed: int) -> None:
+        sites = site_models(
+            ["service.worker.run", "service.scheduler.admit"]
+        )
+        plan = FaultPlan.from_seed(plan_seed, sites=sites)
+
+        def runner(spec, cancel) -> bytes:
+            # ``delay`` faults sleep (capped below); ``error`` faults
+            # raise and must surface as FAILED, never as a lost job.
+            fault_point("service.worker.run")
+            return b"payload:" + spec.label.encode("utf-8")
+
+        with chaos_active(plan) as controller:
+            controller.sleep = lambda seconds: time.sleep(
+                min(seconds, 0.05)
+            )
+            scheduler = Scheduler(runner, max_queue=3)
+            workers = [
+                asyncio.ensure_future(scheduler.worker_loop())
+                for _ in range(2)
+            ]
+            rng = random.Random(f"sched:{plan_seed}")
+            submitted = 0
+            rejections = 0
+            admitted = []
+            try:
+                for _ in range(8):
+                    label = f"j{rng.randrange(3)}"
+                    deadline = 0.03 if rng.random() < 0.25 else None
+                    submitted += 1
+                    try:
+                        job, _coalesced = scheduler.submit(
+                            spec_with(label),
+                            key=label,
+                            deadline_s=deadline,
+                        )
+                        admitted.append(job)
+                    except QueueFullError:
+                        rejections += 1
+                    await asyncio.sleep(0.01)
+                assert await scheduler.join(timeout=30)
+            finally:
+                for worker in workers:
+                    worker.cancel()
+                await asyncio.gather(*workers, return_exceptions=True)
+
+        counters = scheduler.counters
+        assert (
+            counters["accepted"]
+            + counters["rejected"]
+            + counters["coalesced"]
+            == submitted
+        )
+        assert counters["rejected"] == rejections
+        unique = {job.id for job in admitted}
+        assert counters["accepted"] == len(unique)
+        assert (
+            counters["completed"]
+            + counters["failed"]
+            + counters["expired"]
+            == counters["accepted"]
+        )
+        # Every admitted job reached a terminal state — none lost.
+        assert all(job.terminal for job in admitted)
+        # A failed job carries its fault's signature, nothing opaque.
+        for job in admitted:
+            if job.status == "failed":
+                assert "chaos[service.worker.run@" in job.error

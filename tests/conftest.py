@@ -1,14 +1,41 @@
-"""Shared fixtures: small, seeded versions of the expensive substrates."""
+"""Shared fixtures: hermetic per-test state plus seeded substrates.
+
+Hermeticity is enforced in two layers:
+
+* a session fixture installs an *explicit* :class:`RunnerConfig` —
+  never the one derived from ambient ``REPRO_*`` environment variables
+  at import time — with the result cache pinned to a session-private
+  temp dir;
+* an autouse function fixture scrubs the runner environment variables
+  for the duration of every test, scopes any in-test ``configure()``
+  call to that test, and tears down cross-test singletons (the
+  observability hub, any installed chaos plan) afterwards.
+
+``tests/chaos/test_hermeticity.py`` is the regression suite for both.
+"""
 
 from __future__ import annotations
 
+import importlib.util
+
 import pytest
 
-from repro.runner import configure
+from repro.chaos.controller import uninstall as chaos_uninstall
+from repro.observability import observability_hub
+from repro.runner import RunnerConfig, current_config, use_config
 from repro.simulator.network import Network
 from repro.topology.powerlaw import barabasi_albert
 from repro.traces.records import Trace
 from repro.traces.synth import TraceConfig, generate_trace
+
+#: Environment variables that feed the runner's import-time defaults.
+_RUNNER_ENV_VARS = (
+    "REPRO_JOBS",
+    "REPRO_CACHE",
+    "REPRO_CACHE_DIR",
+    "REPRO_ENGINE",
+    "XDG_CACHE_HOME",
+)
 
 
 def pytest_addoption(parser):
@@ -21,16 +48,60 @@ def pytest_addoption(parser):
             "from the current simulator instead of comparing against them"
         ),
     )
+    if importlib.util.find_spec("pytest_timeout") is None:
+        # pyproject.toml pins per-test timeouts for pytest-timeout; when
+        # the plugin is absent (it is optional), register its ini keys
+        # ourselves so the pinned values don't raise unknown-option
+        # warnings.  The timeouts simply do not apply in that case.
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (inert without pytest-timeout)",
+        )
+        parser.addini(
+            "timeout_method",
+            "timeout enforcement method (inert without pytest-timeout)",
+        )
 
 
 @pytest.fixture(scope="session", autouse=True)
-def isolated_result_cache(tmp_path_factory):
-    """Keep the runner's result cache out of the user's ~/.cache.
+def hermetic_runner_config(tmp_path_factory):
+    """Pin an explicit, environment-independent runner configuration.
 
-    CLI commands cache by default; pinning the cache directory to a
-    session-private temp dir keeps test invocations hermetic.
+    The runner's import-time default config reads ``REPRO_*`` variables,
+    so a polluted shell (``REPRO_ENGINE=fast``, a real ``REPRO_CACHE_DIR``)
+    would silently change what every test executes.  Installing a fully
+    explicit config for the whole session makes the suite's behavior a
+    function of the code alone, with the result cache in a session temp
+    dir instead of the user's ``~/.cache``.
     """
-    configure(cache_dir=tmp_path_factory.mktemp("repro-cache"))
+    config = RunnerConfig(
+        jobs=1,
+        cache_enabled=False,
+        cache_dir=tmp_path_factory.mktemp("repro-cache"),
+        engine=None,
+    )
+    with use_config(config):
+        yield config
+
+
+@pytest.fixture(autouse=True)
+def hermetic_test_state(monkeypatch):
+    """Per-test isolation: env scrubbed, config scoped, singletons reset.
+
+    * ``REPRO_*`` / ``XDG_CACHE_HOME`` are absent while the test runs,
+      so code paths that consult the environment see a clean one;
+    * the process-wide runner config is snapshotted and restored, so an
+      in-test ``configure(...)`` cannot leak into later tests;
+    * the observability hub and any installed chaos plan are torn down
+      afterwards, so instrumentation and fault injection stay scoped to
+      the test that asked for them.
+    """
+    for name in _RUNNER_ENV_VARS:
+        monkeypatch.delenv(name, raising=False)
+    with use_config(current_config()):
+        yield
+    observability_hub().reset()
+    chaos_uninstall()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,209 @@
+"""Client error paths: refused sockets, 429s, torn frames, deadlines.
+
+``ServiceClient`` promises exactly one reconnect-retry per request and
+typed errors (:class:`QueueFull`, :class:`JobFailed`) for the service's
+back-pressure responses.  These tests pin those paths against a canned
+byte-level server — no real service needed to serve a malformed frame —
+plus one real service for the end-to-end deadline 504.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.runner import EnsembleSpec, RunSpec, TopologySpec
+from repro.service import (
+    JobFailed,
+    QueueFull,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+)
+pytestmark = pytest.mark.service
+
+
+def spec_with(label: str) -> EnsembleSpec:
+    return EnsembleSpec(
+        template=RunSpec(
+            topology=TopologySpec(kind="star", num_nodes=30),
+            max_ticks=10,
+        ),
+        num_runs=2,
+        base_seed=7,
+        label=label,
+    )
+
+
+def http_frame(
+    status: str, body: bytes, *, extra_headers: tuple[str, ...] = ()
+) -> bytes:
+    head = [f"HTTP/1.1 {status}"]
+    head.extend(extra_headers)
+    head.append("Content-Type: application/json")
+    head.append(f"Content-Length: {len(body)}")
+    head.append("Connection: close")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+class CannedServer:
+    """Serves one pre-baked response frame per accepted connection."""
+
+    def __init__(self, responses: list[bytes]) -> None:
+        self._responses = list(responses)
+        self.connections = 0
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        for response in self._responses:
+            try:
+                connection, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                connection.settimeout(5)
+                connection.recv(65536)
+                connection.sendall(response)
+            except OSError:
+                pass
+            finally:
+                connection.close()
+
+    def close(self) -> None:
+        self._sock.close()
+        self._thread.join(timeout=5)
+
+
+@pytest.fixture()
+def canned():
+    servers: list[CannedServer] = []
+
+    def _start(responses: list[bytes]) -> CannedServer:
+        server = CannedServer(responses)
+        servers.append(server)
+        return server
+
+    yield _start
+    for server in servers:
+        server.close()
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestTransportErrors:
+    def test_connection_refused_raises_after_the_retry(self):
+        client = ServiceClient(port=free_port(), timeout=2.0)
+        with pytest.raises(OSError):
+            client.healthz()
+
+    def test_short_body_is_retried_once_then_raised(self, canned):
+        # Content-Length promises 100 bytes; the server sends 10 and
+        # closes.  The client retries exactly once, then surfaces the
+        # truncation instead of hanging or inventing data.
+        torn = (
+            b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n0123456789"
+        )
+        server = canned([torn, torn])
+        client = ServiceClient(port=server.port, timeout=2.0)
+        with pytest.raises(http.client.HTTPException):
+            client.healthz()
+        assert server.connections == 2
+
+    def test_garbled_status_line_is_an_http_error(self, canned):
+        ok = http_frame("200 OK", b'{"status": "ok"}')
+        garbled = bytes([ok[0] ^ 0xFF]) + ok[1:]
+        server = canned([garbled, garbled])
+        client = ServiceClient(port=server.port, timeout=2.0)
+        with pytest.raises(http.client.HTTPException):
+            client.healthz()
+        assert server.connections == 2
+
+    def test_reconnects_across_connection_close(self, canned):
+        frame = http_frame("200 OK", b'{"status": "ok"}')
+        server = canned([frame, frame])
+        client = ServiceClient(port=server.port, timeout=2.0)
+        assert client.healthz()["status"] == "ok"
+        assert client.healthz()["status"] == "ok"
+        assert server.connections == 2
+
+
+class TestBackPressureResponses:
+    def test_429_carries_the_servers_retry_after(self, canned):
+        body = json.dumps({"error": "queue full"}).encode()
+        server = canned(
+            [
+                http_frame(
+                    "429 Too Many Requests",
+                    body,
+                    extra_headers=("Retry-After: 7",),
+                )
+            ]
+        )
+        client = ServiceClient(port=server.port, timeout=2.0)
+        with pytest.raises(QueueFull) as excinfo:
+            client.submit(spec_with("pressure"))
+        assert excinfo.value.retry_after_s == 7
+
+    def test_unparseable_body_degrades_to_text(self, canned):
+        server = canned([http_frame("500 Oops", b"not json at all")])
+        client = ServiceClient(port=server.port, timeout=2.0)
+        with pytest.raises(Exception) as excinfo:
+            client.healthz()
+        assert "not json at all" in str(excinfo.value)
+
+
+class StallingRunner:
+    """Blocks until cancelled; the shape of a job that overruns."""
+
+    def __call__(self, spec, cancel) -> bytes:
+        while not cancel.wait(timeout=0.01):
+            pass
+        raise RuntimeError("cancelled by deadline")
+
+
+class TestDeadline504:
+    def test_expired_job_is_a_504_and_a_typed_wait_error(self):
+        config = ServiceConfig(
+            port=0, jobs=1, max_queue=4, concurrency=1, cache_enabled=False
+        )
+        with ServiceThread(config, runner=StallingRunner()) as thread:
+            client = ServiceClient(port=thread.port)
+            try:
+                job = client.submit(spec_with("late"), deadline_s=0.15)
+                with pytest.raises(JobFailed):
+                    client.wait(job["id"], timeout=30)
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    state = client.poll(job["id"])
+                    if state["status"] == "expired":
+                        break
+                    time.sleep(0.02)
+                assert state["status"] == "expired"
+                # And the raw HTTP status really is a 504.
+                connection = http.client.HTTPConnection(
+                    "127.0.0.1", thread.port, timeout=5
+                )
+                try:
+                    connection.request(
+                        "GET", f"/v1/result/{job['id']}"
+                    )
+                    assert connection.getresponse().status == 504
+                finally:
+                    connection.close()
+            finally:
+                client.close()
