@@ -163,8 +163,12 @@ def _add_runner_arguments(command: argparse.ArgumentParser) -> None:
     )
     command.add_argument(
         "--engine", choices=ENGINE_KINDS, default=None,
-        help="simulation engine: 'reference' (object-per-host oracle) or "
-        "'fast' (struct-of-arrays; ~5x on 1000-node power laws); "
+        help="simulation engine, one of "
+        f"{', '.join(repr(kind) for kind in ENGINE_KINDS)}: "
+        "'reference' is the object-per-host oracle, 'fast' the "
+        "struct-of-arrays engine (~5x on 1000-node power laws), "
+        "'fast-batched' forces aggregated batch sampling and lets the "
+        "runner vectorize same-scenario replicas together; "
         "default keeps each spec's own engine",
     )
     command.add_argument(
@@ -204,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="tick horizon (sim figures)")
     figure.add_argument("--nodes", type=int, default=1000,
                         help="topology size (sim figures)")
+    figure.add_argument(
+        "--replicas", type=_positive_int, default=None, metavar="N",
+        help="shorthand for a replica sweep: run N seeded replicas per "
+        "case on the fast-batched engine (overrides --runs; --engine "
+        "still wins if given explicitly)",
+    )
     _add_runner_arguments(figure)
 
     compare = commands.add_parser(
@@ -288,7 +298,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--engine", choices=ENGINE_KINDS, default=None,
-        help="engine override applied to every served request",
+        help="engine override applied to every served request, one of "
+        f"{', '.join(repr(kind) for kind in ENGINE_KINDS)}",
     )
 
     chaos = commands.add_parser(
@@ -355,6 +366,12 @@ def _report_observability(out=sys.stdout) -> None:
 
 def _cmd_figure(args: argparse.Namespace, out=sys.stdout) -> int:
     figure_id = args.figure_id
+    if args.replicas is not None:
+        # A replica sweep is just "many runs on the fast-batched
+        # engine"; an explicit --engine keeps the last word.
+        args.runs = args.replicas
+        if args.engine is None:
+            args.engine = "fast-batched"
     _apply_runner_arguments(args)
     if figure_id in _ANALYTIC_FIGURES:
         # Analytic figures run no simulation; --trace still yields its

@@ -20,7 +20,12 @@ from ..observability.instrumentation import InstrumentationOptions
 from .build import execute_run
 from .cache import ResultCache
 from .config import current_config
-from .executors import Executor, ParallelExecutor, SerialExecutor
+from .executors import (
+    Executor,
+    ParallelExecutor,
+    ReplicaBatchExecutor,
+    SerialExecutor,
+)
 from .results import EnsembleResult, RunResult
 from .spec import EnsembleSpec, RunSpec
 
@@ -41,11 +46,19 @@ def run_one(
 
 
 def executor_from_config() -> Executor:
-    """The executor the process-wide configuration implies."""
+    """The executor the process-wide configuration implies.
+
+    Always wrapped in a :class:`ReplicaBatchExecutor`: specs that don't
+    qualify for replica grouping pass through to the serial/parallel
+    executor unchanged, so the wrapper is free for every engine except
+    ``fast-batched``, where it vectorizes whole replica groups.
+    """
     config = current_config()
     if config.jobs <= 1:
-        return SerialExecutor()
-    return ParallelExecutor(config.jobs, timeout=config.timeout)
+        inner: Executor = SerialExecutor()
+    else:
+        inner = ParallelExecutor(config.jobs, timeout=config.timeout)
+    return ReplicaBatchExecutor(inner)
 
 
 def cache_from_config() -> ResultCache | None:

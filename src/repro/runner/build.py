@@ -11,7 +11,9 @@ process state.
 
 from __future__ import annotations
 
+import dataclasses
 import time
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -27,7 +29,7 @@ from ..simulator.defense import (
     no_defense,
 )
 from ..simulator.dynamic import DynamicQuarantine
-from ..simulator.fastpath import FastWormSimulation
+from ..simulator.fastpath import FastWormSimulation, ReplicaBatchSimulation
 from ..simulator.network import Network
 from ..simulator.observers import subset_fraction_curve
 from ..simulator.simulation import WormSimulation
@@ -48,6 +50,7 @@ __all__ = [
     "apply_defense",
     "build_quarantine",
     "execute_run",
+    "execute_replica_batch",
 ]
 
 
@@ -145,9 +148,16 @@ def execute_run(
         if spec.quarantine is not None
         else None
     )
-    simulation_cls = (
-        FastWormSimulation if spec.engine == "fast" else WormSimulation
-    )
+    if spec.engine == "reference":
+        simulation_cls = WormSimulation
+        engine_kwargs = {}
+    else:
+        simulation_cls = FastWormSimulation
+        # "fast-batched" solo means "force aggregated batch sampling";
+        # grouping replicas happens a layer up (execute_replica_batch).
+        engine_kwargs = (
+            {"scan_mode": "batch"} if spec.engine == "fast-batched" else {}
+        )
     simulation = simulation_cls(
         network,
         build_worm(spec.worm),
@@ -158,6 +168,7 @@ def execute_run(
         quarantine=quarantine,
         seed=spec.seed,
         instrumentation=instrumentation,
+        **engine_kwargs,
     )
     trajectory = simulation.run(spec.max_ticks)
     if spec.observe == "seed_subnets":
@@ -193,3 +204,109 @@ def execute_run(
         throttled_hosts=descriptor.throttled_hosts,
         trace=trace,
     )
+
+
+def execute_replica_batch(
+    specs: Sequence[RunSpec],
+    options: InstrumentationOptions | None = None,
+) -> list[RunResult]:
+    """Execute a replica group — same scenario, different seeds — at once.
+
+    The specs must be identical apart from ``seed``, carry
+    ``engine="fast-batched"``, and pin their topology seed (an unpinned
+    topology resamples per run, so there is no shared network to
+    amortize).  One scenario build serves every replica via
+    :class:`~repro.simulator.fastpath.ReplicaBatchSimulation`; each
+    returned :class:`RunResult` is bit-identical to what
+    :func:`execute_run` would produce for that spec alone, except
+    ``wall_time``, which reports the group's elapsed time split evenly
+    (per-replica attribution inside an interleaved tick loop would be
+    noise anyway).
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    if len(specs) == 1:
+        return [execute_run(specs[0], options)]
+    if options is not None and options.active:
+        raise ValueError(
+            "replica batching does not support instrumented runs; "
+            "execute them individually"
+        )
+    template = specs[0]
+    if template.engine != "fast-batched":
+        raise ValueError(
+            f"replica batching requires engine='fast-batched', "
+            f"got {template.engine!r}"
+        )
+    if template.topology.seed is None:
+        raise ValueError(
+            "replica batching requires a pinned topology seed; "
+            "unpinned topologies resample per run"
+        )
+    base = dict(template.to_dict(), seed=None)
+    for spec in specs[1:]:
+        if dict(spec.to_dict(), seed=None) != base:
+            raise ValueError(
+                "replica batching requires specs that differ only by seed"
+            )
+
+    start = time.perf_counter()
+    network = build_network(template.topology, run_seed=template.seed)
+    descriptor = apply_defense(network, template.defense)
+    quarantine_factory = None
+    if template.quarantine is not None:
+        quarantine_spec = template.quarantine
+
+        def quarantine_factory() -> DynamicQuarantine:
+            return build_quarantine(quarantine_spec)
+
+    batch = ReplicaBatchSimulation(
+        network,
+        build_worm(template.worm),
+        scan_rate=template.scan_rate,
+        seeds=[spec.seed for spec in specs],
+        initial_infections=template.initial_infections,
+        immunization=template.immunization,
+        lan_delivery=template.lan_delivery,
+        quarantine_factory=quarantine_factory,
+    )
+    harvested: list[tuple[Trajectory, RunMetrics] | None] = [None] * len(
+        specs
+    )
+
+    def harvest(replica: int, sim: FastWormSimulation) -> None:
+        spec = specs[replica]
+        trajectory = sim.recorder.trajectory()
+        if spec.observe == "seed_subnets":
+            trajectory = _seed_subnet_curve(network, spec.max_ticks)
+        stats = network.stats
+        harvested[replica] = (
+            trajectory,
+            RunMetrics(
+                ticks_executed=sim.ticks_executed,
+                events_executed=0,
+                packets_injected=stats.packets_injected,
+                packets_delivered=stats.packets_delivered,
+                packets_dropped=stats.packets_dropped,
+                queue_histogram=queue_histogram(network),
+                drop_histogram=drop_histogram(network),
+            ),
+        )
+
+    batch.run(template.max_ticks, harvest)
+    per_run = (time.perf_counter() - start) / len(specs)
+    results: list[RunResult] = []
+    for spec, payload in zip(specs, harvested):
+        trajectory, metrics = payload
+        results.append(
+            RunResult(
+                spec=spec,
+                trajectory=trajectory,
+                metrics=dataclasses.replace(metrics, wall_time=per_run),
+                defense_name=descriptor.name,
+                limited_links=descriptor.limited_links,
+                throttled_hosts=descriptor.throttled_hosts,
+            )
+        )
+    return results

@@ -31,7 +31,11 @@ __all__ = ["CACHE_VERSION", "spec_digest", "ResultCache", "default_cache_dir"]
 #: entries would replay with empty histograms, so they must not match.
 #: v3: RunSpec gained the ``engine`` field — pre-engine digests covered
 #: the same scenario dict minus that key, so they must not match either.
-CACHE_VERSION = 3
+#: v4: the replica-axis refactor — batch mode now covers
+#: local-preferential worms, dynamic immunization, and quarantine
+#: deploys, so ``engine="fast"`` auto-mode trajectories changed for
+#: those scenarios and old entries must not replay.
+CACHE_VERSION = 4
 
 
 def spec_digest(spec: RunSpec) -> str:

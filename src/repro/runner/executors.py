@@ -18,6 +18,7 @@ failing the experiment.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
@@ -28,7 +29,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 
 from ..chaos.controller import fault_point
 from ..observability.instrumentation import InstrumentationOptions
-from .build import execute_run
+from .build import execute_replica_batch, execute_run
 from .results import RunResult
 from .spec import RunSpec
 
@@ -40,6 +41,7 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "PersistentExecutor",
+    "ReplicaBatchExecutor",
     "default_jobs",
 ]
 
@@ -348,3 +350,90 @@ class PersistentExecutor(Executor):
                         f"run with seed {spec.seed} exceeded "
                         f"{self.timeout}s timeout"
                     ) from None
+
+
+def _replica_group_key(spec: RunSpec) -> str:
+    """Canonical scenario identity of a spec, seed excluded."""
+    return json.dumps(dict(spec.to_dict(), seed=None), sort_keys=True)
+
+
+class ReplicaBatchExecutor(Executor):
+    """Groups ``engine="fast-batched"`` replicas into vectorized batches.
+
+    A decorator over any other executor: specs that share a scenario
+    (identical apart from ``seed``), request the ``fast-batched``
+    engine, and pin their topology seed are executed in replica groups
+    via :func:`~repro.runner.build.execute_replica_batch`; everything
+    else — other engines, unpinned topologies, instrumented batches,
+    singleton groups — passes through to ``inner`` untouched.  Results
+    come back in spec order either way, and each grouped result is
+    bit-identical to what the inner executor would have produced for
+    that spec alone (modulo ``wall_time``).
+
+    Groups are chunked at ``chunk_size`` replicas so memory scales with
+    the chunk, not the ensemble; chunking does not change results.
+
+    ``cancel`` is the service tier's cooperative cancellation event,
+    checked between chunks (a chunk in flight finishes first — same
+    granularity as a pooled run).
+    """
+
+    def __init__(
+        self,
+        inner: Executor | None = None,
+        *,
+        chunk_size: int = 128,
+        cancel: threading.Event | None = None,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.inner = inner if inner is not None else SerialExecutor()
+        self.chunk_size = chunk_size
+        self._cancel = cancel
+
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        options: InstrumentationOptions | None = None,
+    ) -> list[RunResult]:
+        specs = list(specs)
+        results: list[RunResult | None] = [None] * len(specs)
+        groupable = options is None or not options.active
+        passthrough: list[int] = []
+        groups: dict[str, list[int]] = {}
+        for index, spec in enumerate(specs):
+            if (
+                groupable
+                and spec.engine == "fast-batched"
+                and spec.topology.seed is not None
+            ):
+                groups.setdefault(_replica_group_key(spec), []).append(index)
+            else:
+                passthrough.append(index)
+        for indices in groups.values():
+            if len(indices) == 1:
+                passthrough.append(indices[0])
+                continue
+            for at in range(0, len(indices), self.chunk_size):
+                chunk = indices[at : at + self.chunk_size]
+                if self._cancel is not None and self._cancel.is_set():
+                    raise RunCancelledError(
+                        "batch cancelled between replica chunks"
+                    )
+                # Chaos: ``delay`` faults model a slow chunk.
+                fault_point("runner.executor.run")
+                fresh = execute_replica_batch(
+                    [specs[i] for i in chunk], options
+                )
+                for index, result in zip(chunk, fresh):
+                    results[index] = result
+        if passthrough:
+            passthrough.sort()
+            fresh = self.inner.run_specs(
+                [specs[i] for i in passthrough], options
+            )
+            for index, result in zip(passthrough, fresh):
+                results[index] = result
+        return results

@@ -50,8 +50,12 @@ DEFENSE_KINDS = ("none", "hosts", "hub", "edge", "backbone")
 #: Simulation engines the run executor can build.  ``"reference"`` is
 #: the object-per-host :class:`~repro.simulator.simulation.WormSimulation`
 #: (the semantic oracle); ``"fast"`` is the struct-of-arrays
-#: :class:`~repro.simulator.fastpath.FastWormSimulation`.
-ENGINE_KINDS = ("reference", "fast")
+#: :class:`~repro.simulator.fastpath.FastWormSimulation`;
+#: ``"fast-batched"`` forces the fast engine's aggregated batch sampling
+#: and lets the runner vectorize whole replica groups of an ensemble
+#: through one shared scenario build (see
+#: :class:`~repro.simulator.fastpath.ReplicaBatchSimulation`).
+ENGINE_KINDS = ("reference", "fast", "fast-batched")
 
 
 class SpecError(ValueError):

@@ -25,7 +25,11 @@ from ..chaos.controller import fault_point
 from ..observability.instrumentation import InstrumentationOptions
 from ..runner.api import run_ensemble
 from ..runner.cache import ResultCache
-from ..runner.executors import Executor, PersistentExecutor
+from ..runner.executors import (
+    Executor,
+    PersistentExecutor,
+    ReplicaBatchExecutor,
+)
 from ..runner.results import RunResult
 from ..runner.spec import EnsembleSpec, RunSpec
 from .protocol import result_payload
@@ -83,9 +87,15 @@ class WorkerTier:
         # Chaos: ``delay`` faults stall the job past its deadline (a
         # 504); ``error`` faults fail it outright (a 500).
         fault_point("service.worker.run")
+        # Replica grouping wraps the pool view: fast-batched ensembles
+        # vectorize in-process (cancel checked between chunks), all
+        # other specs pass through to the shared pool unchanged.
+        executor = ReplicaBatchExecutor(
+            CancellableExecutor(self.executor, cancel), cancel=cancel
+        )
         result = run_ensemble(
             spec,
-            executor=CancellableExecutor(self.executor, cancel),
+            executor=executor,
             cache=self.cache,
             use_cache=self.cache is not None,
         )

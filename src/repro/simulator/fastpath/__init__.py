@@ -5,8 +5,9 @@ Same five-phase tick semantics as the reference
 object-per-host / object-per-packet inner loops replaced by
 struct-of-arrays state and batched transport:
 
-* host status, infection stamps and throttle tokens live in flat arrays
-  (:mod:`.state`);
+* host status, infection stamps and throttle tokens live in
+  ``(replica, host)`` arrays (:mod:`.state`) — one row per run of a
+  vectorized ensemble, a single row for solo runs;
 * the scan phase walks a sorted active-infected index, so its cost is
   O(infected), not O(N);
 * link queues hold bare destination ids; scalar paths drain them in the
@@ -21,18 +22,27 @@ The engine runs in one of two scan modes (``scan_mode`` on
   configuration — trajectories, per-link stats, instrumentation
   counters, trace records, everything.  The differential test suite
   asserts this.
-* ``"batch"`` (random-scan worms on large populations) samples per-host
-  scan counts in aggregate and pushes scans through vectorized batched
-  transport.  Runs are *statistically* equivalent — same epidemic law,
-  different random stream — and the documented transport relaxations in
-  :mod:`.transport` apply.
+* ``"batch"`` (random-scan and local-preferential worms) samples
+  per-host scan counts in aggregate and pushes scans through vectorized
+  batched transport; dynamic immunization and quarantine/throttle
+  defenses batch alongside.  Runs are *statistically* equivalent — same
+  epidemic law, different random stream — and the documented transport
+  relaxations in :mod:`.transport` apply.
 
-``"auto"`` picks ``"batch"`` when the worm is a plain random scanner and
-the population is large enough to amortize the numpy overhead, else
+``"auto"`` picks ``"batch"`` when the worm supports it and the
+population is large enough to amortize the numpy overhead, else
 ``"mirror"``.  The reference engine stays untouched as the semantic
 oracle.
+
+:class:`.ReplicaBatchSimulation` (:mod:`.replicas`) stacks many seeded
+batch-mode runs of one scenario onto the replica axis: one network,
+routing table, and transport layout serve every replica, and each
+replica's results are bit-identical to running its spec alone in batch
+mode.  The runner's ``engine="fast-batched"`` selects it for whole
+ensembles.
 """
 
 from .engine import FastWormSimulation
+from .replicas import ReplicaBatchSimulation
 
-__all__ = ["FastWormSimulation"]
+__all__ = ["FastWormSimulation", "ReplicaBatchSimulation"]

@@ -42,11 +42,16 @@ from ..engine import Phase, TickSimulation
 from ..immunization import ImmunizationPolicy
 from ..network import Network
 from ..observers import CurveRecorder
-from ..worms import RandomScanWorm, WormStrategy, scans_this_tick
+from ..worms import (
+    LocalPreferentialWorm,
+    RandomScanWorm,
+    WormStrategy,
+    scans_this_tick,
+)
 from .state import IMMUNE, INFECTED, SUSCEPTIBLE, HostArrays
 from .transport import FastTransport
 
-__all__ = ["FastWormSimulation", "SCAN_MODES"]
+__all__ = ["FastWormSimulation", "FastBatchImmunization", "SCAN_MODES"]
 
 #: Supported values for ``FastWormSimulation(scan_mode=...)``.
 SCAN_MODES = ("auto", "mirror", "batch")
@@ -101,7 +106,7 @@ class FastImmunization:
         rng = self._rng
         mu = self._policy.mu
         patch_infected = self._policy.patch_infected
-        status = hosts.status
+        status = hosts.status_row
         patched_now = 0
         for node in self._network.infectable:
             code = status[node]
@@ -112,6 +117,64 @@ class FastImmunization:
             if rng.random() < mu:
                 hosts.immunize(node, tick)
                 patched_now += 1
+        self.patched += patched_now
+        return patched_now
+
+
+class FastBatchImmunization:
+    """Vectorized immunization process for batch-sampling mode.
+
+    Same activation logic as :class:`FastImmunization`, but the per-host
+    Bernoulli draws come in one bulk sample from the engine's numpy
+    generator (batch mode's own random stream) and patches land through
+    :meth:`HostArrays.immunize_many`.  Statistically equivalent to the
+    reference process — same per-host patch probability per active tick
+    — on a different stream, exactly like batch scanning itself.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        policy: ImmunizationPolicy,
+        gen: np.random.Generator,
+        infectable_arr: np.ndarray,
+    ) -> None:
+        self._network = network
+        self._policy = policy
+        self._gen = gen
+        self._infectable = infectable_arr
+        self._active = False
+        self.started_at: int | None = None
+        self.patched = 0
+
+    @property
+    def is_active(self) -> bool:
+        """Whether patching has begun."""
+        return self._active
+
+    def _should_start(self, tick: int, ever_infected: int) -> bool:
+        if self._policy.start_tick is not None:
+            return tick >= self._policy.start_tick
+        fraction = ever_infected / self._network.num_infectable
+        return fraction >= self._policy.start_fraction
+
+    def step(self, tick: int, ever_infected: int, hosts: HostArrays) -> int:
+        """Run one tick of patching; returns the number patched this tick."""
+        if not self._active:
+            if not self._should_start(tick, ever_infected):
+                return 0
+            self._active = True
+            self.started_at = tick
+        codes = hosts.status_row[self._infectable]
+        eligible = codes == SUSCEPTIBLE
+        if self._policy.patch_infected:
+            eligible |= codes == INFECTED
+        candidates = self._infectable[eligible]
+        if candidates.size == 0:
+            return 0
+        draws = self._gen.random(candidates.size)
+        chosen = candidates[draws < self._policy.mu]
+        patched_now = hosts.immunize_many(chosen, tick)
         self.patched += patched_now
         return patched_now
 
@@ -132,12 +195,21 @@ class FastWormSimulation:
         Aggregated sampling: per-tick scan counts, targets, and
         telescope observations are drawn in bulk from a numpy generator
         (seeded from the run RNG), and transport moves packet arrays.
-        Statistically equivalent, not bit-identical; only supported for
-        :class:`RandomScanWorm`.
+        Statistically equivalent, not bit-identical; supported for
+        :class:`RandomScanWorm` and :class:`LocalPreferentialWorm`
+        (dynamic immunization and quarantine/throttle defenses batch
+        alongside either).
     ``"auto"`` (default)
         ``batch`` when the worm supports it and the infectable
         population is at least ``BATCH_MIN_HOSTS``, else ``mirror`` —
         small scenarios keep exact replay, large ones keep speed.
+
+    ``hosts`` and ``transport`` are sharing hooks for the replica
+    engine (:class:`~repro.simulator.fastpath.ReplicaBatchSimulation`):
+    a pre-built :class:`HostArrays` (with its active-replica cursor
+    already pointing at this run's row) and a :class:`FastTransport`
+    built over a shared :class:`TransportLayout`.  Leave both ``None``
+    for the classic single-run construction.
     """
 
     def __init__(
@@ -153,6 +225,8 @@ class FastWormSimulation:
         seed: int | None = None,
         instrumentation: Instrumentation | None = None,
         scan_mode: str = "auto",
+        hosts: HostArrays | None = None,
+        transport: FastTransport | None = None,
     ) -> None:
         if scan_rate <= 0:
             raise ValueError(f"scan_rate must be positive, got {scan_rate}")
@@ -160,11 +234,13 @@ class FastWormSimulation:
             raise ValueError(
                 f"scan_mode must be one of {SCAN_MODES}, got {scan_mode!r}"
             )
-        batchable = isinstance(worm, RandomScanWorm)
+        batchable = isinstance(
+            worm, (RandomScanWorm, LocalPreferentialWorm)
+        )
         if scan_mode == "batch" and not batchable:
             raise ValueError(
-                f"scan_mode='batch' requires a RandomScanWorm,"
-                f" got {type(worm).__name__}"
+                f"scan_mode='batch' requires a RandomScanWorm or"
+                f" LocalPreferentialWorm, got {type(worm).__name__}"
             )
         if not 1 <= initial_infections < network.num_infectable:
             raise ValueError(
@@ -179,8 +255,10 @@ class FastWormSimulation:
         self.rng = random.Random(seed)
         self.recorder = CurveRecorder(network)
         self.instrumentation = instrumentation
-        self.hosts = HostArrays(network)
-        self.transport = FastTransport(network)
+        self.hosts = hosts if hosts is not None else HostArrays(network)
+        self.transport = (
+            transport if transport is not None else FastTransport(network)
+        )
         # Trace records report cumulative NetworkStats; the transport
         # counts from zero, so remember what the network already saw.
         stats = network.stats
@@ -192,11 +270,6 @@ class FastWormSimulation:
         #: identical latency to the reference's ``created_tick`` check.
         self._lan_pending: list[int] = []
         self._lan_ready: list[int] = []
-        self.immunization = (
-            FastImmunization(network, immunization, self.rng)
-            if immunization is not None
-            else None
-        )
 
         seeds = self.rng.sample(list(network.infectable), initial_infections)
         for node in seeds:
@@ -222,7 +295,31 @@ class FastWormSimulation:
             )
             self._scan_whole = int(self.scan_rate)
             self._scan_frac = self.scan_rate - self._scan_whole
-            self._hit = worm.hit_probability
+            if isinstance(worm, LocalPreferentialWorm):
+                # Local-pref batch kernel: a miss in the fallback branch
+                # never happens (the reference fallback scans with
+                # hit probability 1.0), and subnet membership tables
+                # vectorize the peer draws.
+                self._hit = 1.0
+                self._local_pref = worm.local_preference
+                self._build_subnet_tables()
+            else:
+                self._hit = worm.hit_probability
+                self._local_pref = None
+
+        # Created after batch setup because the batch process draws from
+        # the numpy generator; neither constructor consumes randomness,
+        # so mirror mode's draw order is unchanged.
+        if immunization is None:
+            self.immunization = None
+        elif self.batch_sampling:
+            self.immunization = FastBatchImmunization(
+                network, immunization, self._gen, self._infectable_arr
+            )
+        else:
+            self.immunization = FastImmunization(
+                network, immunization, self.rng
+            )
 
         self._arrived: list[int] = []
         self._sim = TickSimulation(instrumentation=instrumentation)
@@ -311,19 +408,27 @@ class FastWormSimulation:
         throttled = 0
         if hosts.throttle_pos:
             pos = hosts.throttle_pos_arr[origins_all]
-            mask = pos >= 0
-            if mask.any():
-                tpos = pos[mask]
+            idx = np.flatnonzero(pos >= 0)
+            if idx.size:
+                tpos = pos[idx]
+                act = hosts.throttle_active[tpos]
+                if not act.all():
+                    # Latent columns (throttles pre-registered for a
+                    # quarantine deploy that hasn't fired on this
+                    # replica yet) gate nothing.
+                    idx = idx[act]
+                    tpos = tpos[act]
+            if idx.size:
                 tokens = hosts.throttle_tokens
                 usable = np.floor(tokens[tpos] + 1e-12).astype(np.int64)
                 np.maximum(usable, 0, out=usable)
-                want = counts[mask]
+                want = counts[idx]
                 allowed = np.minimum(want, usable)
                 # One throttled event per host whose burst was cut, like
                 # the reference's per-host break.
                 throttled = int((want > allowed).sum())
                 tokens[tpos] -= allowed
-                counts[mask] = allowed
+                counts[idx] = allowed
         total = int(counts.sum())
         dark = lan_count = routed = 0
         if total:
@@ -334,13 +439,20 @@ class FastWormSimulation:
                 dark = total - origins.size
             pool = self._infectable_arr
             if origins.size and pool.size >= 2:
-                targets = pool[gen.integers(0, pool.size, size=origins.size)]
-                while True:
-                    bad = targets == origins
-                    misses = int(bad.sum())
-                    if not misses:
-                        break
-                    targets[bad] = pool[gen.integers(0, pool.size, size=misses)]
+                if self._local_pref is not None:
+                    targets = self._pick_targets_local_pref(origins)
+                else:
+                    targets = pool[
+                        gen.integers(0, pool.size, size=origins.size)
+                    ]
+                    while True:
+                        bad = targets == origins
+                        misses = int(bad.sum())
+                        if not misses:
+                            break
+                        targets[bad] = pool[
+                            gen.integers(0, pool.size, size=misses)
+                        ]
                 if self.lan_delivery and self._subnet_arr is not None:
                     origin_subnet = self._subnet_arr[origins]
                     local = (origin_subnet != -1) & (
@@ -371,6 +483,81 @@ class FastWormSimulation:
                 instr.count("scans_lan", lan_count)
             if routed:
                 instr.count("scans_routed", routed)
+
+    def _build_subnet_tables(self) -> None:
+        """Subnet membership of the infectable population, sliced flat.
+
+        ``_sub_members`` lists infectable hosts grouped by subnet;
+        ``_sub_start``/``_sub_count`` index each subnet's slice.  Hosts
+        outside any subnet (or a network without subnets at all) take
+        the uniform fallback, matching the reference's lone-host
+        fall-through to :class:`RandomScanWorm`.
+        """
+        self._sub_members: np.ndarray | None = None
+        if self._subnet_arr is None:
+            return
+        inf = self._infectable_arr
+        subs = self._subnet_arr[inf]
+        keep = subs >= 0
+        members = inf[keep]
+        subs = subs[keep]
+        if members.size == 0:
+            return
+        order = np.argsort(subs, kind="stable")
+        members = members[order]
+        counts = np.bincount(subs[order], minlength=int(subs.max()) + 1)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        self._sub_members = members
+        self._sub_start = starts.astype(np.int64)
+        self._sub_count = counts.astype(np.int64)
+
+    def _pick_targets_local_pref(self, origins: np.ndarray) -> np.ndarray:
+        """Batch twin of :meth:`LocalPreferentialWorm.pick_target`.
+
+        With probability ``local_preference`` a scan draws uniformly
+        from the origin's subnet peers; lone hosts and the remaining
+        scans draw uniformly from the whole infectable pool minus the
+        origin (the reference's fallback random worm, hit 1.0).
+        """
+        gen = self._gen
+        pool = self._infectable_arr
+        total = origins.size
+        targets = np.empty(total, dtype=np.int64)
+        local = np.zeros(total, dtype=bool)
+        if self._sub_members is not None:
+            subs = self._subnet_arr[origins]
+            valid = subs >= 0
+            cnt = np.zeros(total, dtype=np.int64)
+            cnt[valid] = self._sub_count[subs[valid]]
+            local = (gen.random(total) < self._local_pref) & (cnt >= 2)
+            if local.any():
+                size = cnt[local]
+                start = self._sub_start[subs[local]]
+                # Uniform over the subnet's ``size - 1`` peers: draw
+                # from the first ``size - 1`` slots and remap a
+                # self-draw to the slice's last member (a swap trick —
+                # every peer keeps probability 1/(size-1)).
+                j = gen.integers(0, size - 1)
+                cand = self._sub_members[start + j]
+                clash = cand == origins[local]
+                if clash.any():
+                    cand[clash] = self._sub_members[
+                        (start + size - 1)[clash]
+                    ]
+                targets[local] = cand
+        rest = ~local
+        n_rest = int(rest.sum())
+        if n_rest:
+            r_orig = origins[rest]
+            cand = pool[gen.integers(0, pool.size, size=n_rest)]
+            while True:
+                bad = cand == r_orig
+                misses = int(bad.sum())
+                if not misses:
+                    break
+                cand[bad] = pool[gen.integers(0, pool.size, size=misses)]
+            targets[rest] = cand
+        return targets
 
     def _transmit_phase(self, tick: int) -> None:
         transport = self.transport

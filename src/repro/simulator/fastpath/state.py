@@ -1,11 +1,22 @@
 """Struct-of-arrays host state for the fast engine.
 
 One :class:`HostArrays` replaces the per-host :class:`~repro.simulator.
-nodes.Host` object walk: epidemic status is a flat list indexed by node
-id, compartment totals are running counters (O(1) reads for the observe
-phase and stop conditions), the infected population is a maintained
-sorted index (O(infected) scan phase), and Williamson throttle tokens
-live in numpy arrays refilled in one vectorized step per tick.
+nodes.Host` object walk: epidemic status is a 2-D ``(replica, host)``
+numpy array, compartment totals are running counters (O(1) reads for the
+observe phase and stop conditions), the infected population is a
+maintained sorted index (O(infected) scan phase), and Williamson
+throttle tokens live in numpy arrays refilled in one vectorized step per
+tick.
+
+The replica axis is the vectorized-ensemble hook: ``replicas`` seeded
+runs of one scenario share a single state block, each replica owning one
+row of every array plus its own counters and infected index.  Exactly
+one replica is *active* at a time (:meth:`set_active`); the scalar
+mutation API (``infect``/``immunize``/``infected_sorted``) and the
+row views (``status_row``, ``throttle_tokens``) always address the
+active replica, so the per-replica engine code is byte-for-byte the
+single-run code.  ``replicas=1`` (the default) collapses to the old
+single-run layout with zero extra indirection.
 
 The arrays are synced *from* the network's host objects at construction
 (and re-synced when a dynamic quarantine deploys filters mid-run), and
@@ -23,11 +34,15 @@ from ..nodes import HostState
 
 __all__ = ["HostArrays", "SUSCEPTIBLE", "INFECTED", "IMMUNE", "UNTRACKED"]
 
-#: Status codes (list-of-int encoding of :class:`HostState`).
+#: Status codes (array encoding of :class:`HostState`).
 UNTRACKED = -1
 SUSCEPTIBLE = 0
 INFECTED = 1
 IMMUNE = 2
+
+#: Sentinel for "never" in the infected_at/immunized_at stamp arrays
+#: (the object model uses ``None``; writeback converts).
+NEVER = -1
 
 _STATE_OF = {
     SUSCEPTIBLE: HostState.SUSCEPTIBLE,
@@ -38,46 +53,135 @@ _CODE_OF = {state: code for code, state in _STATE_OF.items()}
 
 
 class HostArrays:
-    """Flat-array mirror of a network's infectable host population."""
+    """Replica-batched flat-array mirror of a network's host population."""
 
-    def __init__(self, network: Network) -> None:
+    def __init__(self, network: Network, replicas: int = 1) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
         self.network = network
+        self.replicas = replicas
         n = network.topology.num_nodes
-        #: status[node] — UNTRACKED for transit nodes, S/I/R for hosts.
-        self.status: list[int] = [UNTRACKED] * n
-        self.infected_at: list[int | None] = [None] * n
-        self.immunized_at: list[int | None] = [None] * n
-        self.susceptible = 0
-        self.infected = 0
-        self.immune = 0
+        #: status[replica, node] — UNTRACKED for transit nodes, S/I/R
+        #: for hosts.  Use :attr:`status_row` for the active replica.
+        status0 = np.full(n, UNTRACKED, dtype=np.int8)
+        infected0 = np.full(n, NEVER, dtype=np.int64)
+        immunized0 = np.full(n, NEVER, dtype=np.int64)
+        susceptible = infected = immune = 0
         for node in network.infectable:
             host = network.hosts[node]
             code = _CODE_OF[host.state]
-            self.status[node] = code
-            self.infected_at[node] = host.infected_at
-            self.immunized_at[node] = host.immunized_at
+            status0[node] = code
+            if host.infected_at is not None:
+                infected0[node] = host.infected_at
+            if host.immunized_at is not None:
+                immunized0[node] = host.immunized_at
             if code == SUSCEPTIBLE:
-                self.susceptible += 1
+                susceptible += 1
             elif code == INFECTED:
-                self.infected += 1
+                infected += 1
             else:
-                self.immune += 1
-        self._infected_set: set[int] = {
+                immune += 1
+        self.status = np.tile(status0, (replicas, 1))
+        self.infected_at = np.tile(infected0, (replicas, 1))
+        self.immunized_at = np.tile(immunized0, (replicas, 1))
+        base_infected = {
             node for node in network.infectable
-            if self.status[node] == INFECTED
+            if status0[node] == INFECTED
         }
-        self._sorted_infected: list[int] = sorted(self._infected_set)
+        # Per-replica counters and infected indices; the active replica's
+        # live in the plain attributes below and are saved/restored by
+        # set_active.
+        self._susceptible_r = np.full(replicas, susceptible, dtype=np.int64)
+        self._infected_r = np.full(replicas, infected, dtype=np.int64)
+        self._immune_r = np.full(replicas, immune, dtype=np.int64)
+        self._infected_sets: list[set[int]] = [
+            set(base_infected) for _ in range(replicas)
+        ]
+        self._sorted_lists: list[list[int]] = [
+            sorted(base_infected) for _ in range(replicas)
+        ]
+        self._dirty_flags: list[bool] = [False] * replicas
+        self._active = 0
+        self.susceptible = susceptible
+        self.infected = infected
+        self.immune = immune
+        self._infected_set: set[int] = self._infected_sets[0]
+        self._sorted_infected: list[int] = self._sorted_lists[0]
         self._sorted_dirty = False
+        self._row = self.status[0]
+        self._inf_row = self.infected_at[0]
+        self._imm_row = self.immunized_at[0]
+        #: When True, the per-replica :meth:`refill_throttles` is a
+        #: no-op and the owner calls :meth:`refill_all_throttles` once
+        #: per tick instead (the replica engine's cross-replica refill).
+        self.shared_refill = False
         # Throttle mirror (see sync_throttles).
         self.throttle_pos: dict[int, int] = {}
         self._throttle_buckets: list = []
-        self._t_rate = np.zeros(0)
-        self._t_burst = np.zeros(0)
-        self.throttle_tokens = np.zeros(0)
+        self._t_rate = np.zeros((replicas, 0))
+        self._t_burst = np.zeros((replicas, 0))
+        self._t_tokens = np.zeros((replicas, 0))
+        self._t_active = np.zeros((replicas, 0), dtype=bool)
+        self._latent_cols = np.zeros(0, dtype=np.int64)
+        self._latent_rate = np.zeros(0)
+        self._latent_burst = np.zeros(0)
         self.sync_throttles()
 
     # ------------------------------------------------------------------
-    # Epidemic state
+    # Replica cursor
+    # ------------------------------------------------------------------
+
+    @property
+    def active_replica(self) -> int:
+        """Index of the replica the scalar API currently addresses."""
+        return self._active
+
+    @property
+    def status_row(self) -> np.ndarray:
+        """The active replica's status row (length ``num_nodes``)."""
+        return self._row
+
+    def set_active(self, replica: int) -> None:
+        """Point the scalar API and row views at ``replica``."""
+        if replica == self._active:
+            return
+        if not 0 <= replica < self.replicas:
+            raise IndexError(
+                f"replica must be in [0, {self.replicas}), got {replica}"
+            )
+        self._save_active()
+        self._active = replica
+        self._load_active()
+
+    def _save_active(self) -> None:
+        a = self._active
+        self._susceptible_r[a] = self.susceptible
+        self._infected_r[a] = self.infected
+        self._immune_r[a] = self.immune
+        self._infected_sets[a] = self._infected_set
+        self._sorted_lists[a] = self._sorted_infected
+        self._dirty_flags[a] = self._sorted_dirty
+
+    def _load_active(self) -> None:
+        r = self._active
+        self.susceptible = int(self._susceptible_r[r])
+        self.infected = int(self._infected_r[r])
+        self.immune = int(self._immune_r[r])
+        self._infected_set = self._infected_sets[r]
+        self._sorted_infected = self._sorted_lists[r]
+        self._sorted_dirty = self._dirty_flags[r]
+        self._row = self.status[r]
+        self._inf_row = self.infected_at[r]
+        self._imm_row = self.immunized_at[r]
+        self._load_throttle_views()
+
+    def _load_throttle_views(self) -> None:
+        r = self._active
+        self.throttle_tokens = self._t_tokens[r]
+        self.throttle_active = self._t_active[r]
+
+    # ------------------------------------------------------------------
+    # Epidemic state (active replica)
     # ------------------------------------------------------------------
 
     def infected_sorted(self) -> list[int]:
@@ -89,10 +193,10 @@ class HostArrays:
 
     def infect(self, node: int, tick: int) -> bool:
         """S → I transition; mirrors :meth:`Host.infect` exactly."""
-        if self.status[node] != SUSCEPTIBLE:
+        if self._row[node] != SUSCEPTIBLE:
             return False
-        self.status[node] = INFECTED
-        self.infected_at[node] = tick
+        self._row[node] = INFECTED
+        self._inf_row[node] = tick
         self.susceptible -= 1
         self.infected += 1
         self._infected_set.add(node)
@@ -101,7 +205,7 @@ class HostArrays:
 
     def immunize(self, node: int, tick: int) -> bool:
         """S/I → R transition; mirrors :meth:`Host.immunize` exactly."""
-        code = self.status[node]
+        code = self._row[node]
         if code == IMMUNE or code == UNTRACKED:
             return False
         if code == INFECTED:
@@ -111,9 +215,40 @@ class HostArrays:
         else:
             self.susceptible -= 1
         self.immune += 1
-        self.status[node] = IMMUNE
-        self.immunized_at[node] = tick
+        self._row[node] = IMMUNE
+        self._imm_row[node] = tick
         return True
+
+    def immunize_many(self, nodes: np.ndarray, tick: int) -> int:
+        """Vectorized :meth:`immunize` over an array of host node ids.
+
+        Callers pass infectable nodes; already-immune entries are
+        skipped exactly as the scalar path would skip them.
+        """
+        if nodes.size == 0:
+            return 0
+        row = self._row
+        codes = row[nodes]
+        actionable = codes != IMMUNE
+        if not actionable.all():
+            nodes = nodes[actionable]
+            codes = codes[actionable]
+            if nodes.size == 0:
+                return 0
+        was_infected = codes == INFECTED
+        newly_immune = int(nodes.size)
+        from_infected = int(was_infected.sum())
+        row[nodes] = IMMUNE
+        self._imm_row[nodes] = tick
+        self.infected -= from_infected
+        self.susceptible -= newly_immune - from_infected
+        self.immune += newly_immune
+        if from_infected:
+            infected_set = self._infected_set
+            for node in nodes[was_infected].tolist():
+                infected_set.discard(node)
+            self._sorted_dirty = True
+        return newly_immune
 
     # ------------------------------------------------------------------
     # Scan throttles (Williamson host filters)
@@ -126,14 +261,16 @@ class HostArrays:
         response installs new filters.  A bucket whose object identity is
         unchanged keeps the token balance the fast engine accrued for it
         (the network-side object is never updated mid-run); new buckets
-        adopt their own (freshly zero) token count.
+        adopt their own (freshly zero) token count.  Token balances are
+        per replica: each existing bucket's whole token *column* carries
+        over.
         """
         previous = {
-            id(bucket): self.throttle_tokens[pos]
-            for bucket, pos in zip(
-                self._throttle_buckets, range(len(self._throttle_buckets))
-            )
+            id(bucket): self._t_tokens[:, pos].copy()
+            for pos, bucket in enumerate(self._throttle_buckets)
+            if bucket is not None
         }
+        replicas = self.replicas
         nodes: list[int] = []
         buckets: list = []
         for node in self.network.infectable:
@@ -150,23 +287,111 @@ class HostArrays:
         if nodes:
             self.throttle_pos_arr[nodes] = np.arange(len(nodes))
         self._throttle_buckets = buckets
-        self._t_rate = np.array([b.rate for b in buckets], dtype=float)
-        self._t_burst = np.array([b.burst for b in buckets], dtype=float)
-        self.throttle_tokens = np.array(
-            [previous.get(id(b), b.tokens) for b in buckets], dtype=float
+        count = len(buckets)
+        self._t_rate = np.tile(
+            np.array([b.rate for b in buckets], dtype=float), (replicas, 1)
         )
+        self._t_burst = np.tile(
+            np.array([b.burst for b in buckets], dtype=float), (replicas, 1)
+        )
+        self._t_tokens = np.empty((replicas, count))
+        for pos, bucket in enumerate(buckets):
+            column = previous.get(id(bucket))
+            self._t_tokens[:, pos] = (
+                column if column is not None else bucket.tokens
+            )
+        self._t_active = np.ones((replicas, count), dtype=bool)
+        self._latent_cols = np.zeros(0, dtype=np.int64)
+        self._latent_rate = np.zeros(0)
+        self._latent_burst = np.zeros(0)
+        self._load_throttle_views()
+
+    def register_latent_throttles(
+        self, entries: list[tuple[int, float, float]]
+    ) -> None:
+        """Pre-allocate throttle columns a quarantine plan *may* deploy.
+
+        ``entries`` is ``[(node, rate, burst), ...]`` — the host filters
+        one captured deployment of the quarantine response would
+        install.  Columns for nodes without an existing bucket start
+        inactive (no refill, no clamping) so undeployed replicas behave
+        as unthrottled; :meth:`activate_latent` flips one replica's
+        columns live with fresh-bucket semantics (zero tokens, plan
+        rate/burst), exactly what a real deploy plus ``sync_throttles``
+        would produce.
+        """
+        new_nodes = [
+            node for node, _, _ in entries if node not in self.throttle_pos
+        ]
+        if new_nodes:
+            extra = len(new_nodes)
+            replicas = self.replicas
+            self._t_rate = np.concatenate(
+                [self._t_rate, np.zeros((replicas, extra))], axis=1
+            )
+            self._t_burst = np.concatenate(
+                [self._t_burst, np.zeros((replicas, extra))], axis=1
+            )
+            self._t_tokens = np.concatenate(
+                [self._t_tokens, np.zeros((replicas, extra))], axis=1
+            )
+            self._t_active = np.concatenate(
+                [self._t_active, np.zeros((replicas, extra), dtype=bool)],
+                axis=1,
+            )
+            for node in new_nodes:
+                pos = len(self._throttle_buckets)
+                self._throttle_buckets.append(None)
+                self.throttle_pos[node] = pos
+                self.throttle_pos_arr[node] = pos
+        self._latent_cols = np.array(
+            [self.throttle_pos[node] for node, _, _ in entries],
+            dtype=np.int64,
+        )
+        self._latent_rate = np.array([rate for _, rate, _ in entries])
+        self._latent_burst = np.array([burst for _, _, burst in entries])
+        self._load_throttle_views()
+
+    def activate_latent(self, replica: int) -> None:
+        """Deploy the registered latent throttles on one replica's row."""
+        cols = self._latent_cols
+        if cols.size == 0:
+            return
+        self._t_active[replica, cols] = True
+        self._t_rate[replica, cols] = self._latent_rate
+        self._t_burst[replica, cols] = self._latent_burst
+        self._t_tokens[replica, cols] = 0.0
 
     def refill_throttles(self) -> None:
-        """One tick of token accrual for every throttled host.
+        """One tick of token accrual for the active replica's throttles.
 
         Vectorized ``min(tokens + rate, burst)`` — IEEE-identical to the
         reference engine's per-host :meth:`TokenBucket.refill` calls.
+        No-op under ``shared_refill`` (the replica engine refills every
+        row at once via :meth:`refill_all_throttles`).
         """
-        if self._throttle_buckets:
+        if self.shared_refill:
+            return
+        if self._t_rate.shape[1]:
+            r = self._active
             np.minimum(
-                self.throttle_tokens + self._t_rate,
+                self._t_tokens[r] + self._t_rate[r],
+                self._t_burst[r],
+                out=self._t_tokens[r],
+            )
+
+    def refill_all_throttles(self) -> None:
+        """One tick of token accrual for *every* replica's throttles.
+
+        A single ``(replicas, throttles)`` elementwise min per tick;
+        inactive latent columns carry zero rate and burst, so they stay
+        at zero tokens until :meth:`activate_latent`.
+        """
+        if self._t_rate.shape[1]:
+            np.minimum(
+                self._t_tokens + self._t_rate,
                 self._t_burst,
-                out=self.throttle_tokens,
+                out=self._t_tokens,
             )
 
     # ------------------------------------------------------------------
@@ -174,9 +399,20 @@ class HostArrays:
     # ------------------------------------------------------------------
 
     def writeback(self) -> None:
-        """Copy the final array state back onto the network's hosts."""
-        hosts = self.network.hosts
-        for node, host in hosts.items():
-            host.state = _STATE_OF[self.status[node]]
-            host.infected_at = self.infected_at[node]
-            host.immunized_at = self.immunized_at[node]
+        """Copy the active replica's final state onto the network's hosts.
+
+        Every host is written unconditionally — including runs whose
+        infections all died at tick 0 and never populated the active
+        infected index — so stamp arrays round-trip exactly as a
+        reference run would have left them (``NEVER`` becomes ``None``).
+        """
+        row = self._row
+        inf_row = self._inf_row
+        imm_row = self._imm_row
+        state_of = _STATE_OF
+        for node, host in self.network.hosts.items():
+            host.state = state_of[int(row[node])]
+            stamp = inf_row[node]
+            host.infected_at = int(stamp) if stamp >= 0 else None
+            stamp = imm_row[node]
+            host.immunized_at = int(stamp) if stamp >= 0 else None

@@ -27,7 +27,7 @@ max at writeback, which folds both tracks exactly.
 from __future__ import annotations
 
 import gc
-from collections import deque
+from collections import defaultdict, deque
 from heapq import heappop, heappush
 from itertools import chain
 
@@ -36,11 +36,24 @@ import numpy as np
 from ..network import Network
 from ..packet import Packet, PacketKind
 
-__all__ = ["FastTransport"]
+__all__ = ["FastTransport", "TransportLayout"]
 
 
-class FastTransport:
-    """Array-backed packet transport over a network's links."""
+class TransportLayout:
+    """The immutable, shareable half of a :class:`FastTransport`.
+
+    Link ordering, routing tables, queue capacities, and the *initial*
+    rate-limit/budget mirror are pure functions of the network as built
+    (topology + static defense); every replica of a vectorized ensemble
+    transports packets over the same network, so one layout serves all
+    of them.  Mutable per-replica state (queues, counters, token
+    balances) stays in :class:`FastTransport`, which copies the cheap
+    arrays and references the expensive ones.
+
+    Build the layout *after* static defenses are applied and *before*
+    any dynamic deploy — the same point in time at which a solo
+    ``FastTransport(network)`` would have built the identical state.
+    """
 
     def __init__(self, network: Network) -> None:
         self.network = network
@@ -53,9 +66,68 @@ class FastTransport:
         #: (u * n + v) -> link index; int keys avoid tuple allocation in
         #: the forwarding hot loop.
         self.index_of = {u * n + v: i for i, (u, v) in enumerate(keys)}
-        self.queues: list[deque[int]] = [deque() for _ in keys]
         self.max_queue = [network.links[key].max_queue for key in keys]
-        self._min_cap = min(self.max_queue, default=0)
+        self.min_cap = min(self.max_queue, default=0)
+        #: Next-hop rows, indexable as rows[destination][node] -> int.
+        self.rows = [network.routing.next_hop_table(d) for d in range(n)]
+        #: Whole next-hop matrix for vectorized gathers (batch path).
+        self.parent = network.routing.parent_matrix
+        #: ``key_array[i] == u * n + v`` for link i; ascending because
+        #: the keys list is sorted, so searchsorted inverts index_of.
+        self.key_array = np.fromiter(
+            (u * n + v for u, v in keys), dtype=np.int64, count=count
+        )
+        self.link_dst_arr = np.fromiter(
+            self.link_dst, dtype=np.int64, count=count
+        )
+        # Rate-limit template: the network's bucket/budget state at
+        # layout time, which each transport copies instead of re-reading
+        # the links (sync_limits semantics with no prior token state).
+        buckets = [network.links[key].bucket for key in keys]
+        self.link_buckets = buckets
+        self.limited = [bucket is not None for bucket in buckets]
+        self.limited_arr = np.array(self.limited, dtype=bool)
+        self.l_rate = np.array(
+            [b.rate if b is not None else 0.0 for b in buckets]
+        )
+        self.l_burst = np.array(
+            [b.burst if b is not None else 0.0 for b in buckets]
+        )
+        self.l_tokens0 = np.array(
+            [b.tokens if b is not None else 0.0 for b in buckets]
+        )
+        self.limited_idx = np.flatnonzero(self.limited_arr)
+        self.budget_buckets = dict(network.forward_budgets)
+
+
+class FastTransport:
+    """Array-backed packet transport over a network's links.
+
+    Pass ``layout`` to share one :class:`TransportLayout` across many
+    transports (the replica engine); omit it for the classic single-run
+    construction, which builds a private layout from the network.
+    """
+
+    def __init__(
+        self, network: Network, layout: TransportLayout | None = None
+    ) -> None:
+        self.network = network
+        if layout is None:
+            layout = TransportLayout(network)
+        self.layout = layout
+        n = layout.n
+        self.n = n
+        keys = layout.keys
+        self.keys = keys
+        count = len(keys)
+        self.link_dst = layout.link_dst
+        self.index_of = layout.index_of
+        #: Lazy queue map: only links that ever held a packet get a
+        #: deque, so per-replica construction and writeback cost scale
+        #: with traffic, not topology size.
+        self.queues: defaultdict[int, deque[int]] = defaultdict(deque)
+        self.max_queue = layout.max_queue
+        self._min_cap = layout.min_cap
         #: Packets currently queued on *unlimited* links (batch paths
         #: only) — lets inject_batch prove no queue can overflow without
         #: measuring per-link depths.
@@ -84,31 +156,33 @@ class FastTransport:
         #: bulk wave (batch mode only; see inject_batch).
         self._pending_li: list[np.ndarray] = []
         self._pending_dst: list[np.ndarray] = []
-        #: Next-hop rows, indexable as rows[destination][node] -> int.
-        self.rows = [network.routing.next_hop_table(d) for d in range(n)]
-        #: Whole next-hop matrix for vectorized gathers (batch path).
-        self._parent = network.routing.parent_matrix
-        #: ``key_array[i] == u * n + v`` for link i; ascending because
-        #: the keys list is sorted, so searchsorted inverts index_of.
-        self.key_array = np.fromiter(
-            (u * n + v for u, v in keys), dtype=np.int64, count=count
-        )
-        self.link_dst_arr = np.fromiter(
-            self.link_dst, dtype=np.int64, count=count
-        )
-        # Rate-limit state (see sync_limits).
-        self.limited: list[bool] = []
-        self.limited_arr = np.zeros(count, dtype=bool)
-        self.l_rate = np.zeros(0)
-        self.l_burst = np.zeros(0)
-        self.l_tokens = np.zeros(0)
-        self._limited_idx = np.zeros(0, dtype=np.int64)
-        self._link_buckets: list = []
-        self.budget_rate: dict[int, float] = {}
-        self.budget_burst: dict[int, float] = {}
-        self.budget_tokens: dict[int, float] = {}
-        self._budget_buckets: dict[int, object] = {}
-        self.sync_limits()
+        self.rows = layout.rows
+        self._parent = layout.parent
+        self.key_array = layout.key_array
+        self.link_dst_arr = layout.link_dst_arr
+        # Rate-limit state: copied from the layout's template — exactly
+        # what sync_limits would mirror from the network with no prior
+        # token state (new buckets adopt their own token counts).
+        self._link_buckets = list(layout.link_buckets)
+        self.limited = list(layout.limited)
+        self.limited_arr = layout.limited_arr.copy()
+        self.l_rate = layout.l_rate.copy()
+        self.l_burst = layout.l_burst.copy()
+        self.l_tokens = layout.l_tokens0.copy()
+        self._limited_idx = layout.limited_idx.copy()
+        self._budget_buckets: dict[int, object] = dict(layout.budget_buckets)
+        self.budget_rate = {
+            node: bucket.rate
+            for node, bucket in self._budget_buckets.items()
+        }
+        self.budget_burst = {
+            node: bucket.burst
+            for node, bucket in self._budget_buckets.items()
+        }
+        self.budget_tokens = {
+            node: bucket.tokens
+            for node, bucket in self._budget_buckets.items()
+        }
 
     # ------------------------------------------------------------------
     # Rate-limit configuration
@@ -167,6 +241,46 @@ class FastTransport:
             self.budget_tokens[node] = old_budget_tokens.get(
                 id(bucket), bucket.tokens
             )
+
+    def apply_limit_plan(
+        self,
+        link_idx: np.ndarray,
+        rates: np.ndarray,
+        bursts: np.ndarray,
+        budgets: dict[int, tuple[float, float]],
+    ) -> None:
+        """Install a captured quarantine deployment, network untouched.
+
+        The replica engine records one real deploy of the quarantine
+        response as a *plan* (link indices + rates, node budgets) and
+        undoes it; each replica that triggers its own quarantine replays
+        the plan here.  Semantically identical to deploying onto the
+        network and calling :meth:`sync_limits`: fresh buckets start at
+        zero tokens, links already holding packets are re-bucketed into
+        the limited set.  (The ``_link_buckets``/``_budget_buckets``
+        identity mirrors are *not* updated — they only serve
+        ``sync_limits``'s token carry-over, which the plan path never
+        invokes mid-run.)
+        """
+        if link_idx.size:
+            limited = self.limited
+            for li in link_idx.tolist():
+                limited[li] = True
+            self.limited_arr[link_idx] = True
+            self.l_rate[link_idx] = rates
+            self.l_burst[link_idx] = bursts
+            self.l_tokens[link_idx] = 0.0
+            self._limited_idx = np.flatnonzero(self.limited_arr)
+            occupied = self.nonempty_u | self.nonempty_l
+            self.nonempty_l = {li for li in occupied if limited[li]}
+            self.nonempty_u = occupied - self.nonempty_l
+            self.queued_u = sum(
+                len(self.queues[li]) for li in self.nonempty_u
+            )
+        for node, (rate, burst) in budgets.items():
+            self.budget_rate[node] = rate
+            self.budget_burst[node] = burst
+            self.budget_tokens[node] = 0.0
 
     def _refill_limited(self) -> None:
         """One tick of token accrual for every rate-limited link.
@@ -632,7 +746,7 @@ class FastTransport:
     # Writeback
     # ------------------------------------------------------------------
 
-    def writeback(self, final_tick: int) -> None:
+    def writeback(self, final_tick: int) -> list[int]:
         """Copy accumulated counters and residual queues onto the network.
 
         Residual queued packets are materialized as
@@ -641,6 +755,11 @@ class FastTransport:
         a reference run; only the destination survives the int encoding,
         so the materialized packets carry the holding link's source node
         and the final tick as their provenance.
+
+        Returns the indices of links whose stats or queues were touched,
+        so the replica engine can reset exactly those between replicas.
+        Links this transport never moved a packet over are skipped
+        entirely (their counter updates would all be ``+= 0``).
         """
         # Virtually-held injections exist only mid-tick (a transmit
         # always follows in the phase pipeline); flush defensively if a
@@ -659,6 +778,7 @@ class FastTransport:
         peak_vec = self.peak_vec.tolist()
         infection = PacketKind.INFECTION
         new_packet = Packet.__new__
+        touched: list[int] = []
         # Residual queues can hold 100k+ packets on rate-limited links;
         # pause collection while materializing them so the allocation
         # burst does not trigger repeated whole-heap scans.
@@ -666,16 +786,26 @@ class FastTransport:
         gc.disable()
         try:
             for i, key in enumerate(self.keys):
-                link = self.network.links[key]
-                link_stats = link.stats
-                link_stats.forwarded += self.fwd_list[i] + fwd_vec[i]
-                link_stats.dropped += self.drop_list[i]
-                link_stats.enqueued += self.enq_list[i] + enq_vec[i]
-                link_stats.requeued += self.req_list[i]
+                forwarded = self.fwd_list[i] + fwd_vec[i]
+                enqueued = self.enq_list[i] + enq_vec[i]
+                dropped = self.drop_list[i]
+                requeued = self.req_list[i]
                 peak = self.peak_list[i]
                 if peak_vec[i] > peak:
                     peak = peak_vec[i]
-                queue = self.queues[i]
+                queue = self.queues.get(i)
+                if not (
+                    forwarded or enqueued or dropped or requeued
+                    or peak or queue
+                ):
+                    continue
+                touched.append(i)
+                link = self.network.links[key]
+                link_stats = link.stats
+                link_stats.forwarded += forwarded
+                link_stats.dropped += dropped
+                link_stats.enqueued += enqueued
+                link_stats.requeued += requeued
                 if queue:
                     # Close out the lazy high-water mark for limited
                     # links (queues only grew since their last drain).
@@ -698,3 +828,4 @@ class FastTransport:
         finally:
             if gc_was_enabled:
                 gc.enable()
+        return touched

@@ -1,0 +1,97 @@
+"""Regression: runs that die at tick 0 still write back host stamps.
+
+An immunization policy with ``mu=1.0`` starting at tick 0 patches the
+whole population on the very first tick, so the epidemic is over after
+one recorder sample and ``Trajectory`` construction fails with
+:class:`~repro.models.base.ModelError`.  The fast engine (and the
+replica-batched engine) must have written the ``infected_at`` /
+``immunized_at`` stamps back onto the network *before* that failure —
+exactly what a reference run leaves behind — or post-mortem inspection
+of die-outs silently reads stale hosts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.base import ModelError
+from repro.simulator import (
+    FastWormSimulation,
+    ImmunizationPolicy,
+    Network,
+    RandomScanWorm,
+    WormSimulation,
+)
+from repro.simulator.fastpath import ReplicaBatchSimulation
+
+#: Patch everyone (including the infected seeds) on tick 0.
+KILL_ALL = ImmunizationPolicy.at_tick(0, 1.0)
+MAX_TICKS = 40
+SEEDS = (11, 12, 13)
+
+
+def _stamps(network: Network) -> dict:
+    return {
+        node: (
+            network.hosts[node].state,
+            network.hosts[node].infected_at,
+            network.hosts[node].immunized_at,
+        )
+        for node in network.infectable
+    }
+
+
+def _run(engine_cls, seed: int, **kwargs):
+    network = Network.from_powerlaw(80, seed=3)
+    simulation = engine_cls(
+        network,
+        RandomScanWorm(hit_probability=0.5),
+        scan_rate=1.2,
+        initial_infections=3,
+        immunization=KILL_ALL,
+        seed=seed,
+        **kwargs,
+    )
+    with pytest.raises(ModelError):
+        simulation.run(MAX_TICKS)
+    return _stamps(network)
+
+
+@pytest.mark.parametrize("scan_mode", ["mirror", "batch"])
+def test_tick0_dieout_writes_back_stamps(scan_mode):
+    """Both fast scan modes leave the reference's exact stamps behind.
+
+    The outcome is deterministic across RNG streams — every host is
+    immunized at tick 0, the seeds alone carry ``infected_at=0`` — so
+    mirror *and* batch mode must agree with the reference bit-for-bit.
+    """
+    for seed in SEEDS:
+        reference = _run(WormSimulation, seed)
+        fast = _run(FastWormSimulation, seed, scan_mode=scan_mode)
+        assert fast == reference, seed
+
+
+def test_tick0_dieout_replica_batch_writes_back_stamps():
+    """Every replica of a batch dying at tick 0 is still written back."""
+    network = Network.from_powerlaw(80, seed=3)
+    batch = ReplicaBatchSimulation(
+        network,
+        RandomScanWorm(hit_probability=0.5),
+        scan_rate=1.2,
+        seeds=list(SEEDS),
+        initial_infections=3,
+        immunization=KILL_ALL,
+    )
+    harvested = {}
+
+    def harvest(replica, sim):
+        # The one-sample trajectory is unbuildable; the stamps must be
+        # on the network anyway.
+        with pytest.raises(ModelError):
+            sim.recorder.trajectory()
+        harvested[replica] = _stamps(network)
+
+    batch.run(MAX_TICKS, harvest)
+    assert sorted(harvested) == list(range(len(SEEDS)))
+    for replica, seed in enumerate(SEEDS):
+        assert harvested[replica] == _run(WormSimulation, seed), seed

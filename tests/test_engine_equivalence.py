@@ -17,6 +17,7 @@ Two tiers of equivalence, matching the fast engine's two scan modes:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 
 import numpy as np
@@ -41,6 +42,19 @@ from repro.simulator import (
     deploy_host_rate_limit,
     deploy_hub_rate_limit,
 )
+from repro.runner.api import run_ensemble
+from repro.runner.build import execute_replica_batch, execute_run
+from repro.runner.cache import ResultCache
+from repro.runner.executors import ReplicaBatchExecutor, SerialExecutor
+from repro.runner.spec import (
+    DefenseSpec,
+    EnsembleSpec,
+    QuarantineSpec,
+    RunSpec,
+    TopologySpec,
+    WormSpec,
+)
+from repro.simulator.fastpath import ReplicaBatchSimulation
 from repro.simulator.fastpath.engine import BATCH_MIN_HOSTS
 from repro.simulator.fastpath.state import (
     IMMUNE,
@@ -323,16 +337,66 @@ class TestBatchStatistical:
             )
             previous = record
 
-    def test_batch_requires_random_worm(self):
+    def test_final_size_distribution_matches_local_pref(self):
+        def _sizes(engine_cls, scan_mode=None):
+            sizes = []
+            for seed in range(100, 100 + self.NUM_SEEDS):
+                network = Network.from_powerlaw(self.NODES, seed=7)
+                kwargs = {"scan_mode": scan_mode} if scan_mode else {}
+                simulation = engine_cls(
+                    network,
+                    LocalPreferentialWorm(local_preference=0.7),
+                    scan_rate=0.8,
+                    initial_infections=2,
+                    seed=seed,
+                    **kwargs,
+                )
+                trajectory = simulation.run(self.MAX_TICKS)
+                sizes.append(trajectory.ever_infected[-1])
+            return np.asarray(sizes, dtype=float)
+
+        reference = _sizes(WormSimulation)
+        fast = _sizes(FastWormSimulation, scan_mode="batch")
+        stderr = math.sqrt(
+            reference.var(ddof=1) / len(reference)
+            + fast.var(ddof=1) / len(fast)
+        )
+        tolerance = 3.0 * stderr + 0.02 * self.NODES
+        assert abs(reference.mean() - fast.mean()) <= tolerance, (
+            reference.mean(),
+            fast.mean(),
+            tolerance,
+        )
+
+    def test_batch_requires_batchable_worm(self):
         network = Network.from_powerlaw(60, seed=7)
         with pytest.raises(ValueError, match="RandomScanWorm"):
             FastWormSimulation(
                 network,
-                LocalPreferentialWorm(),
+                TopologicalWorm(),
                 scan_rate=0.8,
                 seed=1,
                 scan_mode="batch",
             )
+        with pytest.raises(ValueError, match="LocalPreferentialWorm"):
+            FastWormSimulation(
+                network,
+                SequentialScanWorm(),
+                scan_rate=0.8,
+                seed=1,
+                scan_mode="batch",
+            )
+
+    def test_batch_accepts_local_pref_worm(self):
+        network = Network.from_powerlaw(60, seed=7)
+        simulation = FastWormSimulation(
+            network,
+            LocalPreferentialWorm(local_preference=0.7),
+            scan_rate=0.8,
+            seed=1,
+            scan_mode="batch",
+        )
+        assert simulation.batch_sampling
 
     def test_auto_mode_picks_by_population(self):
         small = Network.from_powerlaw(100, seed=7)
@@ -354,6 +418,19 @@ class TestBatchStatistical:
             scan_mode="mirror",
         )
         assert not sim_forced.batch_sampling
+
+        sim_localpref = FastWormSimulation(
+            large,
+            LocalPreferentialWorm(local_preference=0.7),
+            scan_rate=0.8,
+            seed=1,
+        )
+        assert sim_localpref.batch_sampling
+
+        sim_sequential = FastWormSimulation(
+            large, SequentialScanWorm(), scan_rate=0.8, seed=1
+        )
+        assert not sim_sequential.batch_sampling
 
 
 class TestRecorderConsistency:
@@ -407,7 +484,7 @@ class TestRecorderConsistency:
             hosts = simulation.hosts
             tallies = {SUSCEPTIBLE: 0, INFECTED: 0, IMMUNE: 0}
             for node in network.infectable:
-                tallies[hosts.status[node]] += 1
+                tallies[hosts.status_row[node]] += 1
             assert hosts.susceptible == tallies[SUSCEPTIBLE]
             assert hosts.infected == tallies[INFECTED]
             assert hosts.immune == tallies[IMMUNE]
@@ -424,3 +501,253 @@ class TestRecorderConsistency:
         simulation._sim.add_stop_condition(audit)
         simulation.run(60)
         assert checked >= 10
+
+
+#: Scenario grid for the replica axis: every entry must produce, per
+#: replica, *bit-identical* results to a solo ``scan_mode="batch"`` run
+#: of the same seed.  ``quarantine`` entries are zero-argument factories
+#: (the :class:`ReplicaBatchSimulation` calling convention).
+REPLICA_SCENARIOS = {
+    "random-none": {
+        "worm": lambda: RandomScanWorm(hit_probability=0.5),
+    },
+    "random-backbone": {
+        "worm": lambda: RandomScanWorm(hit_probability=0.5),
+        "defense": lambda n: deploy_backbone_rate_limit(n, 2.0),
+    },
+    "localpref-hosts-lan": {
+        "worm": lambda: LocalPreferentialWorm(local_preference=0.7),
+        "defense": lambda n: deploy_host_rate_limit(n, 0.5, 1.0, seed=99),
+        "lan": True,
+    },
+    "random-immunization": {
+        "worm": lambda: RandomScanWorm(hit_probability=0.5),
+        "immunization": ImmunizationPolicy.at_fraction(0.2, 0.05),
+    },
+    "random-quarantine": {
+        "worm": lambda: RandomScanWorm(hit_probability=0.4),
+        "quarantine": lambda: DynamicQuarantine(
+            response=lambda n: deploy_backbone_rate_limit(n, 1.0),
+            reaction_delay=3,
+        ),
+    },
+    "localpref-quarantine-immunization": {
+        "worm": lambda: LocalPreferentialWorm(local_preference=0.7),
+        "immunization": ImmunizationPolicy.at_tick(30, 0.03),
+        "quarantine": lambda: DynamicQuarantine(
+            response=lambda n: deploy_host_rate_limit(n, 0.3, 0.5, seed=5),
+            reaction_delay=2,
+        ),
+    },
+}
+
+_REPLICA_SEEDS = (201, 202, 203, 204)
+_REPLICA_TICKS = 70
+
+
+def _result_state(network: Network) -> dict:
+    """Everything the results layer reads off a finished network."""
+    return {
+        "stats": (
+            network.stats.packets_injected,
+            network.stats.packets_delivered,
+            network.stats.packets_dropped,
+        ),
+        "hosts": {
+            node: (
+                network.hosts[node].state,
+                network.hosts[node].infected_at,
+                network.hosts[node].immunized_at,
+            )
+            for node in network.infectable
+        },
+        "links": {
+            key: (
+                link.stats.forwarded,
+                link.stats.dropped,
+                link.stats.enqueued,
+                link.stats.peak_queue,
+                link.stats.requeued,
+                link.queue_length,
+            )
+            for key, link in network.links.items()
+        },
+    }
+
+
+def _trajectory_tuple(trajectory) -> tuple:
+    return (
+        tuple(trajectory.times),
+        tuple(trajectory.infected),
+        tuple(trajectory.susceptible),
+        tuple(trajectory.removed),
+        tuple(trajectory.ever_infected),
+    )
+
+
+def _replica_network(scenario) -> Network:
+    network = Network.from_powerlaw(120, seed=7)
+    defense = scenario.get("defense")
+    if defense is not None:
+        defense(network)
+    return network
+
+
+def _solo_batch(scenario, seed: int):
+    network = _replica_network(scenario)
+    factory = scenario.get("quarantine")
+    simulation = FastWormSimulation(
+        network,
+        scenario["worm"](),
+        scan_rate=scenario.get("scan_rate", 1.2),
+        initial_infections=2,
+        seed=seed,
+        lan_delivery=scenario.get("lan", False),
+        immunization=scenario.get("immunization"),
+        quarantine=factory() if factory else None,
+        scan_mode="batch",
+    )
+    trajectory = simulation.run(_REPLICA_TICKS)
+    return _trajectory_tuple(trajectory), _result_state(network)
+
+
+def _grouped_batch(scenario, seeds):
+    network = _replica_network(scenario)
+    batch = ReplicaBatchSimulation(
+        network,
+        scenario["worm"](),
+        scan_rate=scenario.get("scan_rate", 1.2),
+        seeds=list(seeds),
+        initial_infections=2,
+        immunization=scenario.get("immunization"),
+        lan_delivery=scenario.get("lan", False),
+        quarantine_factory=scenario.get("quarantine"),
+    )
+    harvested = {}
+
+    def harvest(replica, sim):
+        harvested[replica] = (
+            _trajectory_tuple(sim.recorder.trajectory()),
+            _result_state(network),
+        )
+
+    batch.run(_REPLICA_TICKS, harvest)
+    return [harvested[i] for i in range(len(seeds))]
+
+
+@pytest.mark.parametrize(
+    "scenario", REPLICA_SCENARIOS.values(), ids=REPLICA_SCENARIOS.keys()
+)
+class TestReplicaBatchBitIdentical:
+    """Grouped replicas replay solo batch runs bit-for-bit.
+
+    The replica engine runs the *same bound phase methods* over shared
+    ``(replica, host)`` state, so this is equality of everything the
+    results layer reads — trajectories, host stamps, per-link stats and
+    residual queues — not a statistical comparison.
+    """
+
+    def test_each_replica_matches_its_solo_run(self, scenario):
+        grouped = _grouped_batch(scenario, _REPLICA_SEEDS)
+        for seed, (trajectory, state) in zip(_REPLICA_SEEDS, grouped):
+            solo_trajectory, solo_state = _solo_batch(scenario, seed)
+            assert trajectory == solo_trajectory, seed
+            assert state == solo_state, seed
+
+    def test_grouping_is_width_invariant(self, scenario):
+        """A replica's results do not depend on its batch neighbours."""
+        wide = _grouped_batch(scenario, _REPLICA_SEEDS)
+        narrow = _grouped_batch(scenario, _REPLICA_SEEDS[:2])
+        pair = _grouped_batch(scenario, _REPLICA_SEEDS[::-1])
+        assert wide[0] == narrow[0]
+        assert wide[1] == narrow[1]
+        assert wide[0] == pair[3]
+        assert wide[3] == pair[0]
+
+
+def _replica_ensemble(num_runs: int = 4, **template_overrides) -> EnsembleSpec:
+    template = RunSpec(
+        topology=TopologySpec(kind="powerlaw", num_nodes=120, seed=7),
+        worm=WormSpec(kind="random", hit_probability=0.5),
+        scan_rate=1.2,
+        initial_infections=2,
+        max_ticks=_REPLICA_TICKS,
+        engine="fast-batched",
+        **template_overrides,
+    )
+    return EnsembleSpec(
+        template=template, num_runs=num_runs, base_seed=300, label="replicas"
+    )
+
+
+def _normalized(result) -> dict:
+    """RunResult as a dict, with wall time (timing noise) zeroed."""
+    data = result.to_dict()
+    data["metrics"]["wall_time"] = 0.0
+    return data
+
+
+class TestReplicaBatchRunner:
+    """The runner layers split grouped results back out per run."""
+
+    @pytest.mark.parametrize(
+        "quarantine",
+        [
+            None,
+            QuarantineSpec(
+                response=DefenseSpec(kind="backbone", rate=1.0),
+                reaction_delay=3,
+            ),
+        ],
+        ids=["plain", "quarantined"],
+    )
+    def test_grouped_matches_per_run_execution(self, quarantine):
+        spec = _replica_ensemble(quarantine=quarantine)
+        runs = spec.expand()
+        grouped = execute_replica_batch(runs)
+        solo = [execute_run(run_spec) for run_spec in runs]
+        assert [_normalized(r) for r in grouped] == [
+            _normalized(r) for r in solo
+        ]
+
+    def test_executor_groups_and_restores_input_order(self):
+        spec = _replica_ensemble(num_runs=5)
+        runs = list(spec.expand())
+        # Interleave a non-groupable spec (different engine) and shuffle.
+        outlier = dataclasses.replace(runs[0], engine="fast", seed=999)
+        shuffled = [runs[3], outlier, runs[0], runs[4], runs[1], runs[2]]
+        results = ReplicaBatchExecutor(SerialExecutor()).run_specs(shuffled)
+        assert [r.spec for r in results] == shuffled
+        solo = {s.seed: _normalized(execute_run(s)) for s in shuffled}
+        for result in results:
+            assert _normalized(result) == solo[result.spec.seed]
+
+    def test_unpinned_topology_passes_through(self):
+        template = _replica_ensemble().template
+        unpinned = dataclasses.replace(
+            template, topology=dataclasses.replace(template.topology, seed=None)
+        )
+        spec = EnsembleSpec(template=unpinned, num_runs=3, base_seed=300)
+        runs = list(spec.expand())
+        results = ReplicaBatchExecutor(SerialExecutor()).run_specs(runs)
+        solo = [execute_run(run_spec) for run_spec in runs]
+        assert [_normalized(r) for r in results] == [
+            _normalized(r) for r in solo
+        ]
+
+    def test_cache_round_trip_is_byte_identical(self, tmp_path):
+        spec = _replica_ensemble()
+        cache = ResultCache(tmp_path)
+        executor = ReplicaBatchExecutor(SerialExecutor())
+        run_ensemble(spec, executor=executor, cache=cache, use_cache=True)
+        second = run_ensemble(
+            spec, executor=executor, cache=cache, use_cache=True
+        )
+        assert all(r.cached for r in second.runs)
+        solo = [execute_run(run_spec) for run_spec in spec.expand()]
+        for cached_run, solo_run in zip(second.runs, solo):
+            cached_data = _normalized(cached_run)
+            solo_data = _normalized(solo_run)
+            cached_data.pop("cached", None)
+            solo_data.pop("cached", None)
+            assert cached_data == solo_data

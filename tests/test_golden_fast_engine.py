@@ -12,6 +12,7 @@ fixture, not just against a fresh reference run.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 import statistics
@@ -22,7 +23,15 @@ import pytest
 from repro.core.policy import DeploymentStrategy
 from repro.core.quarantine import QuarantineStudy
 from repro.core.scenarios import HOST_RL_RATE, ROUTER_BASE_RATE
-from repro.runner.build import apply_defense, build_network, build_worm
+from repro.runner.build import (
+    apply_defense,
+    build_network,
+    build_worm,
+    execute_replica_batch,
+    execute_run,
+)
+from repro.runner.spec import EnsembleSpec
+from repro.simulator import ImmunizationPolicy
 from repro.simulator.fastpath.engine import FastWormSimulation
 
 pytestmark = pytest.mark.slow
@@ -91,4 +100,94 @@ def test_batch_mode_matches_the_golden_attack_size(label):
     assert abs(fast_mean - golden_final) <= tolerance, (
         f"{label}: batch mean {fast_mean:.1f} vs golden "
         f"{golden_final:.1f} exceeds tolerance {tolerance:.1f}"
+    )
+
+
+def _dieout_template():
+    """The fig4 undefended scenario, tuned for the die-out phenomenon.
+
+    Pure SI dynamics take off with probability 1 (an infected host scans
+    forever), so the branching process needs a removal arm: immunization
+    from tick 1 at ``mu=0.08`` puts the single-seed outbreak near
+    criticality — roughly a quarter of replicas go extinct below the
+    20% threshold, the rest take off.  (Tick 1, not 0: a replica whose
+    only infection is patched on tick 0 records a single sample, which
+    is not a trajectory.)  The topology seed is pinned so every replica
+    attacks the *same* network and the replica path is allowed to group.
+    """
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    params = golden["params"]
+    study = QuarantineStudy(params["num_nodes"], scan_rate=0.8, seed=42)
+    spec = study.spec_for(
+        DeploymentStrategy.none(), max_ticks=params["max_ticks"]
+    )
+    template = dataclasses.replace(
+        spec.template,
+        topology=dataclasses.replace(spec.template.topology, seed=42),
+        initial_infections=1,
+        immunization=ImmunizationPolicy.at_tick(1, 0.08),
+        engine="fast-batched",
+    )
+    return template, params["num_nodes"]
+
+
+def _dieout_stats(results, threshold: float):
+    finals = [
+        float(result.trajectory.ever_infected[-1]) for result in results
+    ]
+    die_outs = [final < threshold for final in finals]
+    return statistics.fmean(die_outs), finals
+
+
+def test_replica_path_reproduces_the_dieout_probability():
+    """1000 grouped replicas vs an independent solo-batch arm.
+
+    The die-out fraction (final attack below 20% of the population) is
+    a per-replica Bernoulli outcome, so the two arms — the replica
+    engine's 1000-wide group and 150 per-replica batch runs on fresh
+    seeds — must agree within a binomial Welch bound.  This is the
+    statistical safety net on top of the bit-identity suite: it runs
+    the *whole* runner path at ensemble scale, where a subtle
+    cross-replica state leak would first show up as a skewed die-out
+    rate.
+    """
+    template, num_nodes = _dieout_template()
+    threshold = 0.2 * num_nodes
+
+    grouped_spec = EnsembleSpec(
+        template=template, num_runs=1000, base_seed=42, label="grouped"
+    )
+    grouped = execute_replica_batch(list(grouped_spec.expand()))
+    grouped_p, grouped_finals = _dieout_stats(grouped, threshold)
+
+    solo_spec = EnsembleSpec(
+        template=template, num_runs=150, base_seed=5000, label="solo"
+    )
+    solo = [execute_run(run_spec) for run_spec in solo_spec.expand()]
+    solo_p, solo_finals = _dieout_stats(solo, threshold)
+
+    stderr = math.sqrt(
+        grouped_p * (1.0 - grouped_p) / len(grouped_finals)
+        + solo_p * (1.0 - solo_p) / len(solo_finals)
+    )
+    tolerance = 3.0 * stderr + 0.02
+    assert abs(grouped_p - solo_p) <= tolerance, (
+        f"die-out fraction {grouped_p:.3f} (replica path) vs "
+        f"{solo_p:.3f} (solo batch) exceeds tolerance {tolerance:.3f}"
+    )
+    # Both regimes must actually occur, or the comparison is vacuous.
+    assert 0.0 < grouped_p < 1.0
+
+    # Conditional on take-off, the attack sizes must agree too (Welch).
+    grouped_take = [f for f in grouped_finals if f >= threshold]
+    solo_take = [f for f in solo_finals if f >= threshold]
+    assert grouped_take and solo_take
+    take_stderr = math.sqrt(
+        statistics.variance(grouped_take) / len(grouped_take)
+        + statistics.variance(solo_take) / len(solo_take)
+    )
+    take_tolerance = 3.0 * take_stderr + 0.02 * num_nodes
+    assert (
+        abs(statistics.fmean(grouped_take) - statistics.fmean(solo_take))
+        <= take_tolerance
     )
