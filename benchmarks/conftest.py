@@ -7,6 +7,18 @@ criteria from DESIGN.md.  Timings come from pytest-benchmark
 ``benchmark.pedantic(..., rounds=1, iterations=1)`` because a 10-run
 averaged simulation is already its own repetition protocol.
 
+The perf benchmarks (``test_perf_engines``, ``test_perf_replica``,
+``load_service``) instead run matrices from ``benchmarks/matrices/``
+through :mod:`repro.bench` and register the resulting cases with the
+session-wide :func:`bench_ledger` fixture; ``--bench-json PATH`` writes
+the merged unified ledger (schema v1, the format ``repro bench``
+reads) on teardown.
+
+Everything collected under ``benchmarks/`` is automatically marked
+``bench`` **and** ``slow``: these are paper-scale measurements, not
+tier-1 tests, and ``tests/bench/test_collection.py`` asserts the
+tier never leaks.
+
 All simulated figures execute through :mod:`repro.runner`, so the
 harness honors its environment knobs:
 
@@ -18,14 +30,12 @@ harness honors its environment knobs:
 
 from __future__ import annotations
 
-import json
 import os
-import platform
-import time
 
 import numpy as np
 import pytest
 
+from repro.bench import CaseResult, Ledger
 from repro.core.scenarios import shared_trace
 from repro.models.base import Trajectory
 from repro.runner import configure, current_config
@@ -37,58 +47,59 @@ def pytest_addoption(parser):
         metavar="PATH",
         default=None,
         help=(
-            "write the records benchmarks register with the "
-            "bench_recorder fixture to PATH as JSON (the regression "
-            "ledger the engine benchmarks feed, e.g. BENCH_pr3.json)"
+            "write the unified benchmark ledger (repro.bench schema v1) "
+            "assembled by the bench_ledger fixture to PATH as JSON"
         ),
     )
 
 
-class BenchRecorder:
-    """Collects per-scenario benchmark records for the JSON ledger.
+def pytest_collection_modifyitems(items):
+    """Every benchmark is tier `bench` (and therefore also `slow`)."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+        item.add_marker(pytest.mark.slow)
 
-    Benchmarks call :meth:`record` with whatever scalars describe one
-    measured scenario (wall-clock seconds, ticks/sec, speedups); the
-    session teardown writes them, plus machine metadata, to the path
-    given by ``--bench-json``.  Without the option the recorder still
-    collects — the records just go nowhere — so benchmarks never need
-    to branch on whether a ledger was requested.
+
+class LedgerCollector:
+    """Accumulates benchmark cases across tests into one unified ledger.
+
+    Perf benchmarks call :meth:`add` with the cases (or whole ledgers)
+    their matrix runs produced; the session teardown merges everything
+    and writes one schema-v1 ledger to ``--bench-json``.  Without the
+    option the collector still accumulates — the cases just go
+    nowhere — so benchmarks never branch on whether a ledger was
+    requested.
     """
 
     def __init__(self) -> None:
-        self.records: list[dict] = []
+        self.cases: list[CaseResult] = []
+        self.meta: dict = {}
 
-    def record(self, scenario: str, **fields) -> dict:
-        entry = {"scenario": scenario, **fields}
-        self.records.append(entry)
-        return entry
+    def add(self, source: Ledger | CaseResult) -> None:
+        if isinstance(source, Ledger):
+            self.cases.extend(source.cases)
+            for key, value in source.meta.items():
+                self.meta.setdefault(key, value)
+        else:
+            self.cases.append(source)
 
-    def dump(self, path: str) -> None:
-        payload = {
-            "meta": {
-                "python": platform.python_version(),
-                "machine": platform.machine(),
-                "cpu_count": os.cpu_count(),
-                "recorded_at": time.strftime(
-                    "%Y-%m-%dT%H:%M:%S", time.gmtime()
-                ),
-            },
-            "benchmarks": self.records,
-        }
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+    def dump(self, path: str) -> Ledger:
+        ledger = Ledger.from_cases(self.cases, meta=self.meta)
+        ledger.save(path)
+        return ledger
 
 
 @pytest.fixture(scope="session")
-def bench_recorder(request):
-    """Session-wide benchmark ledger; written on teardown if requested."""
-    recorder = BenchRecorder()
-    yield recorder
+def bench_ledger(request):
+    """Session-wide unified ledger; written on teardown if requested."""
+    collector = LedgerCollector()
+    yield collector
     path = request.config.getoption("--bench-json")
-    if path and recorder.records:
-        recorder.dump(path)
-        print(f"\n[bench] wrote {len(recorder.records)} records to {path}")
+    if path and collector.cases:
+        collector.dump(path)
+        print(
+            f"\n[bench] wrote {len(collector.cases)} cases to {path}"
+        )
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -1,131 +1,92 @@
-"""Load benchmark for the simulation service.
+"""Load benchmark for the simulation service: the ``service`` matrix.
 
-Drives a :class:`~repro.service.app.ServiceThread` with a thread pool
-of blocking clients and records throughput and latency percentiles
-into the benchmark ledger (``--bench-json``, e.g. ``BENCH_pr4.json``).
+Runs ``benchmarks/matrices/service.json`` through ``repro.bench`` — a
+live :class:`~repro.service.app.ServiceThread` driven by a thread pool
+of blocking clients in three modes:
+
+* ``unique`` — every request distinct: pure scheduling + simulation
+  throughput;
+* ``duplicates`` — several clients ask for each spec: measures
+  single-flight coalescing under contention;
+* ``hot_cache`` — distinct requests over a warmed result cache: the
+  serving floor (no simulation at all).
 
 Not collected by the default suite (the filename carries no ``test_``
 prefix); run it explicitly::
 
     PYTHONPATH=src python -m pytest benchmarks/load_service.py \
-        -q -s --bench-json BENCH_pr4.json
+        -q -s --bench-json bench-ledger.json
 
-Three scenarios:
-
-* ``service_load_unique`` — every request distinct: pure scheduling +
-  simulation throughput;
-* ``service_load_duplicates`` — 4 clients ask for each spec: measures
-  single-flight coalescing under contention;
-* ``service_load_hot_cache`` — distinct requests over a warmed result
-  cache: the serving floor (no simulation at all).
+The service metrics asserted here (coalescing and cache counters) are
+cumulative over the workload's whole life — setup warm drive, warmup
+repeats, and measured repeats all hit the same server — so the
+assertions account for the total number of drives.
 """
 
 from __future__ import annotations
 
-import statistics
-import time
-from concurrent.futures import ThreadPoolExecutor
+import pytest
 
-from repro.runner import EnsembleSpec, RunSpec, TopologySpec
-from repro.service import ServiceClient, ServiceConfig, ServiceThread
+from repro.bench import load_matrix, run_matrix
 
-#: Worker threads issuing requests concurrently.
-CLIENTS = 8
+MATRIX = load_matrix("service")
+
+#: Drives per case: the timed repeats plus the discarded warmup runs
+#: (the hot_cache arm adds one more warm drive inside setup()).
+DRIVES = MATRIX.repeats + MATRIX.warmup
 
 
-def bench_spec(index: int) -> EnsembleSpec:
-    return EnsembleSpec(
-        template=RunSpec(
-            topology=TopologySpec(kind="powerlaw", num_nodes=200),
-            max_ticks=60,
-            engine="fast",
-        ),
-        num_runs=2,
-        base_seed=1000 + index,
-        label=f"load-{index}",
+@pytest.fixture(scope="module")
+def service_ledger(bench_ledger):
+    """Run the ``service`` matrix once; register it with the session."""
+    ledger = run_matrix(
+        MATRIX, progress=lambda line: print(f"[bench] {line}")
+    )
+    bench_ledger.add(ledger)
+    return ledger
+
+
+def _mode(ledger, mode):
+    matches = [
+        case for case in ledger.cases if case.axes.get("mode") == mode
+    ]
+    assert len(matches) == 1, f"expected one {mode!r} case"
+    return matches[0]
+
+
+def test_service_load_unique(service_ledger):
+    case = _mode(service_ledger, "unique")
+    requests = case.metrics["requests"]
+    print(f"\n[service] unique: {case.metrics}")
+    # No duplicates and no cache: every drive computes every request.
+    assert case.metrics["coalesced"] == 0
+    assert case.metrics["completed"] == DRIVES * requests
+    assert case.stats.mean > 0
+
+
+def test_service_load_duplicates(service_ledger):
+    case = _mode(service_ledger, "duplicates")
+    requests = case.metrics["requests"]
+    print(f"\n[service] duplicates: {case.metrics}")
+    # Several clients per spec: some must attach to in-flight jobs,
+    # and coalescing must make duplicates cheaper than unique load.
+    assert case.metrics["coalesced"] > 0
+    assert case.metrics["completed"] < DRIVES * requests
+    assert (
+        case.metrics["completed"] + case.metrics["coalesced"]
+        >= DRIVES * requests
     )
 
 
-def drive(config: ServiceConfig, specs: list[EnsembleSpec]) -> dict:
-    """Serve ``specs`` from ``CLIENTS`` concurrent clients; measure."""
-    with ServiceThread(config) as thread:
-
-        def one_request(spec: EnsembleSpec) -> float:
-            with ServiceClient(port=thread.port, timeout=120) as client:
-                started = time.perf_counter()
-                payload = client.run_bytes(spec, timeout=120)
-                elapsed = time.perf_counter() - started
-            assert payload  # every request must round-trip
-            return elapsed * 1000.0
-
-        wall_started = time.perf_counter()
-        with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
-            latencies = list(pool.map(one_request, specs))
-        wall = time.perf_counter() - wall_started
-
-        with ServiceClient(port=thread.port) as client:
-            metrics = client.metrics()
-
-    latencies.sort()
-    quantiles = statistics.quantiles(latencies, n=100)
-    return {
-        "requests": len(specs),
-        "clients": CLIENTS,
-        "wall_s": round(wall, 3),
-        "throughput_rps": round(len(specs) / wall, 2),
-        "p50_ms": round(quantiles[49], 2),
-        "p99_ms": round(quantiles[98], 2),
-        "max_ms": round(latencies[-1], 2),
-        "coalesced": metrics["jobs"]["coalesced"],
-        "completed": metrics["jobs"]["completed"],
-        "cache": metrics["cache"],
-    }
-
-
-def test_service_load_unique(bench_recorder):
-    config = ServiceConfig(
-        port=0, jobs=1, max_queue=64, concurrency=4, cache_enabled=False
-    )
-    record = bench_recorder.record(
-        "service_load_unique",
-        **drive(config, [bench_spec(index) for index in range(24)]),
-    )
-    print(f"\n[service] unique: {record}")
-    assert record["completed"] == 24
-    assert record["coalesced"] == 0
-    assert record["throughput_rps"] > 0
-
-
-def test_service_load_duplicates(bench_recorder):
-    config = ServiceConfig(
-        port=0, jobs=1, max_queue=64, concurrency=4, cache_enabled=False
-    )
-    # 4 clients per spec: most should attach to an in-flight job.
-    specs = [bench_spec(index % 6) for index in range(24)]
-    record = bench_recorder.record(
-        "service_load_duplicates", **drive(config, specs)
-    )
-    print(f"\n[service] duplicates: {record}")
-    assert record["coalesced"] > 0
-    assert record["completed"] + record["coalesced"] >= 24
-    # Coalescing must make duplicates cheaper than unique load: far
-    # fewer computations than requests.
-    assert record["completed"] < 24
-
-
-def test_service_load_hot_cache(bench_recorder, tmp_path):
-    config = ServiceConfig(
-        port=0,
-        jobs=1,
-        max_queue=64,
-        concurrency=4,
-        cache_dir=str(tmp_path),
-    )
-    specs = [bench_spec(index) for index in range(12)]
-    drive(config, specs)  # warm the shared cache
-    record = bench_recorder.record(
-        "service_load_hot_cache", **drive(config, specs)
-    )
-    print(f"\n[service] hot cache: {record}")
-    assert record["cache"]["hits"] == sum(s.num_runs for s in specs)
-    assert record["completed"] == 12
+def test_service_load_hot_cache(service_ledger):
+    case = _mode(service_ledger, "hot_cache")
+    requests = case.metrics["requests"]
+    print(f"\n[service] hot cache: {case.metrics}")
+    # setup() warms the cache with one extra drive; cache-served jobs
+    # still count as completed, but only the warm drive may miss and
+    # store — every later drive serves its runs from the cache.
+    assert case.metrics["completed"] == (DRIVES + 1) * requests
+    cache = case.metrics["cache"]
+    assert cache["stores"] == cache["misses"]
+    assert cache["misses"] <= 2 * requests  # warm drive only
+    assert cache["hits"] >= DRIVES * requests

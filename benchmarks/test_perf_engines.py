@@ -1,156 +1,121 @@
-"""Engine benchmarks: reference vs fast wall-clock on the paper scenarios.
+"""Engine benchmarks: the ``engines`` matrix through ``repro.bench``.
 
-Measures the two scenarios the differential harness anchors on:
+Runs ``benchmarks/matrices/engines.json`` — the scenarios the
+differential harness anchors on:
 
 * **fig 1b star** — small enough that the fast engine runs in mirror
-  mode; the trajectories must be bit-identical, and the timing shows
-  what exact RNG replay costs;
-* **fig 4 power law** (1,000 nodes, the paper's scale) — the fast
-  engine runs in batch mode across the figure's deployment strategies;
+  mode; a direct pair run here asserts the trajectories are
+  bit-identical, and the timing shows what exact RNG replay costs;
+* **fig 4 power law** (1,000 nodes, the paper's scale) across the
+  figure's deployment strategies — the fast engine runs in batch mode;
   final sizes must agree statistically while the wall clock drops by
   the documented ~5x;
+* a 10,000-node power-law run on the fast engine only, demonstrating a
+  scale the reference engine is too slow to sweep (the matrix excludes
+  the reference arm).
 
-plus a 10,000-node power-law run on the fast engine only, demonstrating
-a scale the reference engine is too slow to sweep.
-
-Run with ``--bench-json BENCH_pr3.json`` to write the regression ledger
-(wall-clock seconds, ticks/sec, speedups per scenario).  The speedup
-assertions here are deliberately loose floors that only catch
-catastrophic regressions; the ledger carries the real numbers.
+The matrix runs once per module; every test reads its cases out of the
+resulting ledger, which the session fixture merges into ``--bench-json``
+(the unified schema-v1 ledger ``repro bench compare`` consumes).  The
+speedup assertions are deliberately loose floors that only catch
+catastrophic regressions — the variance-gated comparison against a
+checked-in baseline (``repro bench compare``) carries the real numbers.
 """
 
 from __future__ import annotations
 
-import statistics
-import time
-
 import numpy as np
 import pytest
 
+from repro.bench import load_matrix, run_matrix
 from repro.simulator import (
     FastWormSimulation,
     Network,
     RandomScanWorm,
     WormSimulation,
-    deploy_backbone_rate_limit,
-    deploy_edge_rate_limit,
-    deploy_host_rate_limit,
 )
 
-#: fig 4 deployment strategies (mirrors repro.core.scenarios.fig4).
-FIG4_STRATEGIES = {
-    "none": None,
-    "hosts": lambda net: deploy_host_rate_limit(net, 0.05, 0.01, seed=7),
-    "edge": lambda net: deploy_edge_rate_limit(net, 0.02),
-    "backbone": lambda net: deploy_backbone_rate_limit(net, 0.02),
-}
-
-FIG4_SEEDS = (42, 43, 44)
+#: fig-4 deployment strategies measured by the matrix.
+FIG4_STRATEGIES = ("none", "hosts", "edge", "backbone")
 
 
-def _timed_run(engine_cls, network, *, seed, scan_rate, max_ticks,
-               initial_infections=2):
-    """Run one seeded simulation; only the tick loop is timed."""
-    simulation = engine_cls(
-        network,
-        RandomScanWorm(),
-        scan_rate=scan_rate,
-        initial_infections=initial_infections,
-        seed=seed,
+@pytest.fixture(scope="module")
+def engines_ledger(bench_ledger):
+    """Run the ``engines`` matrix once; register it with the session."""
+    ledger = run_matrix(
+        load_matrix("engines"),
+        progress=lambda line: print(f"[bench] {line}"),
     )
-    start = time.perf_counter()
-    trajectory = simulation.run(max_ticks)
-    elapsed = time.perf_counter() - start
-    return elapsed, trajectory
+    bench_ledger.add(ledger)
+    return ledger
 
 
-def test_fig1b_star_engines(bench_recorder):
-    """200-leaf star: mirror mode, bit-identical, timed on both engines."""
-    results = {}
-    for label, engine_cls in (
-        ("reference", WormSimulation),
-        ("fast", FastWormSimulation),
-    ):
-        times, trajectories = [], []
-        for seed in FIG4_SEEDS:
-            network = Network.from_star(200)
-            elapsed, trajectory = _timed_run(
-                engine_cls, network, seed=seed, scan_rate=0.8, max_ticks=60
-            )
-            times.append(elapsed)
-            trajectories.append(trajectory)
-        results[label] = (times, trajectories)
+def _case(ledger, scenario, **axes):
+    """The unique case matching ``scenario`` and the given axis values."""
+    matches = [
+        case
+        for case in ledger.cases
+        if case.scenario == scenario
+        and all(case.axes.get(key) == value for key, value in axes.items())
+    ]
+    assert len(matches) == 1, (
+        f"expected one {scenario} case with {axes}, found "
+        f"{[case.id for case in matches]}"
+    )
+    return matches[0]
 
-    for traj_ref, traj_fast in zip(results["reference"][1], results["fast"][1]):
-        np.testing.assert_array_equal(traj_ref.infected, traj_fast.infected)
-        np.testing.assert_array_equal(
-            traj_ref.ever_infected, traj_fast.ever_infected
+
+def test_fig1b_star_mirror_identity():
+    """Mirror-mode regime: fast and reference must be bit-identical."""
+    trajectories = []
+    for engine_cls in (WormSimulation, FastWormSimulation):
+        simulation = engine_cls(
+            Network.from_star(200),
+            RandomScanWorm(),
+            scan_rate=0.8,
+            initial_infections=2,
+            seed=42,
         )
-
-    ref_median = statistics.median(results["reference"][0])
-    fast_median = statistics.median(results["fast"][0])
-    ticks = len(results["fast"][1][0].times)
-    bench_recorder.record(
-        "fig1b_star_200",
-        engine_mode="mirror",
-        ticks=ticks,
-        reference_seconds=round(ref_median, 4),
-        fast_seconds=round(fast_median, 4),
-        speedup=round(ref_median / fast_median, 2),
-        fast_ticks_per_second=round(ticks / fast_median, 1),
-        bit_identical=True,
+        trajectories.append(simulation.run(60))
+    reference, fast = trajectories
+    np.testing.assert_array_equal(reference.infected, fast.infected)
+    np.testing.assert_array_equal(
+        reference.ever_infected, fast.ever_infected
     )
+
+
+def test_fig1b_star_engines(engines_ledger):
+    """200-leaf star: both engines measured, mirror-mode cost visible."""
+    reference = _case(engines_ledger, "fig1b_star", engine="reference")
+    fast = _case(engines_ledger, "fig1b_star", engine="fast")
     print(
-        f"\nfig1b star: ref {ref_median:.3f}s fast {fast_median:.3f}s "
-        f"({ref_median / fast_median:.2f}x, bit-identical)"
+        f"\nfig1b star: ref {reference.stats.mean:.3f}s "
+        f"fast {fast.stats.mean:.3f}s "
+        f"({reference.stats.mean / fast.stats.mean:.2f}x)"
     )
+    # Mirror mode replays the reference RNG exactly, so there is no
+    # speedup floor here — only agreement (asserted above) and timing.
+    assert reference.stats.n >= 3 and fast.stats.n >= 3
 
 
-@pytest.mark.parametrize("strategy", FIG4_STRATEGIES, ids=FIG4_STRATEGIES)
-def test_fig4_powerlaw_engines(bench_recorder, strategy):
+@pytest.mark.parametrize("strategy", FIG4_STRATEGIES)
+def test_fig4_powerlaw_engines(engines_ledger, strategy):
     """1,000-node power law: batch mode at the paper's figure-4 scale."""
-    deploy = FIG4_STRATEGIES[strategy]
-    results = {}
-    for label, engine_cls in (
-        ("reference", WormSimulation),
-        ("fast", FastWormSimulation),
-    ):
-        times, finals, ticks_run = [], [], []
-        for seed in FIG4_SEEDS:
-            network = Network.from_powerlaw(1000, seed=42)
-            if deploy is not None:
-                deploy(network)
-            elapsed, trajectory = _timed_run(
-                engine_cls, network, seed=seed, scan_rate=0.8, max_ticks=400
-            )
-            times.append(elapsed)
-            finals.append(float(trajectory.ever_infected[-1]))
-            ticks_run.append(len(trajectory.times))
-        results[label] = (times, finals, ticks_run)
-
-    ref_median = statistics.median(results["reference"][0])
-    fast_median = statistics.median(results["fast"][0])
-    speedup = ref_median / fast_median
-    ref_final = statistics.mean(results["reference"][1])
-    fast_final = statistics.mean(results["fast"][1])
-    ticks = statistics.median(results["fast"][2])
-
-    bench_recorder.record(
-        f"fig4_powerlaw_1000_{strategy}",
-        engine_mode="batch",
-        ticks=int(ticks),
-        reference_seconds=round(ref_median, 4),
-        fast_seconds=round(fast_median, 4),
-        speedup=round(speedup, 2),
-        fast_ticks_per_second=round(ticks / fast_median, 1),
-        reference_mean_final_size=round(ref_final, 1),
-        fast_mean_final_size=round(fast_final, 1),
+    reference = _case(
+        engines_ledger, "fig4_powerlaw", engine="reference",
+        strategy=strategy,
     )
+    fast = _case(
+        engines_ledger, "fig4_powerlaw", engine="fast", strategy=strategy
+    )
+    speedup = reference.stats.mean / fast.stats.mean
+    ref_final = reference.metrics["mean_final_size"]
+    fast_final = fast.metrics["mean_final_size"]
     print(
-        f"\nfig4/{strategy}: ref {ref_median:.3f}s fast {fast_median:.3f}s "
-        f"({speedup:.2f}x) final {ref_final:.1f} vs {fast_final:.1f}"
+        f"\nfig4/{strategy}: ref {reference.stats.mean:.3f}s "
+        f"fast {fast.stats.mean:.3f}s ({speedup:.2f}x) "
+        f"final {ref_final:.1f} vs {fast_final:.1f}"
     )
-
     # Statistical agreement: mean final sizes within 5% of the
     # population (3 seeds is a smoke check; the 20-seed comparison
     # lives in tests/test_engine_equivalence.py).
@@ -159,31 +124,19 @@ def test_fig4_powerlaw_engines(bench_recorder, strategy):
     assert speedup >= 1.5, f"fast engine regressed: {speedup:.2f}x"
 
 
-def test_powerlaw_10k_fast_only(bench_recorder):
-    """10,000-node power law on the fast engine: the scale headroom demo."""
-    network = Network.from_powerlaw(10_000, seed=42)
-    elapsed, trajectory = _timed_run(
-        FastWormSimulation,
-        network,
-        seed=42,
-        scan_rate=0.8,
-        max_ticks=400,
-        initial_infections=10,
-    )
-    ticks = len(trajectory.times)
-    final = float(trajectory.ever_infected[-1])
-    bench_recorder.record(
-        "powerlaw_10k_fast",
-        engine_mode="batch",
-        ticks=ticks,
-        fast_seconds=round(elapsed, 4),
-        fast_ticks_per_second=round(ticks / elapsed, 1),
-        final_size=final,
-        num_infectable=network.num_infectable,
-    )
+def test_powerlaw_10k_fast_only(engines_ledger):
+    """10,000-node power law on the fast engine: scale headroom demo."""
+    case = _case(engines_ledger, "powerlaw_10k", engine="fast")
+    final = case.metrics["mean_final_size"]
+    infectable = Network.from_powerlaw(10_000, seed=42).num_infectable
     print(
-        f"\n10k power law: fast {elapsed:.3f}s over {ticks} ticks "
-        f"({ticks / elapsed:.0f} ticks/s), final {final:.0f}"
-        f"/{network.num_infectable}"
+        f"\n10k power law: fast {case.stats.mean:.3f}s, "
+        f"final {final:.0f}/{infectable}"
     )
-    assert final > 0.9 * network.num_infectable
+    assert final > 0.9 * infectable
+    # The reference arm is excluded by the matrix, not just slow.
+    assert not any(
+        case.scenario == "powerlaw_10k"
+        and case.axes.get("engine") == "reference"
+        for case in engines_ledger.cases
+    )

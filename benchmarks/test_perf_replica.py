@@ -1,182 +1,70 @@
-"""Replica-path benchmarks: grouped ensembles vs independent batch runs.
+"""Replica-path benchmarks: the ``replica`` matrix through ``repro.bench``.
 
-Measures what the replica-batched execution path actually buys.  The
-grouped engine amortizes the *scenario* work — network construction,
-defense deployment, engine setup — across every replica of an ensemble,
-but the tick loop itself stays interleaved per replica (each replica
-advances through its own ``FastTransport``), so loop-dominated runs see
-no speedup from grouping.  Concretely:
+Runs ``benchmarks/matrices/replica.json`` — the grouped-vs-solo arms of
+a fig-4 die-out sweep, the regime replica batching is for: single-seed
+outbreaks under near-critical immunization (``mu=0.07`` from tick 1)
+die out in a handful of ticks for a sizable fraction of replicas, so
+per-run scenario setup is a real share of the wall clock — exactly the
+cost the grouped path amortizes (measured ~1.4-1.7x per replica).
 
-* **die-out sweeps** (short, extinction-prone runs where setup rivals
-  the loop) are where grouping wins — measured ~1.4-1.7x per replica;
-* **saturating epidemics** (long loops) keep a modest build-amortization
-  win at narrow widths (~1.3x at 32 resident replicas) but fall to
-  0.7-0.8x at 128-wide chunks or 10k-node state: keeping many live
-  transports resident costs cache locality that a run-at-a-time loop
-  never pays.
+Saturating, loop-dominated sweeps see *no* win from grouping (0.7-0.8x
+at wide resident chunks or 10k-node state); rather than re-measure that
+boundary here, the ledger carries a ``replica_limits`` informational
+case recording the structural ceilings, never gated.
 
-Run with ``--bench-json BENCH_pr6.json`` to write the regression
-ledger.  The assertions are deliberately loose floors that only catch
-catastrophic regressions; the honest numbers — including the regimes
-where grouping does **not** help — live in the ledger, alongside a
-``replica_limits`` entry recording the structural ceilings (the 100k-node
-routing matrix does not fit in memory; no cross-replica vectorization of
-the transport loop).
+The assertions are deliberately loose floors that only catch
+catastrophic regressions; the variance-gated comparison against a
+checked-in baseline (``repro bench compare``) carries the real numbers.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import statistics
-import time
-
 import pytest
 
-from repro.core.policy import DeploymentStrategy
-from repro.core.quarantine import QuarantineStudy
-from repro.runner.build import execute_run
-from repro.runner.executors import ReplicaBatchExecutor, SerialExecutor
-from repro.runner.spec import EnsembleSpec
-from repro.simulator import ImmunizationPolicy
-
-#: Replicas in the grouped fig-4 die-out sweep (the acceptance scale).
-GROUPED_REPLICAS = 1000
-
-#: Independent solo-batch runs timed for the per-replica baseline; the
-#: ledger labels the solo arm as a subset extrapolation.
-SOLO_RUNS = 100
+from repro.bench import CaseResult, load_matrix, run_matrix
 
 
-def _fig4_template(**overrides):
-    """The undefended 1000-node fig-4 scenario as a replica template.
-
-    The topology seed is pinned so every replica attacks the same
-    network — the precondition for the runner to group them at all.
-    """
-    study = QuarantineStudy(1000, scan_rate=0.8, seed=42)
-    spec = study.spec_for(DeploymentStrategy.none(), max_ticks=150)
-    return dataclasses.replace(
-        spec.template,
-        topology=dataclasses.replace(spec.template.topology, seed=42),
-        engine="fast-batched",
-        **overrides,
+@pytest.fixture(scope="module")
+def replica_ledger(bench_ledger):
+    """Run the ``replica`` matrix once; register it with the session."""
+    ledger = run_matrix(
+        load_matrix("replica"),
+        progress=lambda line: print(f"[bench] {line}"),
     )
+    bench_ledger.add(ledger)
+    return ledger
 
 
-def _timed_grouped(specs):
-    executor = ReplicaBatchExecutor(SerialExecutor(), chunk_size=128)
-    start = time.perf_counter()
-    results = executor.run_specs(specs)
-    return time.perf_counter() - start, results
-
-
-def _timed_solo(specs):
-    start = time.perf_counter()
-    results = [execute_run(spec) for spec in specs]
-    return time.perf_counter() - start, results
+def _arm(ledger, arm):
+    matches = [case for case in ledger.cases if case.axes.get("arm") == arm]
+    assert len(matches) == 1, f"expected one {arm!r} arm case"
+    return matches[0]
 
 
 @pytest.mark.timeout(600)
-def test_fig4_dieout_replica_sweep(bench_recorder):
-    """1000-replica die-out sweep: the regime replica grouping is for.
-
-    Single-seed outbreaks under near-critical immunization (``mu=0.07``
-    from tick 1) die out in a handful of ticks for a sizable fraction
-    of replicas, so per-run scenario setup is a real share of the wall
-    clock — exactly the cost the grouped path amortizes.
-    """
-    template = _fig4_template(
-        initial_infections=1,
-        immunization=ImmunizationPolicy.at_tick(1, 0.07),
-    )
-    ensemble = EnsembleSpec(
-        template=template, num_runs=GROUPED_REPLICAS, base_seed=42
-    )
-    specs = list(ensemble.expand())
-
-    # Warm the topology/routing cache so neither arm pays the cold build.
-    execute_run(specs[0])
-
-    grouped_elapsed, grouped = _timed_grouped(specs)
-    solo_elapsed, solo = _timed_solo(specs[:SOLO_RUNS])
-
-    grouped_ms = 1000.0 * grouped_elapsed / len(specs)
-    solo_ms = 1000.0 * solo_elapsed / SOLO_RUNS
-    speedup = solo_ms / grouped_ms
-    # Extinctions stall at a handful of hosts; take-offs clear 50 by a
-    # wide gap at mu=0.07 (1000 nodes), so the threshold is absolute.
-    dieout = statistics.fmean(
-        float(r.trajectory.ever_infected[-1]) < 50.0 for r in grouped
-    )
-
-    bench_recorder.record(
-        "fig4_dieout_1000x1000_replicas",
-        engine_mode="replica-batched",
-        replicas=len(specs),
-        solo_runs_timed=SOLO_RUNS,
-        solo_arm="subset of the same seeds, extrapolated per replica",
-        grouped_ms_per_replica=round(grouped_ms, 2),
-        solo_ms_per_replica=round(solo_ms, 2),
-        speedup_per_replica=round(speedup, 2),
-        dieout_fraction=round(dieout, 3),
-    )
+def test_fig4_dieout_replica_sweep(replica_ledger):
+    """Grouped must beat solo per replica in the die-out regime."""
+    grouped = _arm(replica_ledger, "grouped")
+    solo = _arm(replica_ledger, "solo")
+    speedup = solo.stats.mean / grouped.stats.mean
+    dieout = grouped.metrics["dieout_fraction"]
     print(
-        f"\nfig4 die-out sweep: grouped {grouped_ms:.1f} ms/rep vs "
-        f"solo {solo_ms:.1f} ms/rep ({speedup:.2f}x), "
+        f"\nfig4 die-out sweep: grouped {grouped.stats.mean:.3f}s vs "
+        f"solo {solo.stats.mean:.3f}s ({speedup:.2f}x), "
         f"die-out fraction {dieout:.3f}"
     )
     # Both regimes must occur or the sweep degenerated.
     assert 0.0 < dieout < 1.0
-    # Loose floor: grouping must not regress below solo parity here.
+    assert grouped.metrics["dieout_fraction"] == solo.metrics[
+        "dieout_fraction"
+    ], "arms ran different ensembles"
+    # Loose floor: grouping must not regress below solo parity here,
+    # and must never collapse past 2x even in an adverse regime.
     assert speedup >= 1.05, f"replica grouping regressed: {speedup:.2f}x"
+    assert grouped.stats.mean <= 2.0 * solo.stats.mean
 
 
-@pytest.mark.timeout(600)
-def test_fig4_saturating_replica_parity(bench_recorder):
-    """Saturating fig-4 epidemics: the loop-dominated regime boundary.
-
-    With five initial infections and no removal the epidemic saturates
-    and the tick loop dominates, so grouping's win shrinks to the
-    amortized scenario build (~1.3x at this 32-replica width) and
-    inverts to 0.7-0.8x once 128 replicas' transports stay resident or
-    the state grows to 10k nodes.  Recorded so the ledger states the
-    boundary instead of hiding it.
-    """
-    template = _fig4_template(initial_infections=5, max_ticks=400)
-    ensemble = EnsembleSpec(template=template, num_runs=32, base_seed=42)
-    specs = list(ensemble.expand())
-    execute_run(specs[0])
-
-    grouped_elapsed, grouped = _timed_grouped(specs)
-    solo_elapsed, _ = _timed_solo(specs[:16])
-
-    grouped_ms = 1000.0 * grouped_elapsed / len(specs)
-    solo_ms = 1000.0 * solo_elapsed / 16
-    ratio = solo_ms / grouped_ms
-    finals = [float(r.trajectory.ever_infected[-1]) for r in grouped]
-
-    bench_recorder.record(
-        "fig4_saturating_1000x32_replicas",
-        engine_mode="replica-batched",
-        replicas=len(specs),
-        solo_runs_timed=16,
-        grouped_ms_per_replica=round(grouped_ms, 2),
-        solo_ms_per_replica=round(solo_ms, 2),
-        speedup_per_replica=round(ratio, 2),
-        mean_final_size=round(statistics.fmean(finals), 1),
-    )
-    print(
-        f"\nfig4 saturating: grouped {grouped_ms:.1f} ms/rep vs "
-        f"solo {solo_ms:.1f} ms/rep ({ratio:.2f}x)"
-    )
-    # Loose ceiling on the locality penalty: grouped must stay within
-    # 2x of solo even in its worst regime.
-    assert grouped_ms <= 2.0 * solo_ms, (
-        f"grouped path collapsed: {grouped_ms:.1f} vs {solo_ms:.1f} ms/rep"
-    )
-
-
-def test_replica_scale_limits(bench_recorder):
+def test_replica_scale_limits(bench_ledger):
     """Record the structural ceilings of the replica path (no timing).
 
     Two acceptance targets are *not* met, by design rather than by
@@ -193,22 +81,29 @@ def test_replica_scale_limits(bench_recorder):
     """
     nodes = 100_000
     routing_gb = nodes * nodes * 4 / 1e9
-    bench_recorder.record(
-        "replica_limits",
-        routing_matrix_gb_at_100k_nodes=round(routing_gb, 1),
-        loop_vectorization="per-replica interleaved (not cross-replica)",
-        speedup_regime=(
-            "wins come from amortizing scenario setup: extinction-prone "
-            "sweeps ~1.4-1.7x, narrow saturating sweeps ~1.3x; wide "
-            "(128) resident chunks and 10k-node runs fall to 0.7-0.8x"
-        ),
-        measured_10k_x16_speedup=0.71,
-        note=(
+    bench_ledger.add(CaseResult(
+        id="replica_limits",
+        scenario="replica_limits",
+        gate=False,
+        metrics={
+            "routing_matrix_gb_at_100k_nodes": round(routing_gb, 1),
+            "loop_vectorization": (
+                "per-replica interleaved (not cross-replica)"
+            ),
+            "speedup_regime": (
+                "wins come from amortizing scenario setup: "
+                "extinction-prone sweeps ~1.4-1.7x, narrow saturating "
+                "sweeps ~1.3x; wide (128) resident chunks and 10k-node "
+                "runs fall to 0.7-0.8x"
+            ),
+            "measured_10k_x16_speedup": 0.71,
+        },
+        notes=(
             "100k-node x 100-replica under 60s and >=5x on saturating "
             "fig-4 sweeps are structurally out of reach for this "
             "design; the replica path's value is one shared scenario "
             "build, bit-identical per-replica results, and cacheable "
             "records at 1000-replica ensemble scale"
         ),
-    )
+    ))
     assert routing_gb > 32, "routing matrix estimate went stale"

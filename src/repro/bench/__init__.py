@@ -1,0 +1,67 @@
+"""Declarative benchmark matrix with a variance-gated regression gate.
+
+The perf subsystem every future "make it faster" PR reports through:
+
+* :mod:`repro.bench.matrix` — :class:`BenchMatrix`, a JSON-round-trip
+  config expanding scenario x engine x jobs x service-load axes into
+  concrete cases;
+* :mod:`repro.bench.scenarios` — the workload registry behind the
+  scenario axis;
+* :mod:`repro.bench.harness` — repeat-and-measure with warmup
+  (:func:`run_matrix`);
+* :mod:`repro.bench.stats` — per-case variance statistics and the
+  Welch + CV-aware significance gate;
+* :mod:`repro.bench.ledger` — the unified versioned ledger schema;
+* :mod:`repro.bench.compare` — baseline-vs-current comparison that
+  regresses only on statistically significant slowdowns;
+* :mod:`repro.bench.report` — markdown/HTML renderers;
+* :mod:`repro.bench.legacy` — converters for the retired
+  ``BENCH_pr*.json`` formats.
+
+The CLI front door is ``repro bench run|compare|report|migrate``.
+"""
+
+from .compare import CaseComparison, Comparison, compare_ledgers
+from .harness import run_case, run_matrix
+from .ledger import (
+    LEDGER_SCHEMA,
+    LEDGER_VERSION,
+    CaseResult,
+    Ledger,
+    LedgerError,
+)
+from .legacy import convert_legacy, convert_legacy_file
+from .matrix import BenchCase, BenchMatrix, MatrixError, load_matrix
+from .report import render_html, render_markdown
+from .scenarios import ScenarioDef, Workload, scenario_def, scenario_names
+from .stats import GateConfig, SampleStats, Verdict, gate_verdict, welch_p_value
+
+__all__ = [
+    "BenchCase",
+    "BenchMatrix",
+    "MatrixError",
+    "load_matrix",
+    "ScenarioDef",
+    "Workload",
+    "scenario_def",
+    "scenario_names",
+    "run_case",
+    "run_matrix",
+    "LEDGER_SCHEMA",
+    "LEDGER_VERSION",
+    "CaseResult",
+    "Ledger",
+    "LedgerError",
+    "convert_legacy",
+    "convert_legacy_file",
+    "CaseComparison",
+    "Comparison",
+    "compare_ledgers",
+    "GateConfig",
+    "SampleStats",
+    "Verdict",
+    "gate_verdict",
+    "welch_p_value",
+    "render_html",
+    "render_markdown",
+]

@@ -1,0 +1,153 @@
+"""Ledger-vs-ledger comparison: the variance-gated regression verdict.
+
+Joins a baseline and a current ledger on case id and judges every
+shared, gateable case with :func:`repro.bench.stats.gate_verdict`.
+Cases that exist on only one side are reported (coverage drift is
+information) but never fail the gate; cases recorded with ``gate:
+false`` or without samples are carried as informational.
+
+The overall outcome is binary and conservative by construction: the
+comparison **regresses** only if at least one gated case moved in the
+worse direction, significantly (Welch ``alpha``), and by more than its
+CV-aware effect threshold.  Everything else — noise, improvements,
+indeterminate drifts — exits clean, which is what lets CI gate on perf
+without flaking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ledger import CaseResult, Ledger
+from .stats import GateConfig, Verdict, gate_verdict
+
+__all__ = ["CaseComparison", "Comparison", "compare_ledgers"]
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """One joined case: both sides plus the gate's verdict."""
+
+    id: str
+    baseline: CaseResult
+    current: CaseResult
+    verdict: Verdict
+    gated: bool
+
+    @property
+    def regressed(self) -> bool:
+        return self.gated and self.verdict.regressed
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The full join of two ledgers."""
+
+    cases: tuple[CaseComparison, ...] = ()
+    missing: tuple[str, ...] = ()  # in baseline only
+    new: tuple[str, ...] = ()      # in current only
+    config: GateConfig = field(default_factory=GateConfig)
+
+    @property
+    def regressions(self) -> tuple[CaseComparison, ...]:
+        return tuple(case for case in self.cases if case.regressed)
+
+    @property
+    def improvements(self) -> tuple[CaseComparison, ...]:
+        return tuple(
+            case
+            for case in self.cases
+            if case.gated and case.verdict.status == "improved"
+        )
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def counts(self) -> dict[str, int]:
+        """Verdict tally over the gated cases."""
+        tally = {
+            "regressed": 0,
+            "improved": 0,
+            "unchanged": 0,
+            "indeterminate": 0,
+            "ungated": 0,
+        }
+        for case in self.cases:
+            if case.gated:
+                tally[case.verdict.status] += 1
+            else:
+                tally["ungated"] += 1
+        return tally
+
+    def summary(self) -> str:
+        """One human line: the exit-code rationale."""
+        tally = self.counts()
+        parts = [
+            f"{len(self.cases)} cases compared",
+            f"{tally['regressed']} regressed",
+            f"{tally['improved']} improved",
+            f"{tally['unchanged']} unchanged",
+        ]
+        if tally["indeterminate"]:
+            parts.append(f"{tally['indeterminate']} indeterminate")
+        if tally["ungated"]:
+            parts.append(f"{tally['ungated']} informational")
+        if self.missing:
+            parts.append(f"{len(self.missing)} missing from current")
+        if self.new:
+            parts.append(f"{len(self.new)} new")
+        return ", ".join(parts)
+
+
+def compare_ledgers(
+    baseline: Ledger,
+    current: Ledger,
+    *,
+    config: GateConfig | None = None,
+) -> Comparison:
+    """Join two ledgers on case id and gate every shared case."""
+    config = config or GateConfig()
+    current_by_id = {case.id: case for case in current.cases}
+    joined: list[CaseComparison] = []
+    missing: list[str] = []
+    for base_case in baseline.cases:
+        cur_case = current_by_id.pop(base_case.id, None)
+        if cur_case is None:
+            missing.append(base_case.id)
+            continue
+        gated = (
+            base_case.gate
+            and cur_case.gate
+            and bool(base_case.samples)
+            and bool(cur_case.samples)
+        )
+        if base_case.samples and cur_case.samples:
+            verdict = gate_verdict(
+                base_case.samples,
+                cur_case.samples,
+                direction=cur_case.direction,
+                config=config,
+            )
+        else:
+            verdict = Verdict(
+                status="indeterminate",
+                rel_change=0.0,
+                threshold=config.min_effect,
+                detail="no samples on at least one side",
+            )
+        joined.append(
+            CaseComparison(
+                id=base_case.id,
+                baseline=base_case,
+                current=cur_case,
+                verdict=verdict,
+                gated=gated,
+            )
+        )
+    return Comparison(
+        cases=tuple(joined),
+        missing=tuple(missing),
+        new=tuple(current_by_id),
+        config=config,
+    )

@@ -1,0 +1,96 @@
+"""The repeat-and-measure harness: matrix in, ledger out.
+
+For every case the matrix expands to, the harness builds the scenario's
+workload, runs ``setup()`` (untimed), burns the configured warmup
+repeats (timed but discarded — they absorb cold builds, allocator
+warmth, and branch-predictor state), then measures ``repeats`` timed
+runs with ``time.perf_counter``.  The raw per-repeat seconds become the
+case's samples; whatever metrics the *last* measured run reported ride
+along as context.
+
+The harness never aggregates across cases and never judges: statistics
+live in :mod:`repro.bench.stats`, verdicts in
+:mod:`repro.bench.compare`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from .ledger import CaseResult, Ledger
+from .matrix import BenchCase, BenchMatrix
+from .scenarios import scenario_def
+
+__all__ = ["run_case", "run_matrix"]
+
+
+def run_case(case: BenchCase) -> CaseResult:
+    """Measure one case: setup, warmup, timed repeats, teardown."""
+    definition = scenario_def(case.scenario)
+    workload = case.build_workload()
+    samples: list[float] = []
+    metrics: dict = {}
+    workload.setup()
+    try:
+        for _ in range(case.warmup):
+            workload.run()
+        for _ in range(case.repeats):
+            started = time.perf_counter()
+            reported = workload.run()
+            samples.append(time.perf_counter() - started)
+            if reported:
+                metrics = dict(reported)
+    finally:
+        workload.teardown()
+    return CaseResult(
+        id=case.id,
+        scenario=case.scenario,
+        axes=dict(case.axes),
+        unit=definition.unit,
+        direction=definition.direction,
+        samples=tuple(samples),
+        metrics=metrics,
+    )
+
+
+def run_matrix(
+    matrix: BenchMatrix,
+    *,
+    only: str | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> Ledger:
+    """Execute every case of ``matrix`` and collect the unified ledger.
+
+    ``only`` filters cases to those whose id contains the substring
+    (the CLI's ``--only``); ``progress`` receives one human-readable
+    line per finished case.
+    """
+    cases = matrix.expand()
+    if only is not None:
+        cases = tuple(case for case in cases if only in case.id)
+        if not cases:
+            raise ValueError(
+                f"--only {only!r} matches none of "
+                f"{[case.id for case in matrix.expand()]}"
+            )
+    results: list[CaseResult] = []
+    for case in cases:
+        result = run_case(case)
+        results.append(result)
+        if progress is not None:
+            stats = result.stats
+            assert stats is not None  # repeats >= 1 always yields samples
+            progress(
+                f"{result.id}: mean {stats.mean:.4f}s "
+                f"median {stats.median:.4f}s cv {stats.cv:.1%} "
+                f"(n={stats.n})"
+            )
+    return Ledger.from_cases(
+        results,
+        meta={
+            "matrix": matrix.name,
+            "repeats": matrix.repeats,
+            "warmup": matrix.warmup,
+        },
+    )

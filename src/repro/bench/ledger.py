@@ -1,0 +1,264 @@
+"""The unified, versioned benchmark ledger.
+
+One schema subsumes every per-PR ledger format this repository has
+accumulated (``BENCH_pr3.json``'s engine timings, ``BENCH_pr4.json``'s
+service latencies, ``BENCH_pr6.json``'s replica arms — see
+:mod:`repro.bench.legacy` for the converters).  A ledger is machine
+metadata plus a list of cases; each case carries its **raw samples**
+(every measured repeat, in seconds or the case's declared unit) so a
+later comparison can re-run the significance test instead of trusting
+whatever summary the recording side computed.
+
+Round-trip discipline: ``to_dict``/``from_dict`` are exact inverses on
+known fields, and ``from_dict`` *tolerates unknown keys* at both the
+ledger and case level — a newer writer must not brick an older reader,
+since baselines are checked in and outlive the code that wrote them.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from .stats import SampleStats
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "LEDGER_VERSION",
+    "LedgerError",
+    "CaseResult",
+    "Ledger",
+    "machine_meta",
+]
+
+#: Schema identifier written into every ledger.
+LEDGER_SCHEMA = "repro-bench-ledger"
+
+#: Current schema version.  Bump on incompatible changes; readers
+#: accept any version <= their own and ignore fields they don't know.
+LEDGER_VERSION = 1
+
+#: Metric directions a case may declare.
+DIRECTIONS = ("lower", "higher")
+
+
+class LedgerError(ValueError):
+    """Raised for malformed ledger payloads."""
+
+
+def machine_meta() -> dict[str, Any]:
+    """The recording machine's fingerprint, stamped into ledger meta."""
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+    }
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One benchmark case: identity, raw samples, derived statistics.
+
+    Attributes
+    ----------
+    id:
+        Stable case identity, e.g. ``fig4_powerlaw/engine=fast/strategy=none``.
+        Comparisons join baseline and current ledgers on this string.
+    scenario:
+        The workload family the case came from.
+    axes:
+        The axis values that distinguish this case inside its scenario
+        (engine, jobs, strategy, mode, ...).
+    unit / direction:
+        What the samples measure (``"seconds"``, ``"ms"``, ...) and
+        which way is better (``"lower"`` or ``"higher"``).
+    samples:
+        Raw per-repeat measurements.  May be empty for informational
+        cases (e.g. recorded structural limits); such cases are never
+        gated.
+    metrics:
+        Extra scalars from the last measured repeat (final sizes,
+        ticks/sec, coalescing counts, ...) — context, not gated.
+    gate:
+        Whether a comparison may fail on this case at all.
+    notes:
+        Free-form caveats (solo-arm extrapolation, known regimes).
+    """
+
+    id: str
+    scenario: str
+    axes: dict[str, Any] = field(default_factory=dict)
+    unit: str = "seconds"
+    direction: str = "lower"
+    samples: tuple[float, ...] = ()
+    metrics: dict[str, Any] = field(default_factory=dict)
+    gate: bool = True
+    notes: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise LedgerError("case id must be non-empty")
+        if self.direction not in DIRECTIONS:
+            raise LedgerError(
+                f"direction must be one of {DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+        object.__setattr__(
+            self, "samples", tuple(float(v) for v in self.samples)
+        )
+
+    @property
+    def stats(self) -> SampleStats | None:
+        """Variance statistics over the samples (``None`` if empty)."""
+        if not self.samples:
+            return None
+        return SampleStats.from_samples(self.samples)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict; the derived stats ride along for humans."""
+        payload: dict[str, Any] = {
+            "id": self.id,
+            "scenario": self.scenario,
+            "axes": dict(self.axes),
+            "unit": self.unit,
+            "direction": self.direction,
+            "samples": list(self.samples),
+            "metrics": dict(self.metrics),
+            "gate": self.gate,
+        }
+        if self.notes is not None:
+            payload["notes"] = self.notes
+        stats = self.stats
+        if stats is not None:
+            payload["stats"] = stats.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CaseResult":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored.
+
+        The embedded ``stats`` block is deliberately dropped and
+        recomputed from the samples on demand — summaries must never
+        drift from the raw data they summarize.
+        """
+        try:
+            return cls(
+                id=data["id"],
+                scenario=data.get("scenario", data["id"]),
+                axes=dict(data.get("axes", {})),
+                unit=data.get("unit", "seconds"),
+                direction=data.get("direction", "lower"),
+                samples=tuple(data.get("samples", ())),
+                metrics=dict(data.get("metrics", {})),
+                gate=bool(data.get("gate", True)),
+                notes=data.get("notes"),
+            )
+        except KeyError as exc:
+            raise LedgerError(f"case missing required key {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Ledger:
+    """A versioned collection of benchmark cases plus recording metadata."""
+
+    cases: tuple[CaseResult, ...] = ()
+    meta: dict[str, Any] = field(default_factory=dict)
+    version: int = LEDGER_VERSION
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cases", tuple(self.cases))
+        seen: set[str] = set()
+        for case in self.cases:
+            if case.id in seen:
+                raise LedgerError(f"duplicate case id {case.id!r}")
+            seen.add(case.id)
+
+    def case(self, case_id: str) -> CaseResult:
+        """The case with this id (KeyError if absent)."""
+        for case in self.cases:
+            if case.id == case_id:
+                return case
+        raise KeyError(case_id)
+
+    def case_ids(self) -> tuple[str, ...]:
+        return tuple(case.id for case in self.cases)
+
+    def with_meta(self, **updates: Any) -> "Ledger":
+        """A copy with extra meta keys merged in."""
+        return replace(self, meta={**self.meta, **updates})
+
+    def merged(self, other: "Ledger") -> "Ledger":
+        """This ledger plus ``other``'s cases (ids must not collide)."""
+        return Ledger(
+            cases=self.cases + other.cases,
+            meta={**other.meta, **self.meta},
+            version=max(self.version, other.version),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": LEDGER_SCHEMA,
+            "version": self.version,
+            "meta": dict(self.meta),
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Ledger":
+        """Parse a ledger dict; unknown keys are tolerated and dropped."""
+        # A missing schema marker is tolerated only when the payload
+        # otherwise looks like a ledger; the pre-matrix BENCH_pr*.json
+        # files (a bare "benchmarks" list) must not parse as empty.
+        schema = data.get(
+            "schema", LEDGER_SCHEMA if "cases" in data else None
+        )
+        if schema != LEDGER_SCHEMA:
+            raise LedgerError(
+                f"not a benchmark ledger (schema {schema!r}); "
+                "legacy BENCH_pr*.json files need `repro bench migrate`"
+            )
+        version = int(data.get("version", 1))
+        if version > LEDGER_VERSION:
+            raise LedgerError(
+                f"ledger version {version} is newer than this reader "
+                f"(understands <= {LEDGER_VERSION})"
+            )
+        cases = [CaseResult.from_dict(entry) for entry in data.get("cases", [])]
+        return cls(
+            cases=tuple(cases), meta=dict(data.get("meta", {})),
+            version=version,
+        )
+
+    @classmethod
+    def from_cases(
+        cls,
+        cases: Iterable[CaseResult],
+        *,
+        meta: Mapping[str, Any] | None = None,
+    ) -> "Ledger":
+        """A fresh ledger stamped with this machine's metadata."""
+        return cls(
+            cases=tuple(cases),
+            meta={**machine_meta(), **(meta or {})},
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the ledger as stable, sorted, indented JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Ledger":
+        """Read a ledger from disk."""
+        with Path(path).open("r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

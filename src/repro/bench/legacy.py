@@ -1,0 +1,152 @@
+"""One-shot converters for the pre-matrix benchmark ledgers.
+
+PRs 3, 4, and 6 each invented a ledger format (``BENCH_pr3.json``'s
+engine timings, ``BENCH_pr4.json``'s service latencies,
+``BENCH_pr6.json``'s replica arms) with single recorded values and no
+schema marker.  This module lifts them into the unified
+:class:`~repro.bench.ledger.Ledger` so ``repro bench compare`` has a
+real trajectory from day one.
+
+The conversion is honest about what the old ledgers lack: every timing
+becomes a **single-sample** case, so comparisons against them run the
+point-comparison fallback of the gate (gross-change bound, no
+significance test) — see :func:`repro.bench.stats.gate_verdict`.
+Entries that recorded prose instead of timings (``replica_limits``)
+convert to ungated, sample-less informational cases.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from .ledger import LEDGER_SCHEMA, CaseResult, Ledger, LedgerError
+
+__all__ = ["convert_legacy", "convert_legacy_file"]
+
+#: Keys that identify an entry's timing arms in the PR3 engine format.
+_ENGINE_ARMS = ("reference", "fast")
+
+
+def _metrics_without(
+    entry: Mapping[str, Any], *consumed: str
+) -> dict[str, Any]:
+    return {
+        key: value
+        for key, value in entry.items()
+        if key not in consumed and key != "scenario"
+    }
+
+
+def _convert_engine_entry(entry: Mapping[str, Any]) -> list[CaseResult]:
+    scenario = entry["scenario"]
+    cases = []
+    consumed = [f"{arm}_seconds" for arm in _ENGINE_ARMS]
+    for arm in _ENGINE_ARMS:
+        seconds = entry.get(f"{arm}_seconds")
+        if seconds is None:
+            continue
+        cases.append(CaseResult(
+            id=f"{scenario}/engine={arm}",
+            scenario=scenario,
+            axes={"engine": arm},
+            unit="seconds",
+            direction="lower",
+            samples=(float(seconds),),
+            metrics=_metrics_without(entry, *consumed),
+        ))
+    return cases
+
+
+def _convert_service_entry(entry: Mapping[str, Any]) -> list[CaseResult]:
+    scenario = entry["scenario"]
+    mode = scenario.removeprefix("service_load_") or scenario
+    return [CaseResult(
+        id=f"service_load/mode={mode}",
+        scenario="service_load",
+        axes={"mode": mode},
+        unit="seconds",
+        direction="lower",
+        samples=(float(entry["wall_s"]),),
+        metrics=_metrics_without(entry, "wall_s"),
+    )]
+
+
+def _convert_replica_entry(entry: Mapping[str, Any]) -> list[CaseResult]:
+    scenario = entry["scenario"]
+    cases = []
+    consumed = ["grouped_ms_per_replica", "solo_ms_per_replica"]
+    for arm in ("grouped", "solo"):
+        value = entry.get(f"{arm}_ms_per_replica")
+        if value is None:
+            continue
+        cases.append(CaseResult(
+            id=f"{scenario}/arm={arm}",
+            scenario=scenario,
+            axes={"arm": arm},
+            unit="ms",
+            direction="lower",
+            samples=(float(value),),
+            metrics=_metrics_without(entry, *consumed),
+        ))
+    return cases
+
+
+def _convert_informational(entry: Mapping[str, Any]) -> list[CaseResult]:
+    scenario = entry["scenario"]
+    return [CaseResult(
+        id=scenario,
+        scenario=scenario,
+        unit="seconds",
+        direction="lower",
+        samples=(),
+        metrics=_metrics_without(entry, "note"),
+        gate=False,
+        notes=entry.get("note"),
+    )]
+
+
+def _convert_entry(entry: Mapping[str, Any]) -> list[CaseResult]:
+    if "scenario" not in entry:
+        raise LedgerError(f"legacy entry names no scenario: {entry!r}")
+    if any(f"{arm}_seconds" in entry for arm in _ENGINE_ARMS):
+        return _convert_engine_entry(entry)
+    if "wall_s" in entry:
+        return _convert_service_entry(entry)
+    if any(f"{arm}_ms_per_replica" in entry for arm in ("grouped", "solo")):
+        return _convert_replica_entry(entry)
+    return _convert_informational(entry)
+
+
+def convert_legacy(
+    payload: Mapping[str, Any], *, source: str = ""
+) -> Ledger:
+    """Lift one legacy ``BENCH_pr*.json`` payload into a v1 ledger.
+
+    Already-converted payloads (carrying the v1 schema marker) pass
+    through unchanged, so the converter is idempotent.
+    """
+    if payload.get("schema") == LEDGER_SCHEMA:
+        return Ledger.from_dict(payload)
+    if "benchmarks" not in payload:
+        raise LedgerError(
+            "not a legacy bench ledger: no 'benchmarks' list"
+            + (f" in {source}" if source else "")
+        )
+    cases: list[CaseResult] = []
+    for entry in payload["benchmarks"]:
+        cases.extend(_convert_entry(entry))
+    meta = dict(payload.get("meta", {}))
+    meta["legacy"] = True
+    if source:
+        meta["source"] = source
+    return Ledger(cases=tuple(cases), meta=meta)
+
+
+def convert_legacy_file(path: str | Path) -> Ledger:
+    """Read and convert one legacy ledger file."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return convert_legacy(payload, source=path.name)

@@ -1,0 +1,238 @@
+"""Declarative benchmark matrices: a perf suite as plain data.
+
+A :class:`BenchMatrix` names a set of benchmark cases the way
+:class:`~repro.runner.spec.EnsembleSpec` names a set of runs: axes
+(``scenario`` x ``engine`` x ``jobs`` x service-load mode x scenario
+parameters) that expand into concrete :class:`BenchCase` values, plus
+the repeat protocol (measured repeats and discarded warmup runs).
+Matrices round-trip through JSON so CI pins its perf suite as a
+checked-in config file (``benchmarks/matrices/*.json``) rather than as
+imperative scripts.
+
+Expansion rules:
+
+* the cartesian product of ``axes`` is taken over ``base`` defaults;
+* every scenario declares which axis names it consumes (see
+  :mod:`repro.bench.scenarios`); a combination is *projected* onto the
+  consumed axes, and combinations that collapse to the same projection
+  deduplicate — so adding a ``mode`` axis for service scenarios does
+  not triple every engine scenario;
+* ``exclude`` entries drop any combination they subset-match;
+* ``cases`` appends explicit one-off case configs after the product.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from .scenarios import scenario_def
+
+__all__ = ["MatrixError", "BenchCase", "BenchMatrix", "load_matrix"]
+
+
+class MatrixError(ValueError):
+    """Raised for malformed matrix configurations."""
+
+
+def case_id(scenario: str, axes: Mapping[str, Any]) -> str:
+    """Stable case identity: scenario plus sorted ``key=value`` axes."""
+    parts = [scenario]
+    parts.extend(f"{key}={axes[key]}" for key in sorted(axes))
+    return "/".join(parts)
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One concrete cell of the matrix: a scenario with pinned axes."""
+
+    scenario: str
+    axes: dict[str, Any] = field(default_factory=dict)
+    repeats: int = 5
+    warmup: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise MatrixError(f"repeats must be >= 1, got {self.repeats}")
+        if self.warmup < 0:
+            raise MatrixError(f"warmup must be >= 0, got {self.warmup}")
+
+    @property
+    def id(self) -> str:
+        return case_id(self.scenario, self.axes)
+
+    def build_workload(self):
+        """Instantiate this case's workload from the scenario registry."""
+        return scenario_def(self.scenario).build_workload(self.axes)
+
+
+@dataclass(frozen=True)
+class BenchMatrix:
+    """A named, declarative set of benchmark cases.
+
+    Attributes
+    ----------
+    name:
+        Matrix identity, stamped into the ledger meta.
+    repeats / warmup:
+        Default repeat protocol for every case (cases may override via
+        an explicit entry's ``repeats``/``warmup`` keys).
+    base:
+        Axis values shared by every combination (e.g. ``{"jobs": 1}``).
+    axes:
+        Axis name -> list of values; must include ``scenario``.
+    exclude:
+        Partial axis dicts; any combination they subset-match is
+        dropped (e.g. ``{"scenario": "fig1b_star", "engine":
+        "fast-batched"}``).
+    cases:
+        Explicit case configs appended after the product, each a dict
+        with at least ``scenario``.
+    """
+
+    name: str
+    repeats: int = 5
+    warmup: int = 1
+    base: dict[str, Any] = field(default_factory=dict)
+    axes: dict[str, list[Any]] = field(default_factory=dict)
+    exclude: tuple[dict[str, Any], ...] = ()
+    cases: tuple[dict[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MatrixError("matrix name must be non-empty")
+        if self.repeats < 1:
+            raise MatrixError(f"repeats must be >= 1, got {self.repeats}")
+        if self.warmup < 0:
+            raise MatrixError(f"warmup must be >= 0, got {self.warmup}")
+        if not self.axes and not self.cases:
+            raise MatrixError("matrix defines no axes and no cases")
+        if self.axes and "scenario" not in self.axes:
+            raise MatrixError("axes must include 'scenario'")
+        for axis, values in self.axes.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise MatrixError(
+                    f"axis {axis!r} must be a non-empty list, got {values!r}"
+                )
+        object.__setattr__(self, "exclude", tuple(dict(e) for e in self.exclude))
+        object.__setattr__(self, "cases", tuple(dict(c) for c in self.cases))
+
+    def _excluded(self, combo: Mapping[str, Any]) -> bool:
+        return any(
+            all(combo.get(key) == value for key, value in entry.items())
+            for entry in self.exclude
+        )
+
+    def _case_from_config(self, config: Mapping[str, Any]) -> BenchCase:
+        config = dict(config)
+        try:
+            scenario = config.pop("scenario")
+        except KeyError:
+            raise MatrixError(f"case config {config!r} names no scenario")
+        repeats = int(config.pop("repeats", self.repeats))
+        warmup = int(config.pop("warmup", self.warmup))
+        definition = scenario_def(scenario)
+        axes = definition.project({**self.base, **config})
+        return BenchCase(
+            scenario=scenario, axes=axes, repeats=repeats, warmup=warmup
+        )
+
+    def expand(self) -> tuple[BenchCase, ...]:
+        """The concrete cases this matrix denotes, deduplicated, in
+        definition order."""
+        expanded: list[BenchCase] = []
+        seen: set[str] = set()
+
+        def _add(case: BenchCase) -> None:
+            if case.id not in seen:
+                seen.add(case.id)
+                expanded.append(case)
+
+        if self.axes:
+            names = list(self.axes)
+            for values in itertools.product(
+                *(self.axes[name] for name in names)
+            ):
+                combo = {**self.base, **dict(zip(names, values))}
+                if self._excluded(combo):
+                    continue
+                _add(self._case_from_config(combo))
+        for config in self.cases:
+            combo = {**self.base, **config}
+            if not self._excluded(combo):
+                _add(self._case_from_config(combo))
+        if not expanded:
+            raise MatrixError(f"matrix {self.name!r} expands to no cases")
+        return tuple(expanded)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "base": dict(self.base),
+            "axes": {axis: list(vals) for axis, vals in self.axes.items()},
+            "exclude": [dict(entry) for entry in self.exclude],
+            "cases": [dict(entry) for entry in self.cases],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchMatrix":
+        """Parse a matrix config; unknown keys are tolerated."""
+        try:
+            name = data["name"]
+        except KeyError as exc:
+            raise MatrixError("matrix config needs a 'name'") from exc
+        return cls(
+            name=name,
+            repeats=int(data.get("repeats", 5)),
+            warmup=int(data.get("warmup", 1)),
+            base=dict(data.get("base", {})),
+            axes={
+                axis: list(values)
+                for axis, values in data.get("axes", {}).items()
+            },
+            exclude=tuple(data.get("exclude", ())),
+            cases=tuple(data.get("cases", ())),
+        )
+
+
+def _matrix_search_dirs() -> Iterator[Path]:
+    yield Path.cwd() / "benchmarks" / "matrices"
+    # Repo-root fallback for callers running from a subdirectory of a
+    # source checkout (src/repro/bench/matrix.py -> repo root).
+    yield Path(__file__).resolve().parents[3] / "benchmarks" / "matrices"
+
+
+def load_matrix(name_or_path: str | Path) -> BenchMatrix:
+    """Load a matrix config from a JSON file or a named preset.
+
+    A path (anything that exists on disk, or ends in ``.json``) is read
+    directly; a bare name is resolved against
+    ``benchmarks/matrices/<name>.json`` in the working directory and
+    then in the source checkout.
+    """
+    path = Path(name_or_path)
+    candidates = [path]
+    if path.suffix != ".json" and not path.exists():
+        candidates = [
+            directory / f"{name_or_path}.json"
+            for directory in _matrix_search_dirs()
+        ]
+    for candidate in candidates:
+        if candidate.exists():
+            with candidate.open("r", encoding="utf-8") as handle:
+                try:
+                    data = json.load(handle)
+                except json.JSONDecodeError as exc:
+                    raise MatrixError(
+                        f"{candidate}: not valid JSON ({exc})"
+                    ) from exc
+            return BenchMatrix.from_dict(data)
+    raise MatrixError(
+        f"no matrix config named {name_or_path!r} "
+        "(looked for a file, then benchmarks/matrices/<name>.json)"
+    )

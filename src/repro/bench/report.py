@@ -1,0 +1,177 @@
+"""Report renderers: a ledger (and optionally a comparison) as
+markdown or a self-contained HTML page.
+
+The markdown form is what CI uploads next to the raw ledger and what
+``repro bench compare`` prints; the HTML form wraps the same tables in
+a minimal standalone page (no external assets) for artifact browsing.
+"""
+
+from __future__ import annotations
+
+import html
+
+from .compare import Comparison
+from .ledger import Ledger
+
+__all__ = ["render_markdown", "render_html"]
+
+#: Verdict -> marker used in comparison tables.
+_BADGES = {
+    "regressed": "❌ regressed",
+    "improved": "✅ improved",
+    "unchanged": "· unchanged",
+    "indeterminate": "? indeterminate",
+}
+
+
+def _format_value(value: float, unit: str) -> str:
+    if unit == "seconds" and value < 0.1:
+        return f"{value * 1000.0:.2f} ms"
+    return f"{value:.4g} {unit}"
+
+
+def _ledger_rows(ledger: Ledger) -> list[list[str]]:
+    rows = []
+    for case in ledger.cases:
+        stats = case.stats
+        if stats is None:
+            rows.append([case.id, "—", "—", "—", "—", "informational"])
+            continue
+        ci = (
+            f"[{_format_value(stats.ci_low, case.unit)}, "
+            f"{_format_value(stats.ci_high, case.unit)}]"
+        )
+        rows.append([
+            case.id,
+            str(stats.n),
+            _format_value(stats.mean, case.unit),
+            _format_value(stats.median, case.unit),
+            f"{stats.cv:.1%}",
+            ci,
+        ])
+    return rows
+
+
+def _markdown_table(header: list[str], rows: list[list[str]]) -> str:
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "| " + " | ".join("---" for _ in header) + " |",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def _meta_lines(ledger: Ledger) -> list[str]:
+    meta = ledger.meta
+    fields = []
+    for key in ("matrix", "python", "machine", "cpu_count", "recorded_at",
+                "source"):
+        if key in meta:
+            fields.append(f"{key} {meta[key]}")
+    return [f"_{' · '.join(fields)}_"] if fields else []
+
+
+def render_markdown(
+    ledger: Ledger, comparison: Comparison | None = None
+) -> str:
+    """The ledger (and optional comparison) as a markdown report."""
+    title = ledger.meta.get("matrix", "benchmark ledger")
+    lines = [f"# Benchmark report — {title}", ""]
+    lines.extend(_meta_lines(ledger))
+    if lines[-1]:
+        lines.append("")
+    lines.append("## Measurements")
+    lines.append("")
+    lines.append(_markdown_table(
+        ["case", "n", "mean", "median", "cv", "95% CI"],
+        _ledger_rows(ledger),
+    ))
+    if comparison is not None:
+        lines.append("")
+        lines.append("## Comparison vs baseline")
+        lines.append("")
+        lines.append(f"**{comparison.summary()}**")
+        lines.append("")
+        rows = []
+        for case in comparison.cases:
+            verdict = case.verdict
+            badge = _BADGES.get(verdict.status, verdict.status)
+            if not case.gated:
+                badge = "· informational"
+            p_text = (
+                "—" if verdict.p_value is None else f"{verdict.p_value:.3g}"
+            )
+            rows.append([
+                case.id,
+                badge,
+                f"{verdict.rel_change:+.1%}",
+                f"{verdict.threshold:.1%}",
+                p_text,
+                verdict.detail,
+            ])
+        lines.append(_markdown_table(
+            ["case", "verdict", "Δ mean", "threshold", "p", "detail"], rows
+        ))
+        for label, ids in (("Missing from current", comparison.missing),
+                           ("New in current", comparison.new)):
+            if ids:
+                lines.append("")
+                lines.append(f"**{label}:** " + ", ".join(f"`{i}`" for i in ids))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_html(
+    ledger: Ledger, comparison: Comparison | None = None
+) -> str:
+    """The same report as a self-contained HTML page.
+
+    Renders the markdown tables into real ``<table>`` elements; the
+    page carries its own (tiny) stylesheet and no external references.
+    """
+    markdown = render_markdown(ledger, comparison)
+    body: list[str] = []
+    table: list[str] | None = None
+    for line in markdown.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("|"):
+            cells = [c.strip() for c in stripped.strip("|").split("|")]
+            if all(set(c) <= {"-"} for c in cells):
+                continue  # the markdown separator row
+            tag = "th" if table is None else "td"
+            if table is None:
+                table = ["<table>"]
+            table.append(
+                "<tr>"
+                + "".join(f"<{tag}>{html.escape(c)}</{tag}>" for c in cells)
+                + "</tr>"
+            )
+            continue
+        if table is not None:
+            table.append("</table>")
+            body.extend(table)
+            table = None
+        if stripped.startswith("# "):
+            body.append(f"<h1>{html.escape(stripped[2:])}</h1>")
+        elif stripped.startswith("## "):
+            body.append(f"<h2>{html.escape(stripped[3:])}</h2>")
+        elif stripped:
+            body.append(f"<p>{html.escape(stripped)}</p>")
+    if table is not None:
+        table.append("</table>")
+        body.extend(table)
+    title = html.escape(str(ledger.meta.get("matrix", "benchmark ledger")))
+    style = (
+        "body{font-family:sans-serif;margin:2em;max-width:72em}"
+        "table{border-collapse:collapse;margin:1em 0}"
+        "td,th{border:1px solid #999;padding:0.3em 0.6em;"
+        "text-align:left;font-size:0.9em}"
+        "th{background:#eee}"
+    )
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>Benchmark report — {title}</title>"
+        f"<style>{style}</style></head>\n<body>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )

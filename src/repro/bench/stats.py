@@ -1,0 +1,310 @@
+"""Variance statistics and the significance gate for benchmark timings.
+
+Benchmark samples are small (typically 5-20 repeats) and noisy, so the
+comparator never trusts a raw mean difference.  A case only counts as a
+regression when *both* of these hold:
+
+* **statistical significance** — a Welch t-test (unequal variances)
+  between the baseline and current samples rejects "same mean" at the
+  configured ``alpha``.  When one side is a single recorded value (the
+  legacy ledgers carry no repeats) the test degrades to a one-sample
+  t-test against that point; when both sides are points no test exists
+  and only gross changes (``point_effect``) are flagged.
+* **practical effect** — the relative change clears a CV-aware
+  threshold, ``max(min_effect, cv_guard * max(cv_base, cv_cur))``, so a
+  heavy-tailed case whose own run-to-run scatter is 30% cannot fail CI
+  on a 10% drift that significance alone would flag at large n.
+
+The same Welch bound discipline already gates the fast engine's
+statistical equivalence (``tests/test_golden_fast_engine.py``); this
+module applies it to wall-clock claims.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from scipy import stats as scipy_stats
+
+__all__ = [
+    "SampleStats",
+    "GateConfig",
+    "Verdict",
+    "welch_p_value",
+    "gate_verdict",
+]
+
+#: Verdict statuses the gate can emit.
+VERDICT_STATUSES = (
+    "regressed",
+    "improved",
+    "unchanged",
+    "indeterminate",
+)
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Descriptive statistics of one case's repeated measurements.
+
+    ``ci_low``/``ci_high`` bound the mean at the given confidence using
+    the Student-t quantile (the right small-sample interval); ``cv`` is
+    the coefficient of variation ``stdev / mean`` — the scale-free
+    noise measure the gate's thresholds key on.
+    """
+
+    n: int
+    mean: float
+    median: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+    cv: float
+    confidence: float = 0.95
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[float], *, confidence: float = 0.95
+    ) -> "SampleStats":
+        values = [float(v) for v in samples]
+        if not values:
+            raise ValueError("no samples to summarize")
+        n = len(values)
+        mean = statistics.fmean(values)
+        median = statistics.median(values)
+        stdev = statistics.stdev(values) if n > 1 else 0.0
+        if n > 1 and stdev > 0.0:
+            half = float(
+                scipy_stats.t.ppf(0.5 + confidence / 2.0, n - 1)
+                * stdev
+                / math.sqrt(n)
+            )
+        else:
+            half = 0.0
+        cv = stdev / abs(mean) if mean else 0.0
+        return cls(
+            n=n,
+            mean=mean,
+            median=median,
+            stdev=stdev,
+            ci_low=mean - half,
+            ci_high=mean + half,
+            cv=cv,
+            confidence=confidence,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "median": self.median,
+            "stdev": self.stdev,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "cv": self.cv,
+            "confidence": self.confidence,
+        }
+
+
+@dataclass(frozen=True)
+class GateConfig:
+    """Knobs of the regression gate.
+
+    Attributes
+    ----------
+    alpha:
+        Significance level for the Welch test; a regression must reject
+        "same mean" at this level before the effect threshold is even
+        consulted.
+    min_effect:
+        Relative-change floor (0.05 = 5%).  Differences smaller than
+        this never gate, however significant: they are real but not
+        worth failing CI over.
+    cv_guard:
+        The effect threshold grows to ``cv_guard * max(cv)`` on noisy
+        cases, so a case must move by more than its own documented
+        scatter to fail.
+    point_effect:
+        Fallback threshold when *neither* side carries repeats (legacy
+        point-vs-point comparisons): no test statistic exists, so only
+        changes beyond this gross bound are flagged.
+    """
+
+    alpha: float = 0.01
+    min_effect: float = 0.05
+    cv_guard: float = 2.0
+    point_effect: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        for name in ("min_effect", "cv_guard", "point_effect"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The gate's decision on one case.
+
+    ``rel_change`` is ``(current - baseline) / baseline`` of the means;
+    positive means the current side is *larger*.  ``threshold`` is the
+    effect bound actually applied, ``p_value`` is ``None`` when no test
+    statistic could be computed (point vs point).
+    """
+
+    status: str
+    rel_change: float
+    threshold: float
+    p_value: float | None = None
+    detail: str = ""
+    baseline: SampleStats | None = field(default=None, compare=False)
+    current: SampleStats | None = field(default=None, compare=False)
+
+    @property
+    def regressed(self) -> bool:
+        return self.status == "regressed"
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "rel_change": self.rel_change,
+            "threshold": self.threshold,
+            "p_value": self.p_value,
+            "detail": self.detail,
+        }
+
+
+def welch_p_value(
+    baseline: Sequence[float], current: Sequence[float]
+) -> float | None:
+    """Two-sided p-value that the two sample means differ.
+
+    Welch's t-test when both sides have >= 2 samples; a one-sample
+    t-test against the other side's point value when exactly one side
+    is a single measurement; ``None`` when both are points (no
+    variance information at all, no test exists).  Identical constant
+    samples on both sides have no mean difference to test — that is a
+    p-value of 1, not a degenerate statistic.
+    """
+    base = [float(v) for v in baseline]
+    cur = [float(v) for v in current]
+    if not base or not cur:
+        raise ValueError("both sides need at least one sample")
+    if len(base) == 1 and len(cur) == 1:
+        return None
+    if len(base) == 1:
+        p_value = float(scipy_stats.ttest_1samp(cur, base[0]).pvalue)
+    elif len(cur) == 1:
+        p_value = float(scipy_stats.ttest_1samp(base, cur[0]).pvalue)
+    else:
+        p_value = float(
+            scipy_stats.ttest_ind(base, cur, equal_var=False).pvalue
+        )
+    if math.isnan(p_value):
+        # Zero within-group variance degenerates the t statistic; the
+        # means then either trivially agree or trivially differ.
+        return 1.0 if statistics.fmean(base) == statistics.fmean(cur) else 0.0
+    return p_value
+
+
+def gate_verdict(
+    baseline: Sequence[float],
+    current: Sequence[float],
+    *,
+    direction: str = "lower",
+    config: GateConfig | None = None,
+) -> Verdict:
+    """Judge the current samples against the baseline samples.
+
+    ``direction`` says which way is better for the underlying metric:
+    ``"lower"`` for times/latencies, ``"higher"`` for throughputs and
+    speedups.  A worse-direction move is a regression only if it is
+    both statistically significant and larger than the CV-aware effect
+    threshold; a better-direction move passing the same two bars is
+    reported as ``"improved"`` (never gated).
+    """
+    if direction not in ("lower", "higher"):
+        raise ValueError(
+            f"direction must be 'lower' or 'higher', got {direction!r}"
+        )
+    config = config or GateConfig()
+    base_stats = SampleStats.from_samples(baseline)
+    cur_stats = SampleStats.from_samples(current)
+    if base_stats.mean == 0.0:
+        return Verdict(
+            status="indeterminate",
+            rel_change=0.0,
+            threshold=config.min_effect,
+            detail="baseline mean is zero; no relative change defined",
+            baseline=base_stats,
+            current=cur_stats,
+        )
+
+    rel_change = (cur_stats.mean - base_stats.mean) / abs(base_stats.mean)
+    p_value = welch_p_value(baseline, current)
+    threshold = max(
+        config.min_effect, config.cv_guard * max(base_stats.cv, cur_stats.cv)
+    )
+    # A worse move is rel_change > 0 for lower-is-better metrics and
+    # rel_change < 0 for higher-is-better ones.
+    worse = rel_change > 0 if direction == "lower" else rel_change < 0
+    magnitude = abs(rel_change)
+
+    if p_value is None:
+        # Point vs point: no variance information on either side.
+        point_bar = max(threshold, config.point_effect)
+        if magnitude <= point_bar:
+            status = "unchanged"
+            detail = (
+                f"point comparison: |{rel_change:+.1%}| within "
+                f"{point_bar:.0%} gross bound"
+            )
+        else:
+            status = "regressed" if worse else "improved"
+            detail = (
+                f"point comparison: {rel_change:+.1%} beyond "
+                f"{point_bar:.0%} gross bound (no repeats recorded)"
+            )
+        return Verdict(
+            status=status,
+            rel_change=rel_change,
+            threshold=point_bar,
+            p_value=None,
+            detail=detail,
+            baseline=base_stats,
+            current=cur_stats,
+        )
+
+    significant = p_value < config.alpha
+    material = magnitude > threshold
+    if significant and material:
+        status = "regressed" if worse else "improved"
+        detail = (
+            f"{rel_change:+.1%} (p={p_value:.2g} < alpha={config.alpha}, "
+            f"effect > {threshold:.1%})"
+        )
+    elif material and not significant:
+        status = "indeterminate"
+        detail = (
+            f"{rel_change:+.1%} exceeds the {threshold:.1%} threshold but "
+            f"is not significant (p={p_value:.2g}); likely noise"
+        )
+    else:
+        status = "unchanged"
+        detail = (
+            f"{rel_change:+.1%} within the {threshold:.1%} CV-aware "
+            f"threshold (p={p_value:.2g})"
+        )
+    return Verdict(
+        status=status,
+        rel_change=rel_change,
+        threshold=threshold,
+        p_value=p_value,
+        detail=detail,
+        baseline=base_stats,
+        current=cur_stats,
+    )

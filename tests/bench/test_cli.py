@@ -1,0 +1,247 @@
+"""The ``repro bench`` CLI: run, compare (exit codes), report, migrate."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.bench import CaseResult, Ledger
+from repro.cli import main
+
+TINY_MATRIX = {
+    "name": "tiny",
+    "repeats": 2,
+    "warmup": 0,
+    "base": {"nodes": 30, "ticks": 10, "seeds": 1},
+    "axes": {
+        "scenario": ["fig1b_star"],
+        "engine": ["reference", "fast"],
+    },
+}
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture()
+def tiny_matrix(tmp_path):
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(TINY_MATRIX))
+    return path
+
+
+def synthetic_ledger(mean, *, n=6):
+    samples = tuple(mean * (1 + 0.01 * i) for i in range(n))
+    return Ledger.from_cases(
+        [
+            CaseResult(
+                id="fig1b_star/engine=fast",
+                scenario="fig1b_star",
+                axes={"engine": "fast"},
+                samples=samples,
+            ),
+            CaseResult(
+                id="fig1b_star/engine=reference",
+                scenario="fig1b_star",
+                axes={"engine": "reference"},
+                samples=tuple(s * 3 for s in samples),
+            ),
+        ],
+        meta={"matrix": "tiny"},
+    )
+
+
+class TestBenchRun:
+    def test_two_case_matrix_emits_unified_ledger(self, tiny_matrix, tmp_path):
+        ledger_path = tmp_path / "ledger.json"
+        code, output = run_cli(
+            "bench", "run", "--matrix", str(tiny_matrix),
+            "--out", str(ledger_path),
+        )
+        assert code == 0
+        assert "measured 2 cases" in output
+        ledger = Ledger.load(ledger_path)
+        assert len(ledger.cases) == 2
+        for case in ledger.cases:
+            assert case.stats.n == 2
+            assert case.stats.mean > 0
+            assert case.metrics["runs"] == 1
+        # The per-case progress lines carry the variance statistics.
+        assert "mean" in output and "cv" in output
+
+    def test_repeat_overrides(self, tiny_matrix, tmp_path):
+        ledger_path = tmp_path / "ledger.json"
+        code, output = run_cli(
+            "bench", "run", "--matrix", str(tiny_matrix),
+            "--repeats", "3", "--out", str(ledger_path),
+        )
+        assert code == 0
+        assert all(c.stats.n == 3 for c in Ledger.load(ledger_path).cases)
+
+    def test_only_filter(self, tiny_matrix, tmp_path):
+        ledger_path = tmp_path / "ledger.json"
+        code, output = run_cli(
+            "bench", "run", "--matrix", str(tiny_matrix),
+            "--only", "engine=fast", "--out", str(ledger_path),
+        )
+        assert code == 0
+        (case_id,) = Ledger.load(ledger_path).case_ids()
+        assert "engine=fast" in case_id
+        assert "engine=reference" not in case_id
+
+    def test_unknown_matrix_is_usage_error(self):
+        code, output = run_cli("bench", "run", "--matrix", "no-such")
+        assert code == 2
+        assert "error" in output
+
+    def test_bad_only_filter_lists_cases(self, tiny_matrix):
+        code, output = run_cli(
+            "bench", "run", "--matrix", str(tiny_matrix),
+            "--only", "nonexistent",
+        )
+        assert code == 2
+        assert "fig1b_star/engine=fast" in output
+
+
+class TestBenchCompare:
+    def test_no_change_exits_zero(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        synthetic_ledger(1.0).save(base)
+        synthetic_ledger(1.0).save(cur)
+        code, output = run_cli("bench", "compare", str(base), str(cur))
+        assert code == 0
+        assert "gate clean" in output
+
+    def test_injected_slowdown_exits_nonzero(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        synthetic_ledger(1.0).save(base)
+        # Double only the fast case: exactly one regression.
+        doctored = synthetic_ledger(1.0)
+        cases = tuple(
+            CaseResult(
+                id=c.id, scenario=c.scenario, axes=c.axes,
+                samples=tuple(s * 2 for s in c.samples),
+            )
+            if c.axes["engine"] == "fast" else c
+            for c in doctored.cases
+        )
+        Ledger(cases=cases, meta=doctored.meta).save(cur)
+        code, output = run_cli("bench", "compare", str(base), str(cur))
+        assert code == 1
+        assert "REGRESSED: fig1b_star/engine=fast" in output
+        assert "❌ regressed" in output
+
+    def test_advisory_mode_reports_but_exits_zero(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        synthetic_ledger(1.0).save(base)
+        synthetic_ledger(2.0).save(cur)
+        code, output = run_cli(
+            "bench", "compare", str(base), str(cur), "--advisory"
+        )
+        assert code == 0
+        assert "REGRESSED" in output
+
+    def test_report_file_written(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        report = tmp_path / "report.md"
+        synthetic_ledger(1.0).save(base)
+        synthetic_ledger(1.0).save(cur)
+        code, _ = run_cli(
+            "bench", "compare", str(base), str(cur),
+            "--report", str(report),
+        )
+        assert code == 0
+        text = report.read_text()
+        assert "## Comparison vs baseline" in text
+
+    def test_gate_knobs_thread_through(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        synthetic_ledger(1.0).save(base)
+        synthetic_ledger(1.1).save(cur)  # 10% drift
+        strict, _ = run_cli("bench", "compare", str(base), str(cur))
+        relaxed, _ = run_cli(
+            "bench", "compare", str(base), str(cur), "--min-effect", "0.5"
+        )
+        assert strict == 1
+        assert relaxed == 0
+
+    def test_legacy_baseline_needs_migrate(self, tmp_path):
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps({
+            "benchmarks": [{"scenario": "s", "wall_s": 1.0}],
+        }))
+        cur = tmp_path / "cur.json"
+        synthetic_ledger(1.0).save(cur)
+        code, output = run_cli("bench", "compare", str(legacy), str(cur))
+        assert code == 2
+        assert "migrate" in output
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        cur = tmp_path / "cur.json"
+        synthetic_ledger(1.0).save(cur)
+        code, _ = run_cli(
+            "bench", "compare", str(tmp_path / "absent.json"), str(cur)
+        )
+        assert code == 2
+
+
+class TestBenchReport:
+    def test_markdown_to_stdout(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        synthetic_ledger(1.0).save(path)
+        code, output = run_cli("bench", "report", str(path))
+        assert code == 0
+        assert "# Benchmark report — tiny" in output
+        assert "| case | n | mean |" in output
+
+    def test_html_file(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        out = tmp_path / "report.html"
+        synthetic_ledger(1.0).save(path)
+        code, _ = run_cli("bench", "report", str(path), "--out", str(out))
+        assert code == 0
+        page = out.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "fig1b_star/engine=fast" in page
+
+
+class TestBenchMigrate:
+    def test_migrates_legacy_files(self, tmp_path):
+        legacy = tmp_path / "BENCH_old.json"
+        legacy.write_text(json.dumps({
+            "benchmarks": [
+                {"scenario": "fig1b", "reference_seconds": 2.0,
+                 "fast_seconds": 1.0},
+                {"scenario": "service_load_unique", "wall_s": 3.0},
+            ],
+        }))
+        out_dir = tmp_path / "converted"
+        code, output = run_cli(
+            "bench", "migrate", str(legacy), "--out-dir", str(out_dir)
+        )
+        assert code == 0
+        assert "3 cases" in output
+        converted = Ledger.load(out_dir / "BENCH_old.v1.json")
+        assert set(converted.case_ids()) == {
+            "fig1b/engine=reference",
+            "fig1b/engine=fast",
+            "service_load/mode=unique",
+        }
+        assert converted.meta["legacy"] is True
+
+    def test_bad_legacy_file_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"nope": 1}))
+        code, output = run_cli("bench", "migrate", str(bad))
+        assert code == 2
+        assert "error" in output

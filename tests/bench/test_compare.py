@@ -1,0 +1,119 @@
+"""Ledger-vs-ledger comparison: joins, gating, coverage drift."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench import (
+    CaseResult,
+    GateConfig,
+    Ledger,
+    compare_ledgers,
+)
+
+
+def case(case_id, samples, *, gate=True, direction="lower"):
+    return CaseResult(
+        id=case_id,
+        scenario=case_id.split("/")[0],
+        samples=tuple(samples),
+        gate=gate,
+        direction=direction,
+    )
+
+
+def ledger(*cases):
+    return Ledger(cases=tuple(cases))
+
+
+def tight(mean, n=8, seed=0):
+    rng = random.Random(seed)
+    return [max(rng.gauss(mean, mean * 0.01), 1e-9) for _ in range(n)]
+
+
+class TestCompareLedgers:
+    def test_no_change_is_clean(self):
+        comparison = compare_ledgers(
+            ledger(case("a", tight(1.0)), case("b", tight(2.0))),
+            ledger(case("a", tight(1.0, seed=1)),
+                   case("b", tight(2.0, seed=1))),
+        )
+        assert not comparison.has_regressions
+        assert comparison.counts()["unchanged"] == 2
+        assert "2 cases compared" in comparison.summary()
+
+    def test_injected_slowdown_regresses(self):
+        comparison = compare_ledgers(
+            ledger(case("a", tight(1.0)), case("b", tight(2.0))),
+            ledger(case("a", tight(2.0, seed=1)),
+                   case("b", tight(2.0, seed=1))),
+        )
+        assert comparison.has_regressions
+        assert [c.id for c in comparison.regressions] == ["a"]
+        assert comparison.regressions[0].verdict.rel_change > 0.5
+
+    def test_improvement_reported_not_gated(self):
+        comparison = compare_ledgers(
+            ledger(case("a", tight(2.0))),
+            ledger(case("a", tight(1.0, seed=1))),
+        )
+        assert not comparison.has_regressions
+        assert [c.id for c in comparison.improvements] == ["a"]
+
+    def test_single_legacy_sample_uses_point_gate(self):
+        # Converted baselines carry one sample per case: only gross
+        # changes flag, and the verdict records that no test ran.
+        baseline = ledger(case("a", [1.0]))
+        clean = compare_ledgers(baseline, ledger(case("a", [1.1])))
+        assert not clean.has_regressions
+        doubled = compare_ledgers(baseline, ledger(case("a", [2.0])))
+        assert doubled.has_regressions
+        assert doubled.regressions[0].verdict.p_value is None
+
+    def test_ungated_cases_never_fail(self):
+        comparison = compare_ledgers(
+            ledger(case("a", [1.0], gate=False)),
+            ledger(case("a", [10.0], gate=False)),
+        )
+        assert not comparison.has_regressions
+        assert comparison.counts()["ungated"] == 1
+
+    def test_sample_less_cases_are_informational(self):
+        comparison = compare_ledgers(
+            ledger(case("limits", [], gate=False)),
+            ledger(case("limits", [], gate=False)),
+        )
+        (joined,) = comparison.cases
+        assert not joined.gated
+        assert joined.verdict.status == "indeterminate"
+
+    def test_missing_and_new_are_reported_not_gated(self):
+        comparison = compare_ledgers(
+            ledger(case("kept", tight(1.0)), case("dropped", tight(1.0))),
+            ledger(case("kept", tight(1.0, seed=1)),
+                   case("added", tight(1.0))),
+        )
+        assert comparison.missing == ("dropped",)
+        assert comparison.new == ("added",)
+        assert not comparison.has_regressions
+        assert "1 missing from current" in comparison.summary()
+        assert "1 new" in comparison.summary()
+
+    def test_direction_higher_gates_drops(self):
+        comparison = compare_ledgers(
+            ledger(case("rps", tight(100.0), direction="higher")),
+            ledger(case("rps", tight(50.0, seed=1), direction="higher")),
+        )
+        assert comparison.has_regressions
+
+    def test_config_threads_through(self):
+        baseline = ledger(case("a", tight(1.0)))
+        current = ledger(case("a", tight(1.08, seed=1)))
+        default = compare_ledgers(baseline, current)
+        assert default.has_regressions  # 8% > 5% min_effect, tight cv
+        relaxed = compare_ledgers(
+            baseline, current, config=GateConfig(min_effect=0.2)
+        )
+        assert not relaxed.has_regressions

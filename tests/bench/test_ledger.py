@@ -1,0 +1,124 @@
+"""Ledger round-trip discipline: exact inverses, tolerant readers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    LEDGER_SCHEMA,
+    LEDGER_VERSION,
+    CaseResult,
+    Ledger,
+    LedgerError,
+)
+
+
+def sample_case(case_id="fig1b_star/engine=fast", **overrides):
+    fields = dict(
+        id=case_id,
+        scenario="fig1b_star",
+        axes={"engine": "fast"},
+        samples=(0.5, 0.52, 0.49),
+        metrics={"runs": 3},
+    )
+    fields.update(overrides)
+    return CaseResult(**fields)
+
+
+class TestCaseResult:
+    def test_round_trip(self):
+        case = sample_case(notes="solo arm extrapolated")
+        assert CaseResult.from_dict(case.to_dict()) == case
+
+    def test_to_dict_embeds_stats_from_dict_drops_them(self):
+        case = sample_case()
+        payload = case.to_dict()
+        assert payload["stats"]["n"] == 3
+        # Doctor the embedded summary; the reader must recompute from
+        # the raw samples instead of trusting it.
+        payload["stats"]["mean"] = 999.0
+        restored = CaseResult.from_dict(payload)
+        assert restored.stats.mean == pytest.approx(case.stats.mean)
+
+    def test_unknown_keys_tolerated(self):
+        payload = sample_case().to_dict()
+        payload["from_the_future"] = {"nested": True}
+        assert CaseResult.from_dict(payload) == sample_case()
+
+    def test_informational_case_has_no_stats(self):
+        case = sample_case(samples=(), gate=False)
+        assert case.stats is None
+        assert CaseResult.from_dict(case.to_dict()) == case
+
+    def test_validation(self):
+        with pytest.raises(LedgerError):
+            sample_case(case_id="")
+        with pytest.raises(LedgerError):
+            sample_case(direction="sideways")
+        with pytest.raises(LedgerError):
+            CaseResult.from_dict({"scenario": "x"})  # no id
+
+
+class TestLedger:
+    def test_round_trip_with_meta_and_version(self, tmp_path):
+        ledger = Ledger.from_cases(
+            [sample_case(), sample_case("other/engine=reference")],
+            meta={"matrix": "quick"},
+        )
+        path = ledger.save(tmp_path / "ledger.json")
+        restored = Ledger.load(path)
+        assert restored == ledger
+        assert restored.version == LEDGER_VERSION
+        assert restored.meta["matrix"] == "quick"
+        # from_cases stamps the machine fingerprint.
+        assert "python" in restored.meta
+
+    def test_saved_payload_carries_schema_marker(self, tmp_path):
+        path = Ledger.from_cases([sample_case()]).save(tmp_path / "l.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == LEDGER_SCHEMA
+        assert payload["version"] == LEDGER_VERSION
+
+    def test_unknown_ledger_keys_tolerated(self):
+        payload = Ledger.from_cases([sample_case()]).to_dict()
+        payload["extra_top_level"] = [1, 2, 3]
+        assert Ledger.from_dict(payload).case_ids() == (sample_case().id,)
+
+    def test_wrong_schema_rejected_with_migrate_hint(self):
+        with pytest.raises(LedgerError, match="migrate"):
+            Ledger.from_dict({"schema": "something-else", "cases": []})
+
+    def test_legacy_payload_without_schema_rejected(self):
+        # The pre-matrix BENCH_pr*.json shape: no schema marker at all.
+        with pytest.raises(LedgerError):
+            Ledger.from_dict({"benchmarks": [{"scenario": "x"}]})
+
+    def test_newer_version_rejected(self):
+        payload = Ledger.from_cases([sample_case()]).to_dict()
+        payload["version"] = LEDGER_VERSION + 1
+        with pytest.raises(LedgerError, match="newer"):
+            Ledger.from_dict(payload)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(LedgerError, match="duplicate"):
+            Ledger(cases=(sample_case(), sample_case()))
+
+    def test_case_lookup(self):
+        ledger = Ledger(cases=(sample_case(),))
+        assert ledger.case(sample_case().id).scenario == "fig1b_star"
+        with pytest.raises(KeyError):
+            ledger.case("absent")
+
+    def test_merged_combines_and_rejects_collisions(self):
+        first = Ledger(cases=(sample_case(),), meta={"a": 1, "shared": "x"})
+        second = Ledger(
+            cases=(sample_case("other"),), meta={"b": 2, "shared": "y"}
+        )
+        merged = first.merged(second)
+        assert merged.case_ids() == (sample_case().id, "other")
+        # The receiver's meta wins on collisions.
+        assert merged.meta == {"a": 1, "b": 2, "shared": "x"}
+        with pytest.raises(LedgerError):
+            first.merged(first)

@@ -1,0 +1,144 @@
+"""Legacy BENCH_pr*.json conversion: the one-shot migration path.
+
+The three checked-in legacy ledgers (PR3 engine timings, PR4 service
+latencies, PR6 replica arms) are the conversion fixtures: migrating
+them must keep working forever, because the converted baselines under
+``benchmarks/baselines/`` were produced exactly this way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    Ledger,
+    LedgerError,
+    compare_ledgers,
+    convert_legacy,
+    convert_legacy_file,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestConvertEntries:
+    def test_engine_entry_splits_into_arms(self):
+        ledger = convert_legacy({
+            "benchmarks": [{
+                "scenario": "fig4_powerlaw_1000_none",
+                "reference_seconds": 5.0,
+                "fast_seconds": 1.0,
+                "speedup": 5.0,
+                "ticks": 400,
+            }],
+        })
+        assert ledger.case_ids() == (
+            "fig4_powerlaw_1000_none/engine=reference",
+            "fig4_powerlaw_1000_none/engine=fast",
+        )
+        reference = ledger.case("fig4_powerlaw_1000_none/engine=reference")
+        assert reference.samples == (5.0,)
+        assert reference.unit == "seconds"
+        # Non-timing scalars ride along as context metrics.
+        assert reference.metrics["ticks"] == 400
+        assert "reference_seconds" not in reference.metrics
+
+    def test_service_entry_maps_wall_clock(self):
+        ledger = convert_legacy({
+            "benchmarks": [{
+                "scenario": "service_load_duplicates",
+                "wall_s": 2.5,
+                "p99_ms": 800.0,
+                "coalesced": 17,
+            }],
+        })
+        case = ledger.case("service_load/mode=duplicates")
+        assert case.axes == {"mode": "duplicates"}
+        assert case.samples == (2.5,)
+        assert case.metrics["coalesced"] == 17
+
+    def test_replica_entry_keeps_ms_unit(self):
+        ledger = convert_legacy({
+            "benchmarks": [{
+                "scenario": "fig4_dieout_1000x1000_replicas",
+                "grouped_ms_per_replica": 1.2,
+                "solo_ms_per_replica": 2.0,
+            }],
+        })
+        grouped = ledger.case("fig4_dieout_1000x1000_replicas/arm=grouped")
+        assert grouped.unit == "ms"
+        assert grouped.samples == (1.2,)
+
+    def test_prose_entry_becomes_informational(self):
+        ledger = convert_legacy({
+            "benchmarks": [{
+                "scenario": "replica_limits",
+                "note": "structurally out of reach",
+                "routing_matrix_gb_at_100k_nodes": 40.0,
+            }],
+        })
+        case = ledger.case("replica_limits")
+        assert not case.gate
+        assert case.samples == ()
+        assert case.notes == "structurally out of reach"
+
+    def test_idempotent_on_v1_payloads(self):
+        once = convert_legacy({
+            "benchmarks": [{"scenario": "s", "wall_s": 1.0}],
+        })
+        again = convert_legacy(once.to_dict())
+        assert again.case_ids() == once.case_ids()
+
+    def test_rejects_unrecognized_payloads(self):
+        with pytest.raises(LedgerError, match="benchmarks"):
+            convert_legacy({"something": []})
+        with pytest.raises(LedgerError, match="scenario"):
+            convert_legacy({"benchmarks": [{"wall_s": 1.0}]})
+
+
+class TestCheckedInLedgers:
+    """Every historical ledger and its checked-in conversion."""
+
+    @pytest.mark.parametrize("stem", ["BENCH_pr3", "BENCH_pr4", "BENCH_pr6"])
+    def test_legacy_files_convert(self, stem):
+        legacy_path = REPO_ROOT / f"{stem}.json"
+        converted = convert_legacy_file(legacy_path)
+        assert converted.cases
+        assert converted.meta["legacy"] is True
+        assert converted.meta["source"] == legacy_path.name
+        # Every timing in the source survives as a single-sample case.
+        payload = json.loads(legacy_path.read_text())
+        timing_keys = sum(
+            sum(
+                1 for key in entry
+                if key.endswith("_seconds")
+                or key.endswith("_ms_per_replica")
+                or key == "wall_s"
+            )
+            for entry in payload["benchmarks"]
+        )
+        assert sum(
+            len(case.samples) for case in converted.cases
+        ) == timing_keys
+
+    @pytest.mark.parametrize("stem", ["BENCH_pr3", "BENCH_pr4", "BENCH_pr6"])
+    def test_checked_in_baselines_match_fresh_conversion(self, stem):
+        baseline_path = (
+            REPO_ROOT / "benchmarks" / "baselines" / f"{stem}.v1.json"
+        )
+        baseline = Ledger.load(baseline_path)
+        fresh = convert_legacy_file(REPO_ROOT / f"{stem}.json")
+        assert baseline.case_ids() == fresh.case_ids()
+        for case_id in baseline.case_ids():
+            assert baseline.case(case_id) == fresh.case(case_id)
+
+    def test_converted_baseline_compares_clean_against_itself(self):
+        baseline = Ledger.load(
+            REPO_ROOT / "benchmarks" / "baselines" / "BENCH_pr6.v1.json"
+        )
+        comparison = compare_ledgers(baseline, baseline)
+        assert not comparison.has_regressions
+        assert not comparison.missing and not comparison.new

@@ -1,0 +1,180 @@
+"""Matrix expansion: product, projection-dedup, excludes, presets."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchCase,
+    BenchMatrix,
+    MatrixError,
+    load_matrix,
+    scenario_def,
+    scenario_names,
+)
+
+
+def matrix(**overrides):
+    fields = dict(
+        name="test",
+        repeats=3,
+        warmup=1,
+        axes={
+            "scenario": ["fig1b_star", "service_load"],
+            "engine": ["reference", "fast"],
+        },
+    )
+    fields.update(overrides)
+    return BenchMatrix(**fields)
+
+
+class TestExpansion:
+    def test_projection_dedups_unconsumed_axes(self):
+        # service_load does not consume 'engine', so its two product
+        # combinations collapse to one case; fig1b_star keeps both.
+        cases = matrix().expand()
+        by_scenario = {}
+        for case in cases:
+            by_scenario.setdefault(case.scenario, []).append(case)
+        assert len(by_scenario["fig1b_star"]) == 2
+        assert len(by_scenario["service_load"]) == 1
+        assert "engine" not in by_scenario["service_load"][0].axes
+
+    def test_defaults_fill_unpinned_axes(self):
+        (case,) = [
+            c for c in matrix().expand()
+            if c.scenario == "fig1b_star" and c.axes["engine"] == "fast"
+        ]
+        defaults = scenario_def("fig1b_star").defaults
+        assert case.axes["nodes"] == defaults["nodes"]
+        assert case.repeats == 3 and case.warmup == 1
+
+    def test_base_overrides_defaults(self):
+        cases = matrix(base={"nodes": 50}).expand()
+        assert all(
+            case.axes["nodes"] == 50
+            for case in cases
+            if case.scenario == "fig1b_star"
+        )
+
+    def test_exclude_subset_matches(self):
+        cases = matrix(
+            exclude=({"scenario": "fig1b_star", "engine": "reference"},)
+        ).expand()
+        assert not any(
+            case.scenario == "fig1b_star"
+            and case.axes["engine"] == "reference"
+            for case in cases
+        )
+        assert any(
+            case.scenario == "fig1b_star" and case.axes["engine"] == "fast"
+            for case in cases
+        )
+
+    def test_explicit_cases_append_with_overrides(self):
+        cases = matrix(
+            cases=(
+                {"scenario": "fig1b_star", "engine": "fast-batched",
+                 "repeats": 7},
+            )
+        ).expand()
+        (extra,) = [
+            c for c in cases if c.axes.get("engine") == "fast-batched"
+        ]
+        assert extra.repeats == 7
+
+    def test_explicit_duplicate_of_product_dedups(self):
+        with_dup = matrix(
+            cases=({"scenario": "fig1b_star", "engine": "fast"},)
+        )
+        assert len(with_dup.expand()) == len(matrix().expand())
+
+    def test_case_ids_are_stable_and_sorted(self):
+        case = BenchCase(
+            scenario="s", axes={"b": 2, "a": 1}, repeats=1, warmup=0
+        )
+        assert case.id == "s/a=1/b=2"
+
+    def test_round_trip_through_dict(self):
+        m = matrix(exclude=({"scenario": "service_load"},))
+        assert BenchMatrix.from_dict(m.to_dict()) == m
+
+
+class TestValidation:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark scenario"):
+            matrix(axes={"scenario": ["nope"]}).expand()
+
+    def test_axes_must_include_scenario(self):
+        with pytest.raises(MatrixError, match="scenario"):
+            matrix(axes={"engine": ["fast"]})
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(MatrixError):
+            matrix(axes={}, cases=())
+        with pytest.raises(MatrixError, match="no cases"):
+            matrix(
+                exclude=({"scenario": "fig1b_star"},
+                         {"scenario": "service_load"}),
+            ).expand()
+
+    def test_bad_repeat_protocol_rejected(self):
+        with pytest.raises(MatrixError):
+            matrix(repeats=0)
+        with pytest.raises(MatrixError):
+            matrix(warmup=-1)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(MatrixError, match="non-empty"):
+            matrix(axes={"scenario": []})
+
+
+class TestPresets:
+    """The checked-in matrix configs must stay loadable and well-formed."""
+
+    def test_all_presets_expand(self):
+        for name in ("ci", "engines", "replica", "service", "quick"):
+            loaded = load_matrix(name)
+            assert loaded.name == name
+            assert loaded.expand()
+
+    def test_ci_preset_meets_acceptance_shape(self):
+        # The acceptance bar: >= 6 cases from >= 2 engines x >= 3
+        # scenarios at >= 5 repeats.
+        ci = load_matrix("ci")
+        cases = ci.expand()
+        assert len(cases) >= 6
+        assert ci.repeats >= 5
+        assert len({case.scenario for case in cases}) >= 3
+        assert len({
+            case.axes["engine"] for case in cases if "engine" in case.axes
+        }) >= 2
+
+    def test_load_by_path(self, tmp_path):
+        path = tmp_path / "custom.json"
+        path.write_text(json.dumps(matrix().to_dict()))
+        assert load_matrix(path).name == "test"
+
+    def test_unknown_name_errors(self):
+        with pytest.raises(MatrixError, match="no matrix config"):
+            load_matrix("no-such-matrix")
+
+    def test_invalid_json_errors(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(MatrixError, match="not valid JSON"):
+            load_matrix(path)
+
+    def test_scenario_registry_covers_presets(self):
+        names = scenario_names()
+        for required in (
+            "fig1b_star",
+            "fig4_powerlaw",
+            "powerlaw_10k",
+            "threshold_sweep",
+            "fig4_dieout_replicas",
+            "service_load",
+        ):
+            assert required in names

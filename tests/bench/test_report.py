@@ -1,0 +1,95 @@
+"""Report rendering: markdown tables and the self-contained HTML page."""
+
+from __future__ import annotations
+
+from repro.bench import (
+    CaseResult,
+    Ledger,
+    compare_ledgers,
+    render_html,
+    render_markdown,
+)
+
+
+def ledger(mean):
+    samples = (mean, mean * 1.01, mean * 0.99)
+    return Ledger(
+        cases=(
+            CaseResult(
+                id="fig1b_star/engine=fast",
+                scenario="fig1b_star",
+                axes={"engine": "fast"},
+                samples=samples,
+            ),
+            CaseResult(
+                id="replica_limits",
+                scenario="replica_limits",
+                gate=False,
+                notes="structural ceiling",
+            ),
+        ),
+        meta={"matrix": "quick", "python": "3.11"},
+    )
+
+
+class TestMarkdown:
+    def test_measurements_table(self):
+        text = render_markdown(ledger(1.0))
+        assert text.startswith("# Benchmark report — quick")
+        assert "matrix quick · python 3.11" in text
+        assert "## Measurements" in text
+        assert "| fig1b_star/engine=fast | 3 |" in text
+        assert "informational" in text  # the sample-less case
+
+    def test_small_values_render_as_ms(self):
+        text = render_markdown(ledger(0.002))
+        assert "ms" in text
+
+    def test_comparison_section(self):
+        baseline = ledger(1.0)
+        current = ledger(2.0)
+        comparison = compare_ledgers(baseline, current)
+        text = render_markdown(current, comparison)
+        assert "## Comparison vs baseline" in text
+        assert "❌ regressed" in text
+        assert comparison.summary() in text
+
+    def test_missing_and_new_listed(self):
+        baseline = ledger(1.0)
+        extra = Ledger(
+            cases=baseline.cases
+            + (CaseResult(id="added", scenario="added", samples=(1.0,)),),
+            meta=baseline.meta,
+        )
+        text = render_markdown(extra, compare_ledgers(baseline, extra))
+        assert "**New in current:** `added`" in text
+        text = render_markdown(baseline, compare_ledgers(extra, baseline))
+        assert "**Missing from current:** `added`" in text
+
+
+class TestHtml:
+    def test_self_contained_page(self):
+        page = render_html(ledger(1.0))
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<table>" in page and "</table>" in page
+        assert "<th>case</th>" in page
+        assert "fig1b_star/engine=fast" in page
+        # Self-contained: no external references.
+        assert "http" not in page and "src=" not in page
+
+    def test_comparison_table_included(self):
+        baseline = ledger(1.0)
+        current = ledger(2.0)
+        page = render_html(current, compare_ledgers(baseline, current))
+        assert "Comparison vs baseline" in page
+        assert "regressed" in page
+
+    def test_cell_content_escaped(self):
+        tricky = Ledger(
+            cases=(CaseResult(
+                id="a<b>&c", scenario="a<b>&c", samples=(1.0,)
+            ),),
+        )
+        page = render_html(tricky)
+        assert "a&lt;b&gt;&amp;c" in page
+        assert "a<b>&c" not in page

@@ -1,0 +1,241 @@
+"""The statistical gate: significance AND effect, never either alone.
+
+The synthetic distributions here are the gate's contract:
+
+* a clean 2x slowdown with tight scatter must regress;
+* identical distributions (resampled) must essentially never regress —
+  the false-positive rate is bounded by ``alpha``;
+* a heavy-tailed case whose own scatter dwarfs the drift must *not*
+  regress, however significant the mean shift looks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import GateConfig, SampleStats, gate_verdict, welch_p_value
+
+
+def normal_samples(rng, mean, stdev, n):
+    return [max(rng.gauss(mean, stdev), 1e-9) for _ in range(n)]
+
+
+class TestSampleStats:
+    def test_basic_summary(self):
+        stats = SampleStats.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert stats.n == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.stdev == pytest.approx(statistics.stdev([1, 2, 3, 4]))
+        assert stats.cv == pytest.approx(stats.stdev / stats.mean)
+
+    def test_ci_brackets_mean_and_tightens_with_n(self):
+        rng = random.Random(7)
+        narrow = SampleStats.from_samples(normal_samples(rng, 1.0, 0.05, 50))
+        wide = SampleStats.from_samples(normal_samples(rng, 1.0, 0.05, 5))
+        assert narrow.ci_low < narrow.mean < narrow.ci_high
+        assert (narrow.ci_high - narrow.ci_low) < (wide.ci_high - wide.ci_low)
+
+    def test_single_sample_degenerates(self):
+        stats = SampleStats.from_samples([3.2])
+        assert stats.n == 1
+        assert stats.stdev == 0.0
+        assert stats.ci_low == stats.ci_high == stats.mean
+        assert stats.cv == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SampleStats.from_samples([])
+
+
+class TestWelchPValue:
+    def test_clearly_different_means(self):
+        rng = random.Random(1)
+        p = welch_p_value(
+            normal_samples(rng, 1.0, 0.02, 10),
+            normal_samples(rng, 2.0, 0.02, 10),
+        )
+        assert p < 1e-6
+
+    def test_same_distribution_not_significant(self):
+        rng = random.Random(2)
+        p = welch_p_value(
+            normal_samples(rng, 1.0, 0.1, 10),
+            normal_samples(rng, 1.0, 0.1, 10),
+        )
+        assert p > 0.01
+
+    def test_point_vs_point_has_no_test(self):
+        assert welch_p_value([1.0], [2.0]) is None
+
+    def test_one_sided_point_uses_one_sample_test(self):
+        rng = random.Random(3)
+        p = welch_p_value([2.0], normal_samples(rng, 1.0, 0.02, 10))
+        assert p is not None and p < 1e-6
+
+    def test_constant_samples_do_not_yield_nan(self):
+        assert welch_p_value([1.0, 1.0, 1.0], [1.0, 1.0, 1.0]) == 1.0
+        assert welch_p_value([1.0, 1.0, 1.0], [2.0, 2.0, 2.0]) == 0.0
+        assert welch_p_value([2.0], [1.0, 1.0, 1.0]) == 0.0
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(ValueError):
+            welch_p_value([], [1.0])
+
+
+class TestGateVerdict:
+    def test_known_regression_flags(self):
+        rng = random.Random(11)
+        verdict = gate_verdict(
+            normal_samples(rng, 1.0, 0.02, 10),
+            normal_samples(rng, 2.0, 0.04, 10),
+        )
+        assert verdict.status == "regressed"
+        assert verdict.rel_change == pytest.approx(1.0, abs=0.1)
+        assert verdict.p_value < 0.01
+
+    def test_no_change_passes(self):
+        rng = random.Random(12)
+        verdict = gate_verdict(
+            normal_samples(rng, 1.0, 0.05, 10),
+            normal_samples(rng, 1.0, 0.05, 10),
+        )
+        assert verdict.status in ("unchanged", "indeterminate")
+        assert not verdict.regressed
+
+    def test_improvement_never_gates(self):
+        rng = random.Random(13)
+        verdict = gate_verdict(
+            normal_samples(rng, 2.0, 0.04, 10),
+            normal_samples(rng, 1.0, 0.02, 10),
+        )
+        assert verdict.status == "improved"
+        assert not verdict.regressed
+
+    def test_heavy_tailed_noise_is_shielded_by_cv_guard(self):
+        # Run-to-run scatter ~40% of the mean (lognormal, the shape of
+        # die-out sweeps): a 15% mean drift must not regress because
+        # the CV-aware threshold exceeds it, whatever the p-value says.
+        rng = random.Random(14)
+
+        def heavy(mean, n):
+            return [
+                mean * math.exp(rng.gauss(0.0, 0.4)) for _ in range(n)
+            ]
+
+        base = heavy(1.0, 30)
+        current = [v * 1.15 for v in heavy(1.0, 30)]
+        verdict = gate_verdict(base, current)
+        cv = max(
+            SampleStats.from_samples(base).cv,
+            SampleStats.from_samples(current).cv,
+        )
+        assert verdict.threshold >= 2.0 * cv > 0.15
+        assert verdict.status != "regressed"
+
+    def test_significant_but_tiny_drift_does_not_gate(self):
+        # 2% drift with microscopic scatter: significant at any alpha,
+        # but below min_effect — real yet not worth failing CI over.
+        rng = random.Random(15)
+        verdict = gate_verdict(
+            normal_samples(rng, 1.0, 0.001, 20),
+            normal_samples(rng, 1.02, 0.001, 20),
+        )
+        assert verdict.p_value < 1e-6
+        assert verdict.status == "unchanged"
+
+    def test_higher_is_better_flips_direction(self):
+        rng = random.Random(16)
+        faster = normal_samples(rng, 1.0, 0.02, 10)
+        slower = normal_samples(rng, 2.0, 0.04, 10)
+        assert gate_verdict(slower, faster, direction="lower").status == (
+            "improved"
+        )
+        assert gate_verdict(slower, faster, direction="higher").status == (
+            "regressed"
+        )
+
+    def test_point_comparison_uses_gross_bound(self):
+        # Single legacy samples: a 2x slowdown flags, a 10% drift not.
+        assert gate_verdict([1.0], [2.0]).status == "regressed"
+        assert gate_verdict([1.0], [1.1]).status == "unchanged"
+        assert gate_verdict([1.0], [0.4]).status == "improved"
+        assert gate_verdict([1.0], [2.0]).p_value is None
+
+    def test_zero_baseline_is_indeterminate(self):
+        verdict = gate_verdict([0.0], [1.0])
+        assert verdict.status == "indeterminate"
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            gate_verdict([1.0], [1.0], direction="sideways")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GateConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            GateConfig(min_effect=-0.1)
+
+
+class TestFalsePositiveRate:
+    def test_fp_rate_on_identical_distribution_stays_under_alpha(self):
+        # Resample baseline and current from the SAME distribution many
+        # times; with the effect threshold disabled the gate is a pure
+        # significance test, so regressions are exactly the false
+        # positives and their rate must track alpha.
+        rng = random.Random(99)
+        alpha = 0.05
+        config = GateConfig(
+            alpha=alpha, min_effect=0.0, cv_guard=0.0, point_effect=0.0
+        )
+        trials = 400
+        false_positives = sum(
+            gate_verdict(
+                normal_samples(rng, 1.0, 0.1, 8),
+                normal_samples(rng, 1.0, 0.1, 8),
+                config=config,
+            ).regressed
+            for _ in range(trials)
+        )
+        # Two-sided test, regressions are the worse half of rejections:
+        # expect ~alpha/2 * trials = 10; allow generous sampling slack.
+        assert false_positives / trials <= alpha
+
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.01, max_value=10.0),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_identical_samples_never_regress(self, samples):
+        verdict = gate_verdict(samples, list(samples))
+        assert verdict.status in ("unchanged", "indeterminate")
+        assert not verdict.regressed
+
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1.0, max_value=2.0),
+            min_size=2,
+            max_size=12,
+        ),
+        factor=st.floats(min_value=3.0, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_uniform_large_slowdown_always_regresses(self, samples, factor):
+        # Scaling every sample by 3-10x preserves the CV (bounded by
+        # the 1-2s sample range, so the CV-aware threshold stays below
+        # the 2x+ effect) and cannot shield a uniform slowdown.  When
+        # the scatter makes significance honestly fail at tiny n, the
+        # verdict must say indeterminate, not pass silently as
+        # unchanged.
+        current = [v * factor for v in samples]
+        verdict = gate_verdict(samples, current)
+        assert verdict.status in ("regressed", "indeterminate")
