@@ -331,11 +331,20 @@ register_scenario(ScenarioDef(
 
 
 class ReplicaArmWorkload(Workload):
-    """Grouped vs solo execution of one replica ensemble (BENCH_pr6)."""
+    """Grouped vs solo execution of one replica ensemble (BENCH_pr6).
+
+    The ``vector`` and ``roundrobin`` arms (BENCH_pr8) pin the
+    cross-replica loop of the grouped path: ``roundrobin`` is the PR 6
+    per-replica Python loop, ``vector`` the single-numpy-pass engine.
+    Both run the whole ensemble as one chunk so the arms compare loop
+    strategies, not chunking policies.
+    """
+
+    ARMS = ("grouped", "solo", "vector", "roundrobin")
 
     def __init__(self, ensemble: EnsembleSpec, arm: str) -> None:
-        if arm not in ("grouped", "solo"):
-            raise ValueError(f"arm must be 'grouped' or 'solo', got {arm!r}")
+        if arm not in self.ARMS:
+            raise ValueError(f"arm must be one of {self.ARMS}, got {arm!r}")
         self.ensemble = ensemble
         self.arm = arm
         self.specs: tuple[RunSpec, ...] = ()
@@ -352,6 +361,13 @@ class ReplicaArmWorkload(Workload):
                     SerialExecutor(), chunk_size=128
                 )
                 results = executor.run_specs(list(self.specs))
+            elif self.arm in ("vector", "roundrobin"):
+                executor = ReplicaBatchExecutor(
+                    SerialExecutor(),
+                    chunk_size=max(len(self.specs), 1),
+                    replica_engine=self.arm,
+                )
+                results = executor.run_specs(list(self.specs))
             else:
                 results = [execute_run(spec) for spec in self.specs]
         finals = [float(r.trajectory.ever_infected[-1]) for r in results]
@@ -364,13 +380,18 @@ class ReplicaArmWorkload(Workload):
 
 
 def _fig4_dieout_replicas(axes: dict[str, Any]) -> Workload:
+    # mu <= 0 switches patching off entirely: the saturating regime,
+    # where every replica takes off and infects the full population.
+    mu = float(axes["mu"])
     template = RunSpec(
         topology=TopologySpec(
             kind="powerlaw", num_nodes=int(axes["nodes"]), seed=42
         ),
         scan_rate=0.8,
         initial_infections=1,
-        immunization=ImmunizationPolicy.at_tick(1, float(axes["mu"])),
+        immunization=(
+            ImmunizationPolicy.at_tick(1, mu) if mu > 0 else None
+        ),
         max_ticks=int(axes["ticks"]),
         engine="fast-batched",
     )
@@ -390,7 +411,8 @@ register_scenario(ScenarioDef(
     defaults={"arm": "grouped", "nodes": 1000, "ticks": 150,
               "replicas": 128, "mu": 0.07},
     description="replica-batched vs solo execution of a die-out "
-    "ensemble on the fast-batched engine",
+    "ensemble on the fast-batched engine; vector/roundrobin arms pin "
+    "the cross-replica loop strategy at full batch width",
 ))
 
 

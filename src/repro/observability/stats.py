@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simulator.network import Network
 
@@ -47,13 +49,42 @@ def bucket_label(value: int) -> str:
     return f"{HISTOGRAM_BUCKETS[-1]}+"
 
 
+#: Label of every bucket code, indexed by ``searchsorted`` position.
+_BUCKET_LABELS = (
+    "0",
+    *(
+        f"{low}-{high - 1}"
+        for low, high in zip(HISTOGRAM_BUCKETS, HISTOGRAM_BUCKETS[1:])
+    ),
+    f"{HISTOGRAM_BUCKETS[-1]}+",
+)
+_BUCKET_BOUNDS = np.asarray(HISTOGRAM_BUCKETS, dtype=np.int64)
+
+
 def histogram(values: Iterable[int]) -> dict[str, int]:
-    """Bucketed counts of ``values`` (only non-empty buckets appear)."""
-    counts: dict[str, int] = {}
-    for value in values:
-        label = bucket_label(value)
-        counts[label] = counts.get(label, 0) + 1
-    return counts
+    """Bucketed counts of ``values`` (only non-empty buckets appear).
+
+    Vectorized, but byte-compatible with a sequential scan: keys appear
+    in first-encounter order, and the first negative value (in input
+    order) raises exactly as :func:`bucket_label` would.
+    """
+    if isinstance(values, np.ndarray):
+        arr = values.astype(np.int64, copy=False)
+    else:
+        arr = np.fromiter(values, dtype=np.int64)
+    if arr.size == 0:
+        return {}
+    negative = np.flatnonzero(arr < 0)
+    if negative.size:
+        bucket_label(int(arr[negative[0]]))  # raises with the bad value
+    codes = np.searchsorted(_BUCKET_BOUNDS, arr, side="right")
+    uniq, first, counts = np.unique(
+        codes, return_index=True, return_counts=True
+    )
+    order = np.argsort(first, kind="stable")
+    return {
+        _BUCKET_LABELS[int(uniq[i])]: int(counts[i]) for i in order
+    }
 
 
 def merge_counts(

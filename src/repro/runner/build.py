@@ -19,7 +19,7 @@ import numpy as np
 
 from ..models.base import Trajectory
 from ..observability.instrumentation import Instrumentation, InstrumentationOptions
-from ..observability.stats import drop_histogram, queue_histogram
+from ..observability.stats import drop_histogram, histogram, queue_histogram
 from ..simulator.defense import (
     DefenseDescriptor,
     deploy_backbone_rate_limit,
@@ -29,7 +29,7 @@ from ..simulator.defense import (
     no_defense,
 )
 from ..simulator.dynamic import DynamicQuarantine
-from ..simulator.fastpath import FastWormSimulation, ReplicaBatchSimulation
+from ..simulator.fastpath import FastWormSimulation, VectorReplicaSimulation
 from ..simulator.network import Network
 from ..simulator.observers import subset_fraction_curve
 from ..simulator.simulation import WormSimulation
@@ -209,6 +209,8 @@ def execute_run(
 def execute_replica_batch(
     specs: Sequence[RunSpec],
     options: InstrumentationOptions | None = None,
+    *,
+    replica_engine: str = "auto",
 ) -> list[RunResult]:
     """Execute a replica group — same scenario, different seeds — at once.
 
@@ -216,12 +218,18 @@ def execute_replica_batch(
     ``engine="fast-batched"``, and pin their topology seed (an unpinned
     topology resamples per run, so there is no shared network to
     amortize).  One scenario build serves every replica via
-    :class:`~repro.simulator.fastpath.ReplicaBatchSimulation`; each
+    :class:`~repro.simulator.fastpath.VectorReplicaSimulation`; each
     returned :class:`RunResult` is bit-identical to what
     :func:`execute_run` would produce for that spec alone, except
     ``wall_time``, which reports the group's elapsed time split evenly
     (per-replica attribution inside an interleaved tick loop would be
     noise anyway).
+
+    ``replica_engine`` selects the cross-replica loop: ``"auto"``
+    (vectorized whenever the scenario is eligible), ``"vector"``
+    (require it), or ``"roundrobin"`` (force the per-replica loop).
+    Both loops produce bit-identical results; the knob exists for
+    differential testing and benchmarking.
     """
     specs = list(specs)
     if not specs:
@@ -261,7 +269,13 @@ def execute_replica_batch(
         def quarantine_factory() -> DynamicQuarantine:
             return build_quarantine(quarantine_spec)
 
-    batch = ReplicaBatchSimulation(
+    # The harvest below reads trajectories, aggregate packet counters,
+    # and the transport's folded link arrays — never per-host stamps or
+    # per-link stats objects — so the per-replica whole-topology
+    # writeback can be skipped.  Figure 5's seed-subnet observable is
+    # the exception: it recounts infections from the written-back hosts.
+    writeback = "full" if template.observe == "seed_subnets" else "stats"
+    batch = VectorReplicaSimulation(
         network,
         build_worm(template.worm),
         scan_rate=template.scan_rate,
@@ -270,6 +284,8 @@ def execute_replica_batch(
         immunization=template.immunization,
         lan_delivery=template.lan_delivery,
         quarantine_factory=quarantine_factory,
+        mode=replica_engine,
+        writeback=writeback,
     )
     harvested: list[tuple[Trajectory, RunMetrics] | None] = [None] * len(
         specs
@@ -281,6 +297,10 @@ def execute_replica_batch(
         if spec.observe == "seed_subnets":
             trajectory = _seed_subnet_curve(network, spec.max_ticks)
         stats = network.stats
+        # Histograms come from the transport's folded per-link arrays:
+        # identical bucket counts to walking network.links (writeback
+        # has already run), without the per-replica whole-topology scan.
+        peak, dropped = sim.transport.link_stat_arrays()
         harvested[replica] = (
             trajectory,
             RunMetrics(
@@ -289,8 +309,8 @@ def execute_replica_batch(
                 packets_injected=stats.packets_injected,
                 packets_delivered=stats.packets_delivered,
                 packets_dropped=stats.packets_dropped,
-                queue_histogram=queue_histogram(network),
-                drop_histogram=drop_histogram(network),
+                queue_histogram=histogram(peak),
+                drop_histogram=histogram(dropped),
             ),
         )
 

@@ -38,11 +38,19 @@ oracle.
 batch-mode runs of one scenario onto the replica axis: one network,
 routing table, and transport layout serve every replica, and each
 replica's results are bit-identical to running its spec alone in batch
-mode.  The runner's ``engine="fast-batched"`` selects it for whole
-ensembles.
+mode.  :class:`.VectorReplicaSimulation` (:mod:`.vector`) advances all
+live replicas through each phase in one cross-replica numpy pass,
+again bit-identical, falling back to the round-robin loop where the
+batch transport itself would fall back.  The runner's
+``engine="fast-batched"`` selects it for whole ensembles.
 """
 
 from .engine import FastWormSimulation
 from .replicas import ReplicaBatchSimulation
+from .vector import VectorReplicaSimulation
 
-__all__ = ["FastWormSimulation", "ReplicaBatchSimulation"]
+__all__ = [
+    "FastWormSimulation",
+    "ReplicaBatchSimulation",
+    "VectorReplicaSimulation",
+]

@@ -51,7 +51,13 @@ from ..worms import (
 from .state import IMMUNE, INFECTED, SUSCEPTIBLE, HostArrays
 from .transport import FastTransport
 
-__all__ = ["FastWormSimulation", "FastBatchImmunization", "SCAN_MODES"]
+__all__ = [
+    "FastWormSimulation",
+    "FastBatchImmunization",
+    "SCAN_MODES",
+    "SubnetTables",
+    "pick_targets_local_pref",
+]
 
 #: Supported values for ``FastWormSimulation(scan_mode=...)``.
 SCAN_MODES = ("auto", "mirror", "batch")
@@ -61,6 +67,96 @@ SCAN_MODES = ("auto", "mirror", "batch")
 #: replay costs little and buys bit-identical differential testing;
 #: above it, the per-draw Python overhead dominates the tick.
 BATCH_MIN_HOSTS = 512
+
+
+class SubnetTables:
+    """Subnet membership of the infectable population, sliced flat.
+
+    ``members`` lists infectable hosts grouped by subnet; ``start`` /
+    ``count`` index each subnet's slice.  Hosts outside any subnet (or
+    a network without subnets at all) take the uniform fallback,
+    matching the reference's lone-host fall-through to
+    :class:`RandomScanWorm`.  Pure function of the network, so one
+    instance serves every replica of a vectorized ensemble.
+    """
+
+    __slots__ = ("members", "start", "count")
+
+    def __init__(
+        self, infectable_arr: np.ndarray, subnet_arr: np.ndarray | None
+    ) -> None:
+        self.members: np.ndarray | None = None
+        self.start: np.ndarray | None = None
+        self.count: np.ndarray | None = None
+        if subnet_arr is None:
+            return
+        subs = subnet_arr[infectable_arr]
+        keep = subs >= 0
+        members = infectable_arr[keep]
+        subs = subs[keep]
+        if members.size == 0:
+            return
+        order = np.argsort(subs, kind="stable")
+        members = members[order]
+        counts = np.bincount(subs[order], minlength=int(subs.max()) + 1)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        self.members = members
+        self.start = starts.astype(np.int64)
+        self.count = counts.astype(np.int64)
+
+
+def pick_targets_local_pref(
+    gen: np.random.Generator,
+    pool: np.ndarray,
+    subnet_arr: np.ndarray | None,
+    tables: SubnetTables,
+    local_pref: float,
+    origins: np.ndarray,
+) -> np.ndarray:
+    """Batch twin of :meth:`LocalPreferentialWorm.pick_target`.
+
+    With probability ``local_pref`` a scan draws uniformly from the
+    origin's subnet peers; lone hosts and the remaining scans draw
+    uniformly from the whole infectable pool minus the origin (the
+    reference's fallback random worm, hit 1.0).  The draw sequence is
+    a pure function of ``gen`` and ``origins``, which is what lets the
+    vectorized replica engine replay a solo run's stream exactly.
+    """
+    total = origins.size
+    targets = np.empty(total, dtype=np.int64)
+    local = np.zeros(total, dtype=bool)
+    if tables.members is not None:
+        subs = subnet_arr[origins]
+        valid = subs >= 0
+        cnt = np.zeros(total, dtype=np.int64)
+        cnt[valid] = tables.count[subs[valid]]
+        local = (gen.random(total) < local_pref) & (cnt >= 2)
+        if local.any():
+            size = cnt[local]
+            start = tables.start[subs[local]]
+            # Uniform over the subnet's ``size - 1`` peers: draw from
+            # the first ``size - 1`` slots and remap a self-draw to the
+            # slice's last member (a swap trick — every peer keeps
+            # probability 1/(size-1)).
+            j = gen.integers(0, size - 1)
+            cand = tables.members[start + j]
+            clash = cand == origins[local]
+            if clash.any():
+                cand[clash] = tables.members[(start + size - 1)[clash]]
+            targets[local] = cand
+    rest = ~local
+    n_rest = int(rest.sum())
+    if n_rest:
+        r_orig = origins[rest]
+        cand = pool[gen.integers(0, pool.size, size=n_rest)]
+        while True:
+            bad = cand == r_orig
+            misses = int(bad.sum())
+            if not misses:
+                break
+            cand[bad] = pool[gen.integers(0, pool.size, size=misses)]
+        targets[rest] = cand
+    return targets
 
 
 class FastImmunization:
@@ -302,7 +398,9 @@ class FastWormSimulation:
                 # vectorize the peer draws.
                 self._hit = 1.0
                 self._local_pref = worm.local_preference
-                self._build_subnet_tables()
+                self._subnet_tables = SubnetTables(
+                    self._infectable_arr, self._subnet_arr
+                )
             else:
                 self._hit = worm.hit_probability
                 self._local_pref = None
@@ -484,80 +582,15 @@ class FastWormSimulation:
             if routed:
                 instr.count("scans_routed", routed)
 
-    def _build_subnet_tables(self) -> None:
-        """Subnet membership of the infectable population, sliced flat.
-
-        ``_sub_members`` lists infectable hosts grouped by subnet;
-        ``_sub_start``/``_sub_count`` index each subnet's slice.  Hosts
-        outside any subnet (or a network without subnets at all) take
-        the uniform fallback, matching the reference's lone-host
-        fall-through to :class:`RandomScanWorm`.
-        """
-        self._sub_members: np.ndarray | None = None
-        if self._subnet_arr is None:
-            return
-        inf = self._infectable_arr
-        subs = self._subnet_arr[inf]
-        keep = subs >= 0
-        members = inf[keep]
-        subs = subs[keep]
-        if members.size == 0:
-            return
-        order = np.argsort(subs, kind="stable")
-        members = members[order]
-        counts = np.bincount(subs[order], minlength=int(subs.max()) + 1)
-        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        self._sub_members = members
-        self._sub_start = starts.astype(np.int64)
-        self._sub_count = counts.astype(np.int64)
-
     def _pick_targets_local_pref(self, origins: np.ndarray) -> np.ndarray:
-        """Batch twin of :meth:`LocalPreferentialWorm.pick_target`.
-
-        With probability ``local_preference`` a scan draws uniformly
-        from the origin's subnet peers; lone hosts and the remaining
-        scans draw uniformly from the whole infectable pool minus the
-        origin (the reference's fallback random worm, hit 1.0).
-        """
-        gen = self._gen
-        pool = self._infectable_arr
-        total = origins.size
-        targets = np.empty(total, dtype=np.int64)
-        local = np.zeros(total, dtype=bool)
-        if self._sub_members is not None:
-            subs = self._subnet_arr[origins]
-            valid = subs >= 0
-            cnt = np.zeros(total, dtype=np.int64)
-            cnt[valid] = self._sub_count[subs[valid]]
-            local = (gen.random(total) < self._local_pref) & (cnt >= 2)
-            if local.any():
-                size = cnt[local]
-                start = self._sub_start[subs[local]]
-                # Uniform over the subnet's ``size - 1`` peers: draw
-                # from the first ``size - 1`` slots and remap a
-                # self-draw to the slice's last member (a swap trick —
-                # every peer keeps probability 1/(size-1)).
-                j = gen.integers(0, size - 1)
-                cand = self._sub_members[start + j]
-                clash = cand == origins[local]
-                if clash.any():
-                    cand[clash] = self._sub_members[
-                        (start + size - 1)[clash]
-                    ]
-                targets[local] = cand
-        rest = ~local
-        n_rest = int(rest.sum())
-        if n_rest:
-            r_orig = origins[rest]
-            cand = pool[gen.integers(0, pool.size, size=n_rest)]
-            while True:
-                bad = cand == r_orig
-                misses = int(bad.sum())
-                if not misses:
-                    break
-                cand[bad] = pool[gen.integers(0, pool.size, size=misses)]
-            targets[rest] = cand
-        return targets
+        return pick_targets_local_pref(
+            self._gen,
+            self._infectable_arr,
+            self._subnet_arr,
+            self._subnet_tables,
+            self._local_pref,
+            origins,
+        )
 
     def _transmit_phase(self, tick: int) -> None:
         transport = self.transport

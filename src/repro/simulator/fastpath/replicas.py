@@ -157,6 +157,15 @@ class ReplicaBatchSimulation:
         called once per replica, plus once at construction to capture
         the deployment plan.  Each replica's control loop runs
         independently — detection tick and deployment are per replica.
+    writeback:
+        ``"full"`` (default) writes host stamps, per-link stats and
+        residual queues back onto the network before each harvest —
+        the callback observes exactly what a solo run would have left
+        behind.  ``"stats"`` restores only the aggregate packet
+        counters (``network.stats``) and leaves hosts/links untouched:
+        for harvests that read trajectories, totals, and the
+        transport's arrays directly, it skips the per-replica
+        whole-topology writeback walk entirely.
 
     The tick loop interleaves replicas: every live replica executes the
     standard five-phase tick (via its simulation's own bound phase
@@ -179,11 +188,17 @@ class ReplicaBatchSimulation:
         immunization: ImmunizationPolicy | None = None,
         lan_delivery: bool = False,
         quarantine_factory: Callable[[], DynamicQuarantine] | None = None,
+        writeback: str = "full",
     ) -> None:
         if not seeds:
             raise ValueError("seeds must be non-empty")
+        if writeback not in ("full", "stats"):
+            raise ValueError(
+                f"writeback must be 'full' or 'stats', got {writeback!r}"
+            )
         self.network = network
         self.replicas = len(seeds)
+        self._writeback = writeback
         self._plan: DeploymentPlan | None = None
         if quarantine_factory is not None:
             probe = quarantine_factory()
@@ -239,7 +254,10 @@ class ReplicaBatchSimulation:
             for i in self._touched:
                 link = links[keys[i]]
                 link.stats = LinkStats()
-                link.load_queue([])
+                # Most touched links only carried counters; rebuilding
+                # an empty deque per link per replica adds up.
+                if link._queue:
+                    link.load_queue([])
             self._touched = []
 
     def _finalize(
@@ -248,8 +266,26 @@ class ReplicaBatchSimulation:
         sim: FastWormSimulation,
         harvest: Callable[[int, FastWormSimulation], None],
     ) -> None:
+        if self._writeback == "stats":
+            # Aggregate counters only: same values ``transport.
+            # writeback`` would leave on ``network.stats``, without the
+            # per-link/per-host walk.  Hosts and links keep their
+            # initial state.
+            transport = sim.transport
+            stats = self.network.stats
+            stats.packets_injected = (
+                self._base_injected + transport.injected
+            )
+            stats.packets_delivered = (
+                self._base_delivered + transport.delivered
+            )
+            stats.packets_dropped = (
+                self._base_dropped + transport.dropped_total
+            )
+            harvest(replica, sim)
+            return
         self._reset_network()
-        sim.hosts.writeback()
+        sim.hosts.writeback(replica)
         self._touched = sim.transport.writeback(sim._final_tick)
         harvest(replica, sim)
 

@@ -84,6 +84,14 @@ class HostArrays:
         self.status = np.tile(status0, (replicas, 1))
         self.infected_at = np.tile(infected0, (replicas, 1))
         self.immunized_at = np.tile(immunized0, (replicas, 1))
+        # Mirror of what the network's Host objects currently hold, so
+        # writeback only touches hosts that differ.  Valid because
+        # nothing mutates host state/stamps between construction and
+        # writeback except writeback itself (fast engines run entirely
+        # on the arrays; defense deploys only attach buckets).
+        self._net_status = status0
+        self._net_inf = infected0
+        self._net_imm = immunized0
         base_infected = {
             node for node in network.infectable
             if status0[node] == INFECTED
@@ -218,6 +226,101 @@ class HostArrays:
         self._row[node] = IMMUNE
         self._imm_row[node] = tick
         return True
+
+    # ------------------------------------------------------------------
+    # Grouped (cross-replica) mutation — the vectorized replica engine
+    # ------------------------------------------------------------------
+    #
+    # The grouped API addresses ``(replica, node)`` pairs directly and
+    # bypasses the active-replica cursor *and* the per-replica counters
+    # and infected indices: the vectorized engine keeps its own (R,)
+    # compartment counters and derives scan origins from the status
+    # matrix, so maintaining the python-side sets per mutation would be
+    # pure overhead.  Do not mix grouped mutation with the scalar API on
+    # the same replica mid-run.
+
+    def infect_grouped(
+        self, reps: np.ndarray, nodes: np.ndarray, tick: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cross-replica S → I over ``(replica, node)`` arrival pairs.
+
+        Duplicates collapse first (within one tick every duplicate
+        arrival after the first is a no-op in the scalar engine, and
+        the infection stamp is this tick either way), then susceptible
+        pairs flip.  Returns the newly infected ``(reps, nodes)`` pairs,
+        replica-ascending.
+        """
+        if reps.size == 0:
+            return reps, nodes
+        n = self.status.shape[1]
+        keys = np.unique(reps * n + nodes)
+        reps_u = keys // n
+        nodes_u = keys - reps_u * n
+        fresh = self.status[reps_u, nodes_u] == SUSCEPTIBLE
+        if not fresh.all():
+            reps_u = reps_u[fresh]
+            nodes_u = nodes_u[fresh]
+        if reps_u.size:
+            self.status[reps_u, nodes_u] = INFECTED
+            self.infected_at[reps_u, nodes_u] = tick
+        return reps_u, nodes_u
+
+    def immunize_grouped(
+        self, reps: np.ndarray, nodes: np.ndarray, tick: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cross-replica S/I → R over unique ``(replica, node)`` pairs.
+
+        Returns the pairs actually immunized plus a parallel
+        ``was_infected`` mask so the caller can split its compartment
+        counter updates exactly as :meth:`immunize_many` would.
+        """
+        if reps.size == 0:
+            return reps, np.zeros(0, dtype=bool)
+        codes = self.status[reps, nodes]
+        actionable = (codes != IMMUNE) & (codes != UNTRACKED)
+        if not actionable.all():
+            reps = reps[actionable]
+            nodes = nodes[actionable]
+            codes = codes[actionable]
+        if reps.size:
+            self.status[reps, nodes] = IMMUNE
+            self.immunized_at[reps, nodes] = tick
+        return reps, codes == INFECTED
+
+    def throttle_gate_grouped(
+        self, reps: np.ndarray, nodes: np.ndarray, want: np.ndarray
+    ) -> np.ndarray:
+        """Cross-replica scan-throttle gating for unique (rep, node) pairs.
+
+        The grouped twin of the batch scan path's token clamp: floor the
+        pair's token balance (same ``1e-12`` epsilon), allow
+        ``min(want, usable)``, debit the tokens, and return the allowed
+        counts aligned with the inputs.  Inactive (latent) columns gate
+        nothing, exactly like the per-replica path.
+        """
+        allowed = want.copy()
+        if reps.size == 0 or not self.throttle_pos:
+            return allowed
+        pos = self.throttle_pos_arr[nodes]
+        sel = np.flatnonzero(pos >= 0)
+        if sel.size == 0:
+            return allowed
+        rr = reps[sel]
+        pp = pos[sel]
+        act = self._t_active[rr, pp]
+        if not act.all():
+            sel = sel[act]
+            rr = rr[act]
+            pp = pp[act]
+        if sel.size == 0:
+            return allowed
+        tokens = self._t_tokens
+        usable = np.floor(tokens[rr, pp] + 1e-12).astype(np.int64)
+        np.maximum(usable, 0, out=usable)
+        grant = np.minimum(want[sel], usable)
+        tokens[rr, pp] -= grant
+        allowed[sel] = grant
+        return allowed
 
     def immunize_many(self, nodes: np.ndarray, tick: int) -> int:
         """Vectorized :meth:`immunize` over an array of host node ids.
@@ -398,21 +501,48 @@ class HostArrays:
     # Writeback
     # ------------------------------------------------------------------
 
-    def writeback(self) -> None:
-        """Copy the active replica's final state onto the network's hosts.
+    def writeback(self, replica: int | None = None) -> None:
+        """Copy one replica's final state onto the network's hosts.
 
-        Every host is written unconditionally — including runs whose
-        infections all died at tick 0 and never populated the active
-        infected index — so stamp arrays round-trip exactly as a
-        reference run would have left them (``NEVER`` becomes ``None``).
+        ``replica`` defaults to the active replica; passing it
+        explicitly addresses a row without moving the cursor (the
+        vectorized engine never moves it).  Every host whose state or
+        stamps differ from what the network currently holds is written
+        — including runs whose infections all died at tick 0 and never
+        populated the active infected index — so stamp arrays
+        round-trip exactly as a reference run would have left them
+        (``NEVER`` becomes ``None``).  The diff against the
+        ``_net_*`` mirror makes harvesting a replica cost O(changed
+        hosts), which is what lets a 1000-replica die-out ensemble
+        finalize its mostly-untouched replicas cheaply.
         """
-        row = self._row
-        inf_row = self._inf_row
-        imm_row = self._imm_row
+        if replica is None or replica == self._active:
+            row = self._row
+            inf_row = self._inf_row
+            imm_row = self._imm_row
+        else:
+            row = self.status[replica]
+            inf_row = self.infected_at[replica]
+            imm_row = self.immunized_at[replica]
+        net_status = self._net_status
+        net_inf = self._net_inf
+        net_imm = self._net_imm
+        changed = np.flatnonzero(
+            (row != net_status)
+            | (inf_row != net_inf)
+            | (imm_row != net_imm)
+        )
+        if changed.size == 0:
+            return
         state_of = _STATE_OF
-        for node, host in self.network.hosts.items():
+        hosts = self.network.hosts
+        for node in changed.tolist():
+            host = hosts[node]
             host.state = state_of[int(row[node])]
             stamp = inf_row[node]
             host.infected_at = int(stamp) if stamp >= 0 else None
             stamp = imm_row[node]
             host.immunized_at = int(stamp) if stamp >= 0 else None
+        net_status[changed] = row[changed]
+        net_inf[changed] = inf_row[changed]
+        net_imm[changed] = imm_row[changed]

@@ -156,20 +156,30 @@ class FastTransport:
         #: bulk wave (batch mode only; see inject_batch).
         self._pending_li: list[np.ndarray] = []
         self._pending_dst: list[np.ndarray] = []
+        #: Optional per-link count of packets the vectorized replica
+        #: engine holds for this replica in its global waiter store
+        #: (``None`` outside that engine).  Scalar enqueues add it to
+        #: the real deque depth so drop-tail bounds and peak-depth
+        #: tracking see the same queue the solo engine would.
+        self.pending_depth: np.ndarray | None = None
         self.rows = layout.rows
         self._parent = layout.parent
         self.key_array = layout.key_array
         self.link_dst_arr = layout.link_dst_arr
-        # Rate-limit state: copied from the layout's template — exactly
-        # what sync_limits would mirror from the network with no prior
-        # token state (new buckets adopt their own token counts).
-        self._link_buckets = list(layout.link_buckets)
-        self.limited = list(layout.limited)
-        self.limited_arr = layout.limited_arr.copy()
-        self.l_rate = layout.l_rate.copy()
-        self.l_burst = layout.l_burst.copy()
+        # Rate-limit state: the layout's template — exactly what
+        # sync_limits would mirror from the network with no prior token
+        # state (new buckets adopt their own token counts).  Everything
+        # except the token balance is shared copy-on-write: the only
+        # in-place mutators (apply_limit_plan) and wholesale rebuilders
+        # (sync_limits) replace these attributes first, so a thousand
+        # replicas sharing one template never alias a write.
+        self._link_buckets = layout.link_buckets
+        self.limited = layout.limited
+        self.limited_arr = layout.limited_arr
+        self.l_rate = layout.l_rate
+        self.l_burst = layout.l_burst
         self.l_tokens = layout.l_tokens0.copy()
-        self._limited_idx = layout.limited_idx.copy()
+        self._limited_idx = layout.limited_idx
         self._budget_buckets: dict[int, object] = dict(layout.budget_buckets)
         self.budget_rate = {
             node: bucket.rate
@@ -263,6 +273,17 @@ class FastTransport:
         invokes mid-run.)
         """
         if link_idx.size:
+            # Un-share the copy-on-write rate-limit template before the
+            # first in-place write (see __init__).
+            layout = self.layout
+            if self.limited is layout.limited:
+                self.limited = list(layout.limited)
+            if self.limited_arr is layout.limited_arr:
+                self.limited_arr = layout.limited_arr.copy()
+            if self.l_rate is layout.l_rate:
+                self.l_rate = layout.l_rate.copy()
+            if self.l_burst is layout.l_burst:
+                self.l_burst = layout.l_burst.copy()
             limited = self.limited
             for li in link_idx.tolist():
                 limited[li] = True
@@ -505,28 +526,31 @@ class FastTransport:
         limited = self.limited
         nonempty_u = self.nonempty_u
         nonempty_l = self.nonempty_l
+        pend = self.pending_depth
         added = 0
         added_u = 0
         overflowed = 0
         for link, dst in zip(li.tolist(), dsts.tolist()):
             queue = queues[link]
-            depth = len(queue)
-            if depth >= max_queue[link]:
+            real = len(queue)
+            extra = int(pend[link]) if pend is not None else 0
+            if real + extra >= max_queue[link]:
                 drop_list[link] += 1
                 overflowed += 1
                 continue
             queue.append(dst)
             enq_list[link] += 1
-            depth += 1
+            real += 1
+            depth = real + extra
             if depth > peak_list[link]:
                 peak_list[link] = depth
             added += 1
             if limited[link]:
-                if depth == 1:
+                if real == 1:
                     nonempty_l.add(link)
             else:
                 added_u += 1
-                if depth == 1:
+                if real == 1:
                     nonempty_u.add(link)
         self.queued_total += added
         self.queued_u += added_u
@@ -594,23 +618,68 @@ class FastTransport:
         next_hop = self.rows[dst][node]
         lj = self.index_of[node * self.n + next_hop]
         queue = self.queues[lj]
-        if len(queue) >= self.max_queue[lj]:
+        pend = self.pending_depth
+        extra = int(pend[lj]) if pend is not None else 0
+        if len(queue) + extra >= self.max_queue[lj]:
             self.drop_list[lj] += 1
             self.dropped_total += 1
             return
         queue.append(dst)
         self.enq_list[lj] += 1
-        depth = len(queue)
+        depth = len(queue) + extra
         if depth > self.peak_list[lj]:
             self.peak_list[lj] = depth
         self.queued_total += 1
         if self.limited[lj]:
-            if depth == 1:
+            if len(queue) == 1:
                 self.nonempty_l.add(lj)
         else:
             self.queued_u += 1
-            if depth == 1:
+            if len(queue) == 1:
                 self.nonempty_u.add(lj)
+
+    def _trickle_limited(self, arrived: list[int]) -> None:
+        """Stage 1 of the batch tick: drain rate-limited links scalarly.
+
+        Rate-limited links holding a whole token move packets one by one
+        (their aggregate throughput is tiny by construction); arrivals
+        append to ``arrived`` in sorted-link order.  Factored out so the
+        vectorized replica engine can run this per-replica stage between
+        the shared refill and the global wave cascade.
+        """
+        queues = self.queues
+        l_tokens = self.l_tokens
+        held = np.fromiter(
+            self.nonempty_l, dtype=np.int64, count=len(self.nonempty_l)
+        )
+        ready = held[l_tokens[held] + 1e-12 >= 1.0]
+        ready.sort()
+        fwd_list = self.fwd_list
+        peak_list = self.peak_list
+        for li in ready.tolist():
+            queue = queues[li]
+            # Lazy peak for rate-limited links: the queue only grew
+            # since the last drain, so this is its high-water mark.
+            depth = len(queue)
+            if depth > peak_list[li]:
+                peak_list[li] = depth
+            tokens = l_tokens[li]
+            node = self.link_dst[li]
+            moved = 0
+            while queue and tokens + 1e-12 >= 1.0:
+                tokens -= 1.0
+                dst = queue.popleft()
+                moved += 1
+                if dst == node:
+                    arrived.append(dst)
+                    self.delivered += 1
+                else:
+                    self._enqueue_one(node, dst)
+            l_tokens[li] = tokens
+            fwd_list[li] += moved
+            self.queued_total -= moved
+            if not queue:
+                self.nonempty_l.discard(li)
 
     def transmit_tick_batch(self) -> list[int]:
         """Advance every link one tick, moving packet arrays in bulk.
@@ -630,40 +699,9 @@ class FastTransport:
         self._refill_limited()
         arrived: list[int] = []
         queues = self.queues
-        l_tokens = self.l_tokens
         # Stage 1: trickle through rate-limited links with >= 1 token.
         if self.nonempty_l:
-            held = np.fromiter(
-                self.nonempty_l, dtype=np.int64, count=len(self.nonempty_l)
-            )
-            ready = held[l_tokens[held] + 1e-12 >= 1.0]
-            ready.sort()
-            fwd_list = self.fwd_list
-            peak_list = self.peak_list
-            for li in ready.tolist():
-                queue = queues[li]
-                # Lazy peak for rate-limited links: the queue only grew
-                # since the last drain, so this is its high-water mark.
-                depth = len(queue)
-                if depth > peak_list[li]:
-                    peak_list[li] = depth
-                tokens = l_tokens[li]
-                node = self.link_dst[li]
-                moved = 0
-                while queue and tokens + 1e-12 >= 1.0:
-                    tokens -= 1.0
-                    dst = queue.popleft()
-                    moved += 1
-                    if dst == node:
-                        arrived.append(dst)
-                        self.delivered += 1
-                    else:
-                        self._enqueue_one(node, dst)
-                l_tokens[li] = tokens
-                fwd_list[li] += moved
-                self.queued_total -= moved
-                if not queue:
-                    self.nonempty_l.discard(li)
+            self._trickle_limited(arrived)
         # Stage 2: bulk wave cascade — virtual injections plus queued
         # packets on unlimited links.
         chunks_dst = self._pending_dst
@@ -746,6 +784,22 @@ class FastTransport:
     # Writeback
     # ------------------------------------------------------------------
 
+    def link_stat_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Folded per-link ``(peak_queue, dropped)`` in layout order.
+
+        The same fold :meth:`writeback` applies per link (scalar track
+        max/plus vectorized track), for every link at once — so a
+        caller that only needs link-stat *distributions* (the runner's
+        histograms) can skip walking ``network.links``.  Call at or
+        after writeback time; mid-tick virtual injections are not
+        folded in.
+        """
+        peak = np.maximum(
+            np.asarray(self.peak_list, dtype=np.int64), self.peak_vec
+        )
+        dropped = np.asarray(self.drop_list, dtype=np.int64)
+        return peak, dropped
+
     def writeback(self, final_tick: int) -> list[int]:
         """Copy accumulated counters and residual queues onto the network.
 
@@ -773,26 +827,40 @@ class FastTransport:
         stats.packets_injected += self.injected
         stats.packets_delivered += self.delivered
         stats.packets_dropped += self.dropped_total
-        fwd_vec = self.fwd_vec.tolist()
-        enq_vec = self.enq_vec.tolist()
-        peak_vec = self.peak_vec.tolist()
+        # Candidate links: the vectorized track's nonzero entries plus
+        # every link that ever got a queue.  The scalar-track counters
+        # (fwd/drop/enq/peak/req lists) are only written after a
+        # ``queues[li]`` access, which creates the defaultdict entry —
+        # so this set covers them, and links the run never moved a
+        # packet over are skipped without a whole-topology walk.
+        candidates = set(
+            np.flatnonzero(
+                self.fwd_vec | self.enq_vec | self.peak_vec
+            ).tolist()
+        )
+        candidates.update(self.queues.keys())
+        fwd_vec = self.fwd_vec
+        enq_vec = self.enq_vec
+        peak_vec = self.peak_vec
         infection = PacketKind.INFECTION
         new_packet = Packet.__new__
         touched: list[int] = []
+        keys = self.keys
         # Residual queues can hold 100k+ packets on rate-limited links;
         # pause collection while materializing them so the allocation
         # burst does not trigger repeated whole-heap scans.
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
-            for i, key in enumerate(self.keys):
-                forwarded = self.fwd_list[i] + fwd_vec[i]
-                enqueued = self.enq_list[i] + enq_vec[i]
+            for i in sorted(candidates):
+                key = keys[i]
+                forwarded = self.fwd_list[i] + int(fwd_vec[i])
+                enqueued = self.enq_list[i] + int(enq_vec[i])
                 dropped = self.drop_list[i]
                 requeued = self.req_list[i]
                 peak = self.peak_list[i]
                 if peak_vec[i] > peak:
-                    peak = peak_vec[i]
+                    peak = int(peak_vec[i])
                 queue = self.queues.get(i)
                 if not (
                     forwarded or enqueued or dropped or requeued

@@ -19,6 +19,7 @@ from repro.runner.cache import ResultCache
 from repro.runner.executors import (
     ParallelExecutor,
     PersistentExecutor,
+    ReplicaBatchExecutor,
     RunTimeoutError,
     SerialExecutor,
 )
@@ -177,6 +178,78 @@ class TestPoolDegradation:
             with chaos_active(plan):
                 with pytest.raises(RunTimeoutError, match="exceeded"):
                     run_ensemble(spec, executor=executor, use_cache=False)
+
+
+class TestReplicaBatchDegradation:
+    """Fault injection over the cross-replica vectorized path.
+
+    The replica-batched executor shares one chaos point per chunk
+    (``runner.executor.run``); these scenarios assert that faults fired
+    there degrade exactly like solo runs — same warnings, same
+    counters — while the vectorized engine's stats-only writeback still
+    yields payloads byte-identical to clean solo execution.
+    """
+
+    def replica_ensemble(
+        self, label: str, num_runs: int = 6
+    ) -> EnsembleSpec:
+        # Pinned topology seed + fast-batched engine makes every run
+        # groupable, so the whole ensemble takes the vectorized path.
+        return EnsembleSpec(
+            template=RunSpec(
+                topology=TopologySpec(kind="star", num_nodes=30, seed=7),
+                max_ticks=8,
+                engine="fast-batched",
+            ),
+            num_runs=num_runs,
+            base_seed=11,
+            label=label,
+        )
+
+    def test_delayed_chunk_keeps_vectorized_payload_identical(self):
+        spec = self.replica_ensemble("replica-delay")
+        expected = clean_payload(spec)
+        plan = FaultPlan.single(
+            "runner.executor.run", Fault("delay", delay_s=0.05), at=0
+        )
+        executor = ReplicaBatchExecutor(
+            SerialExecutor(), chunk_size=3, replica_engine="vector"
+        )
+        slept: list[float] = []
+        with chaos_active(plan) as controller:
+            controller.sleep = slept.append
+            result = run_ensemble(spec, executor=executor, use_cache=False)
+            # Six replicas in chunks of three: the point fires per
+            # chunk, and only the scheduled chunk sleeps.
+            assert controller.invocations("runner.executor.run") == 2
+        assert slept == [0.05]
+        assert controller.fired_log() == [
+            ("runner.executor.run", 0, "delay")
+        ]
+        assert result_payload(result) == expected
+
+    def test_unwritable_cache_degrades_vectorized_batch(self, tmp_path):
+        spec = self.replica_ensemble("replica-cache")
+        expected = clean_payload(spec)
+        cache = ResultCache(tmp_path)
+        plan = FaultPlan.single(
+            "runner.cache.store", Fault("io_error"), at=0
+        )
+        executor = ReplicaBatchExecutor(
+            SerialExecutor(), chunk_size=3, replica_engine="vector"
+        )
+        with chaos_active(plan):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                result = run_ensemble(spec, executor=executor, cache=cache)
+        unwritable = [
+            w
+            for w in caught
+            if "result cache unwritable" in str(w.message)
+        ]
+        assert len(unwritable) == 1
+        assert cache.stores == 0
+        assert result_payload(result) == expected
 
 
 class TestSerialDelay:

@@ -22,7 +22,10 @@ from repro.simulator import (
     RandomScanWorm,
     WormSimulation,
 )
-from repro.simulator.fastpath import ReplicaBatchSimulation
+from repro.simulator.fastpath import (
+    ReplicaBatchSimulation,
+    VectorReplicaSimulation,
+)
 
 #: Patch everyone (including the infected seeds) on tick 0.
 KILL_ALL = ImmunizationPolicy.at_tick(0, 1.0)
@@ -89,6 +92,39 @@ def test_tick0_dieout_replica_batch_writes_back_stamps():
         # on the network anyway.
         with pytest.raises(ModelError):
             sim.recorder.trajectory()
+        harvested[replica] = _stamps(network)
+
+    batch.run(MAX_TICKS, harvest)
+    assert sorted(harvested) == list(range(len(SEEDS)))
+    for replica, seed in enumerate(SEEDS):
+        assert harvested[replica] == _run(WormSimulation, seed), seed
+
+
+@pytest.mark.parametrize("mode", ["vector", "roundrobin"])
+def test_tick0_dieout_vector_replicas_write_back_stamps(mode):
+    """The cross-replica vectorized loop finalizes tick-0 die-outs too.
+
+    Every replica dies on the very first tick, so the vector engine's
+    finished-detection fires for the whole batch at once: each replica
+    must still flush its pending-store packets, write its stamps back,
+    and reach its harvest callback exactly once.
+    """
+    network = Network.from_powerlaw(80, seed=3)
+    batch = VectorReplicaSimulation(
+        network,
+        RandomScanWorm(hit_probability=0.5),
+        scan_rate=1.2,
+        seeds=list(SEEDS),
+        initial_infections=3,
+        immunization=KILL_ALL,
+        mode=mode,
+    )
+    harvested = {}
+
+    def harvest(replica, sim):
+        with pytest.raises(ModelError):
+            sim.recorder.trajectory()
+        assert replica not in harvested
         harvested[replica] = _stamps(network)
 
     batch.run(MAX_TICKS, harvest)

@@ -54,7 +54,10 @@ from repro.runner.spec import (
     TopologySpec,
     WormSpec,
 )
-from repro.simulator.fastpath import ReplicaBatchSimulation
+from repro.simulator.fastpath import (
+    ReplicaBatchSimulation,
+    VectorReplicaSimulation,
+)
 from repro.simulator.fastpath.engine import BATCH_MIN_HOSTS
 from repro.simulator.fastpath.state import (
     IMMUNE,
@@ -665,6 +668,70 @@ class TestReplicaBatchBitIdentical:
         assert wide[3] == pair[0]
 
 
+def _vector_batch(scenario, seeds, mode="vector"):
+    network = _replica_network(scenario)
+    batch = VectorReplicaSimulation(
+        network,
+        scenario["worm"](),
+        scan_rate=scenario.get("scan_rate", 1.2),
+        seeds=list(seeds),
+        initial_infections=2,
+        immunization=scenario.get("immunization"),
+        lan_delivery=scenario.get("lan", False),
+        quarantine_factory=scenario.get("quarantine"),
+        mode=mode,
+    )
+    harvested = {}
+
+    def harvest(replica, sim):
+        harvested[replica] = (
+            _trajectory_tuple(sim.recorder.trajectory()),
+            _result_state(network),
+        )
+
+    batch.run(_REPLICA_TICKS, harvest)
+    return [harvested[i] for i in range(len(seeds))]
+
+
+@pytest.mark.parametrize(
+    "scenario", REPLICA_SCENARIOS.values(), ids=REPLICA_SCENARIOS.keys()
+)
+class TestVectorReplicaBitIdentical:
+    """The cross-replica vectorized engine replays solo batch runs.
+
+    Unlike the round-robin loop, ``mode="vector"`` advances *all* live
+    replicas through each tick phase in single numpy passes (shared
+    scan/transport/defense kernels with a global pending-packet store),
+    yet per-replica RNG streams draw in the solo order — so every
+    scenario here asserts full bit-identity against ``scan_mode="batch"``
+    solo runs: trajectories, host stamps, per-link forwarded/dropped/
+    enqueued/peak/requeued counters and residual queue depths.
+    """
+
+    def test_each_replica_matches_its_solo_run(self, scenario):
+        grouped = _vector_batch(scenario, _REPLICA_SEEDS)
+        for seed, (trajectory, state) in zip(_REPLICA_SEEDS, grouped):
+            solo_trajectory, solo_state = _solo_batch(scenario, seed)
+            assert trajectory == solo_trajectory, seed
+            assert state == solo_state, seed
+
+    def test_vector_matches_roundrobin(self, scenario):
+        """Both cross-replica loops produce identical results."""
+        vector = _vector_batch(scenario, _REPLICA_SEEDS, mode="vector")
+        rrobin = _vector_batch(scenario, _REPLICA_SEEDS, mode="roundrobin")
+        assert vector == rrobin
+
+    def test_grouping_is_width_and_order_invariant(self, scenario):
+        """A replica's results do not depend on its batch neighbours."""
+        wide = _vector_batch(scenario, _REPLICA_SEEDS)
+        narrow = _vector_batch(scenario, _REPLICA_SEEDS[:2])
+        pair = _vector_batch(scenario, _REPLICA_SEEDS[::-1])
+        assert wide[0] == narrow[0]
+        assert wide[1] == narrow[1]
+        assert wide[0] == pair[3]
+        assert wide[3] == pair[0]
+
+
 def _replica_ensemble(num_runs: int = 4, **template_overrides) -> EnsembleSpec:
     template = RunSpec(
         topology=TopologySpec(kind="powerlaw", num_nodes=120, seed=7),
@@ -721,6 +788,35 @@ class TestReplicaBatchRunner:
         solo = {s.seed: _normalized(execute_run(s)) for s in shuffled}
         for result in results:
             assert _normalized(result) == solo[result.spec.seed]
+
+    @pytest.mark.parametrize("engine", ["vector", "roundrobin"])
+    def test_replica_engine_knob_preserves_results(self, engine):
+        """Either cross-replica loop matches per-run execution exactly."""
+        spec = _replica_ensemble(
+            quarantine=QuarantineSpec(
+                response=DefenseSpec(kind="backbone", rate=1.0),
+                reaction_delay=3,
+            )
+        )
+        runs = spec.expand()
+        grouped = execute_replica_batch(runs, replica_engine=engine)
+        solo = [execute_run(run_spec) for run_spec in runs]
+        assert [_normalized(r) for r in grouped] == [
+            _normalized(r) for r in solo
+        ]
+
+    def test_executor_chunk_width_is_invariant(self):
+        """Results do not depend on how the executor slices the batch."""
+        runs = list(_replica_ensemble(num_runs=9).expand())
+        full = ReplicaBatchExecutor(
+            SerialExecutor(), replica_engine="vector"
+        ).run_specs(runs)
+        chunked = ReplicaBatchExecutor(
+            SerialExecutor(), chunk_size=4, replica_engine="vector"
+        ).run_specs(runs)
+        assert [_normalized(r) for r in full] == [
+            _normalized(r) for r in chunked
+        ]
 
     def test_unpinned_topology_passes_through(self):
         template = _replica_ensemble().template
