@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""CI smoke test for the streaming detection subsystem.
+
+Two legs:
+
+* **Pipe leg** — generates 100k synthetic flows as JSONL and pipes
+  them through a real ``repro stream`` subprocess (stdin -> verdicts on
+  stdout), asserting every line survives the wire format round-trip,
+  the compact estimators stay on their 16-byte/host budget, and the
+  blaster scanners end up quarantined.
+* **Scale leg** — drives 1,000,000 synthetic flows through a compact
+  detection engine in-process via the online generator (O(hosts)
+  memory, no trace materialized), asserting the same byte budget and
+  that throughput stays above a CI-safe floor.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/stream_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.streaming import (  # noqa: E402
+    DetectionEngine,
+    SyntheticFlowStream,
+    make_detector,
+    record_to_json,
+)
+from repro.streaming.estimators import (  # noqa: E402
+    CountMinSketch,
+    VirtualHyperLogLog,
+)
+from repro.streaming.eval import throughput_run  # noqa: E402
+from repro.streaming.stream import private_internal  # noqa: E402
+from repro.traces.synth import TraceConfig  # noqa: E402
+
+PIPE_FLOWS = 100_000
+SCALE_FLOWS = 1_000_000
+BYTES_PER_HOST_BUDGET = 16.0
+#: Conservative wall-clock floor — an order of magnitude under what a
+#: dev laptop sustains, so only a real collapse trips it on shared CI.
+MIN_FLOWS_PER_SEC = 2_000.0
+
+
+def compact_engine(capacity: int) -> DetectionEngine:
+    return DetectionEngine([
+        make_detector(
+            "contact-rate",
+            internal=private_internal,
+            estimator=VirtualHyperLogLog(capacity),
+        ),
+        make_detector(
+            "failure-ratio",
+            internal=private_internal,
+            failures=CountMinSketch(capacity),
+            attempts=CountMinSketch(capacity),
+        ),
+    ])
+
+
+def pipe_leg() -> None:
+    config = TraceConfig(duration=3600.0, seed=0)
+    capacity = config.num_hosts
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "stream",
+            "--input", "-",
+            "--detector", "failure-ratio",
+            "--detector", "contact-rate",
+            "--compact", str(capacity),
+            "--quiet",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    stream = SyntheticFlowStream(config, max_flows=PIPE_FLOWS)
+    piped = 0
+    assert process.stdin is not None
+    for record in stream:
+        process.stdin.write(record_to_json(record) + "\n")
+        piped += 1
+    stdout, stderr = process.communicate(timeout=300)
+    assert process.returncode == 0, f"exit {process.returncode}: {stderr}"
+    summary = json.loads(stdout.strip().splitlines()[-1])
+    print(f"[smoke] pipe leg summary: {json.dumps(summary, sort_keys=True)}")
+    assert piped == PIPE_FLOWS, f"generated {piped} flows"
+    assert summary["flows"] == PIPE_FLOWS, summary
+    assert summary["bad_lines"] == 0, summary
+    assert summary["reordered"] == 0, summary
+    bytes_per_host = summary["estimator_bytes_per_host"]
+    assert bytes_per_host is not None and (
+        bytes_per_host <= BYTES_PER_HOST_BUDGET
+    ), f"estimator state {bytes_per_host} B/host > {BYTES_PER_HOST_BUDGET}"
+    quarantined = summary["quarantined"]["failure_ratio"]
+    assert quarantined, "no host quarantined across 100k worm-laden flows"
+    print(
+        f"[smoke] pipe leg: {piped} flows round-tripped, "
+        f"{len(quarantined)} hosts quarantined, "
+        f"{bytes_per_host} B/host estimator state"
+    )
+
+
+def scale_leg() -> None:
+    config = TraceConfig(duration=100_000.0, seed=1)
+    engine = compact_engine(config.num_hosts)
+    report = throughput_run(config, engine, max_flows=SCALE_FLOWS)
+    print(f"[smoke] scale leg report: {json.dumps(report, sort_keys=True)}")
+    assert report["flows"] == SCALE_FLOWS, report
+    bytes_per_host = report["estimator_bytes_per_host"]
+    assert bytes_per_host is not None and (
+        bytes_per_host <= BYTES_PER_HOST_BUDGET
+    ), f"estimator state {bytes_per_host} B/host > {BYTES_PER_HOST_BUDGET}"
+    assert report["flows_per_sec"] >= MIN_FLOWS_PER_SEC, (
+        f"throughput collapsed: {report['flows_per_sec']} flows/s"
+    )
+    assert report["quarantined"].get("failure_ratio", 0) > 0, report
+    print(
+        f"[smoke] scale leg: {SCALE_FLOWS} flows at "
+        f"{report['flows_per_sec']:.0f} flows/s, "
+        f"{bytes_per_host} B/host estimator state"
+    )
+
+
+def main() -> int:
+    pipe_leg()
+    scale_leg()
+    print("[smoke] PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

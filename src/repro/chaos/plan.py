@@ -134,6 +134,13 @@ DEFAULT_SITES = (
     SiteModel("service.worker.run", ("delay", "error")),
     SiteModel("service.scheduler.admit", ("reject",)),
     SiteModel("service.http.response", ("truncate", "garble")),
+    # Streaming sites ride at the end: site RNG streams are keyed by
+    # (index, name), so appending keeps every earlier site's schedule
+    # for a given plan seed byte-identical to pre-streaming plans.
+    SiteModel(
+        "streaming.ingest.line", ("truncate", "garble"), horizon=64
+    ),
+    SiteModel("service.stream.chunk", ("delay", "error", "reject")),
 )
 
 #: The soak's site model: every fault here degrades without failing a

@@ -7,6 +7,8 @@ Examples::
     python -m repro compare --nodes 500 --strategy none \\
         --strategy backbone:0.02 --strategy hosts:0.3:0.01 --level 0.5
     python -m repro trace --duration 300 --seed 1
+    python -m repro stream --synthetic --flows 100000 \\
+        --detector failure-ratio --compact 4096
 
 ``figure`` runs one canned scenario from :mod:`repro.core.scenarios` and
 prints its series/report; ``compare`` runs an ad-hoc deployment
@@ -243,6 +245,82 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--duration", type=float, default=300.0)
     trace.add_argument("--seed", type=int, default=0)
 
+    stream = commands.add_parser(
+        "stream",
+        help="online worm detection over a flow stream",
+        description="Feed a time-ordered flow stream (JSONL on stdin or "
+        "a file, or online synthetic generation) through streaming "
+        "detectors; verdict/quarantine events are printed as JSONL as "
+        "they fire, followed by one summary object.",
+    )
+    stream_source = stream.add_mutually_exclusive_group()
+    stream_source.add_argument(
+        "--input", metavar="PATH", default=None,
+        help="JSONL flow file, '-' for stdin (the default source)",
+    )
+    stream_source.add_argument(
+        "--synthetic", action="store_true",
+        help="generate flows online (O(hosts) memory) instead of "
+        "reading JSONL",
+    )
+    stream.add_argument(
+        "--duration", type=float, default=300.0,
+        help="synthetic stream horizon in seconds (default 300)",
+    )
+    stream.add_argument(
+        "--seed", type=int, default=0, help="synthetic stream seed"
+    )
+    stream.add_argument(
+        "--flows", type=_positive_int, default=None, metavar="N",
+        help="stop after N flows (either source)",
+    )
+    stream.add_argument(
+        "--detector", dest="detectors", action="append",
+        choices=["contact-rate", "failure-ratio", "williamson",
+                 "dns-throttle"],
+        default=None,
+        help="repeatable; default: failure-ratio",
+    )
+    stream.add_argument(
+        "--compact", type=_positive_int, default=None, metavar="HOSTS",
+        help="size shared-register estimators for HOSTS hosts "
+        "(contact-rate -> virtual HLL, failure-ratio -> count-min); "
+        "default keeps exact per-host state",
+    )
+    stream.add_argument(
+        "--window", type=float, default=5.0,
+        help="contact-rate window seconds (default 5)",
+    )
+    stream.add_argument(
+        "--threshold", type=float, default=100.0,
+        help="contact-rate distinct-destination threshold (default 100)",
+    )
+    stream.add_argument(
+        "--timeout", type=float, default=3.0,
+        help="failure-ratio SYN timeout seconds (default 3)",
+    )
+    stream.add_argument(
+        "--min-failures", type=_positive_int, default=16,
+        help="failure-ratio failure floor (default 16)",
+    )
+    stream.add_argument(
+        "--ratio-threshold", type=float, default=0.5,
+        help="failure-ratio failure/attempt ratio (default 0.5)",
+    )
+    stream.add_argument(
+        "--detect-delay", type=float, default=30.0,
+        help="throttle detectors: queue delay that flags a host "
+        "(default 30s)",
+    )
+    stream.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-event lines; print only the final summary",
+    )
+    stream.add_argument(
+        "--profile", action="store_true",
+        help="collect source/detect wall times and print a profile table",
+    )
+
     cache = commands.add_parser(
         "cache", help="inspect or clear the shared result cache"
     )
@@ -300,6 +378,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINE_KINDS, default=None,
         help="engine override applied to every served request, one of "
         f"{', '.join(repr(kind) for kind in ENGINE_KINDS)}",
+    )
+    serve.add_argument(
+        "--max-streams", type=_positive_int, default=8,
+        help="live /v1/stream sessions admitted at once (429 beyond)",
+    )
+    serve.add_argument(
+        "--stream-ttl", type=float, default=300.0, metavar="SECONDS",
+        help="idle /v1/stream sessions are evicted after this long",
     )
 
     bench = commands.add_parser(
@@ -537,6 +623,156 @@ def _cmd_trace(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace, out=sys.stdout) -> int:
+    # Imported lazily: the streaming subsystem is only needed here.
+    import json
+    import time as _time
+    from contextlib import ExitStack
+
+    from .chaos.controller import corrupt
+    from .chaos.controller import current as chaos_current
+    from .observability.stats import merge_counts, merge_seconds
+    from .streaming import (
+        DetectionEngine,
+        JsonlFlowStream,
+        SyntheticFlowStream,
+        make_detector,
+    )
+    from .streaming.estimators import CountMinSketch, VirtualHyperLogLog
+    from .traces.records import TraceError
+
+    hub = observability_hub()
+    hub.configure(profile=args.profile)
+
+    def build_detectors(internal):
+        kinds = list(dict.fromkeys(args.detectors or ["failure-ratio"]))
+        detectors = []
+        for kind in kinds:
+            kwargs: dict = {}
+            if kind == "contact-rate":
+                kwargs.update(window=args.window, threshold=args.threshold)
+                if args.compact is not None:
+                    kwargs["estimator"] = VirtualHyperLogLog(args.compact)
+            elif kind == "failure-ratio":
+                kwargs.update(
+                    timeout=args.timeout,
+                    min_failures=args.min_failures,
+                    ratio_threshold=args.ratio_threshold,
+                )
+                if args.compact is not None:
+                    kwargs["failures"] = CountMinSketch(args.compact)
+                    kwargs["attempts"] = CountMinSketch(args.compact)
+            else:
+                kwargs["detect_delay"] = args.detect_delay
+            detectors.append(make_detector(kind, internal=internal, **kwargs))
+        return detectors
+
+    def emit(events) -> None:
+        if args.quiet:
+            return
+        for event in events:
+            print(
+                json.dumps(
+                    event.to_dict(), separators=(",", ":"), sort_keys=True
+                ),
+                file=out,
+            )
+
+    with ExitStack() as stack:
+        if args.synthetic:
+            config = TraceConfig(duration=args.duration, seed=args.seed)
+            stream = SyntheticFlowStream(config, max_flows=args.flows)
+            capacity = config.num_hosts
+        else:
+            path = args.input or "-"
+            if path == "-":
+                lines = sys.stdin
+            else:
+                lines = stack.enter_context(
+                    open(path, "r", encoding="utf-8")
+                )
+            hook = None
+            if chaos_current() is not None:
+                # Chaos seam: corrupt ingest lines byte-wise so the
+                # stream's skip-and-count degradation is exercised.
+                def hook(line: str) -> str:
+                    return corrupt(
+                        "streaming.ingest.line", line.encode("utf-8")
+                    ).decode("utf-8", "replace")
+            stream = JsonlFlowStream(lines, corrupt=hook)
+            capacity = args.compact
+        try:
+            engine = DetectionEngine(build_detectors(stream.is_internal))
+        except TraceError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        source_s = detect_s = 0.0
+        started = _time.perf_counter()
+        if hub.profiling:
+            iterator = iter(stream)
+            while True:
+                t0 = _time.perf_counter()
+                record = next(iterator, None)
+                source_s += _time.perf_counter() - t0
+                if record is None:
+                    break
+                t0 = _time.perf_counter()
+                events = engine.feed(record)
+                detect_s += _time.perf_counter() - t0
+                emit(events)
+                if args.flows is not None and engine.flows >= args.flows:
+                    break
+        else:
+            for record in stream:
+                emit(engine.feed(record))
+                if args.flows is not None and engine.flows >= args.flows:
+                    break
+        emit(engine.finish())
+        elapsed = _time.perf_counter() - started
+
+    summary = {
+        "summary": True,
+        "flows": engine.flows,
+        "events": len(engine.events),
+        "quarantined": {
+            name: sorted(hosts)
+            for name, hosts in sorted(engine.quarantined().items())
+        },
+        "elapsed_s": round(elapsed, 6),
+        "flows_per_sec": round(engine.flows / elapsed, 3)
+        if elapsed > 0
+        else 0.0,
+        "estimator_bytes_per_host": (
+            round(engine.estimator_bytes_per_host(capacity), 3)
+            if capacity is not None
+            and engine.estimator_bytes_per_host(capacity) is not None
+            else None
+        ),
+    }
+    if isinstance(stream, JsonlFlowStream):
+        summary["bad_lines"] = stream.bad_lines
+        summary["reordered"] = stream.reordered
+    print(json.dumps(summary, separators=(",", ":"), sort_keys=True), file=out)
+
+    if hub.profiling:
+        hub.phase_seconds = merge_seconds(
+            [hub.phase_seconds,
+             {"stream.source": source_s, "stream.detect": detect_s}]
+        )
+        hub.phase_calls = merge_counts(
+            [hub.phase_calls,
+             {"stream.source": engine.flows + 1,
+              "stream.detect": engine.flows}]
+        )
+        hub.counters = merge_counts(
+            [hub.counters,
+             {"stream.flows": engine.flows,
+              "stream.events": len(engine.events)}]
+        )
+        _report_observability(out=out)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace, out=sys.stdout) -> int:
     directory = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
     cache = ResultCache(directory)
@@ -570,6 +806,8 @@ def _cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
         drain_timeout_s=args.drain_timeout,
         cache_enabled=not args.no_cache,
         cache_dir=args.cache_dir,
+        max_streams=args.max_streams,
+        stream_ttl_s=args.stream_ttl,
     )
     return run_server(config, out=out)
 
@@ -728,6 +966,8 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
                 return _cmd_compare(args, out=out)
             if args.command == "trace":
                 return _cmd_trace(args, out=out)
+            if args.command == "stream":
+                return _cmd_stream(args, out=out)
             if args.command == "cache":
                 return _cmd_cache(args, out=out)
             if args.command == "serve":

@@ -24,11 +24,13 @@ Three ways to run it:
 from __future__ import annotations
 
 import asyncio
+import json
 import signal
 import sys
 import threading
 from dataclasses import dataclass
 
+from ..chaos.controller import fault_point
 from ..observability.hub import observability_hub
 from ..runner.api import expand_runs
 from ..runner.cache import ResultCache, spec_digest
@@ -42,6 +44,7 @@ from .scheduler import (
     QueueFullError,
     Scheduler,
 )
+from .streams import StreamLimitError, StreamProtocolError, StreamRegistry
 from .workers import WorkerTier
 
 __all__ = ["ServiceConfig", "SimulationService", "ServiceThread", "run_server"]
@@ -70,6 +73,10 @@ class ServiceConfig:
         How long a graceful shutdown waits for in-flight work.
     cache_enabled, cache_dir:
         The shared result cache (the coalescing digests key on it).
+    max_streams, stream_ttl_s:
+        Bounded admission for ``/v1/stream`` detection sessions: at
+        most ``max_streams`` live at once (429 beyond), and a session
+        idle for ``stream_ttl_s`` seconds is evicted.
     """
 
     host: str = "127.0.0.1"
@@ -81,6 +88,8 @@ class ServiceConfig:
     drain_timeout_s: float = 30.0
     cache_enabled: bool = True
     cache_dir: str | None = None
+    max_streams: int = 8
+    stream_ttl_s: float = 300.0
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -88,6 +97,14 @@ class ServiceConfig:
         if self.concurrency < 1:
             raise ValueError(
                 f"concurrency must be >= 1, got {self.concurrency}"
+            )
+        if self.max_streams < 1:
+            raise ValueError(
+                f"max_streams must be >= 1, got {self.max_streams}"
+            )
+        if self.stream_ttl_s <= 0:
+            raise ValueError(
+                f"stream_ttl_s must be positive, got {self.stream_ttl_s}"
             )
 
 
@@ -124,6 +141,9 @@ class SimulationService:
             max_queue=config.max_queue,
         )
         self.metrics = ServiceMetrics()
+        self.streams = StreamRegistry(
+            max_streams=config.max_streams, ttl_s=config.stream_ttl_s
+        )
         self.port: int | None = None
         self.draining = False
         self._server: asyncio.base_events.Server | None = None
@@ -229,6 +249,26 @@ class SimulationService:
                 return "/v1/result", self._error(405, "use GET")
             job_id = path[len("/v1/result/"):]
             return "/v1/result", self._handle_result(job_id)
+        if path == "/v1/stream":
+            if request.method != "POST":
+                return "/v1/stream", self._error(405, "use POST")
+            return "/v1/stream", self._handle_stream_open(request)
+        if path.startswith("/v1/stream/"):
+            rest = path[len("/v1/stream/"):]
+            if rest.endswith("/close"):
+                if request.method != "POST":
+                    return "/v1/stream/close", self._error(405, "use POST")
+                stream_id = rest[: -len("/close")]
+                return (
+                    "/v1/stream/close",
+                    self._handle_stream_close(stream_id),
+                )
+            if request.method != "POST":
+                return "/v1/stream/chunk", self._error(405, "use POST")
+            return (
+                "/v1/stream/chunk",
+                self._handle_stream_chunk(request, rest),
+            )
         if path == "/healthz":
             if request.method != "GET":
                 return "/healthz", self._error(405, "use GET")
@@ -302,6 +342,71 @@ class SimulationService:
             )
         return self._json(202, {"id": job.id, "status": job.status})
 
+    def _handle_stream_open(self, request: Request) -> bytes:
+        if self.draining:
+            return self._error(503, "service is draining")
+        body = request.body.strip()
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, ValueError) as exc:
+            return self._error(400, f"bad JSON body: {exc}")
+        try:
+            session = self.streams.open(payload)
+        except StreamProtocolError as exc:
+            return self._error(400, str(exc))
+        except StreamLimitError as exc:
+            return self._json(
+                429,
+                {
+                    "error": "stream limit reached",
+                    "open_streams": exc.open_streams,
+                    "retry_after_s": exc.retry_after_s,
+                },
+                headers={"Retry-After": str(int(exc.retry_after_s))},
+            )
+        return self._json(
+            201,
+            {
+                "id": session.id,
+                "detectors": [d.name for d in session.engine.detectors],
+                "max_streams": self.streams.max_streams,
+            },
+        )
+
+    def _handle_stream_chunk(
+        self, request: Request, stream_id: str
+    ) -> bytes:
+        # Chaos seam: a mid-stream fault degrades this one chunk, never
+        # the session — the client replays it after Retry-After.
+        try:
+            fault = fault_point("service.stream.chunk")
+        except RuntimeError:
+            return self._json(
+                503,
+                {"error": "transient stream fault", "retry_after_s": 1.0},
+                headers={"Retry-After": "1"},
+            )
+        if fault is not None and fault.kind == "reject":
+            return self._json(
+                429,
+                {"error": "stream chunk rejected", "retry_after_s": 1.0},
+                headers={"Retry-After": "1"},
+            )
+        try:
+            result = self.streams.chunk(
+                stream_id, request.body.decode("utf-8", "replace")
+            )
+        except KeyError:
+            return self._error(404, f"unknown stream id: {stream_id}")
+        return self._json(200, result)
+
+    def _handle_stream_close(self, stream_id: str) -> bytes:
+        try:
+            summary = self.streams.close(stream_id)
+        except KeyError:
+            return self._error(404, f"unknown stream id: {stream_id}")
+        return self._json(200, summary)
+
     def _handle_healthz(self) -> bytes:
         return self._json(
             200,
@@ -334,6 +439,7 @@ class SimulationService:
             },
             "jobs": dict(self.scheduler.counters),
             "cache": cache_stats,
+            "streams": self.streams.stats(),
             "workers": {
                 "jobs": self.workers.executor.jobs,
                 "mode": self.workers.mode,

@@ -1,0 +1,344 @@
+"""Hyper-compact per-host estimators: shared-register sketches.
+
+Per-host dicts and sets are what make online detection expensive at
+millions-of-hosts scale.  Following the hyper-compact-estimator line of
+work (PAPERS.md: Zhou/Zhou/Chen/Kreidl), per-host state here is a few
+*shared* registers instead:
+
+* :class:`VirtualHyperLogLog` — distinct-contact ("spread") estimation.
+  One physical bank of ``m`` 1-byte HLL registers is shared by every
+  host; a host's *virtual* sketch is ``s`` registers selected by hash.
+  With the default geometry (8 bytes/host, s=64) the union estimate of a
+  host's virtual registers measures its own spread plus the bank-wide
+  noise floor, which the estimator subtracts using the bank's grand
+  total — the standard virtual-sketch correction::
+
+      n_hat(f) = (m*s / (m - s)) * (E_s / s  -  E_m / m)
+
+  where ``E_s`` is the HLL estimate from f's s registers and ``E_m``
+  from all m.  Accuracy: HLL's ~1.04/sqrt(s) (~13 % at s=64) plus a
+  noise term that grows with bank load.  The documented contract,
+  tested differentially against :class:`ExactDistinct`, holds at bank
+  loads up to ~2 distinct items per register (per-window resets keep
+  detectors in that regime): relative error within 65 % once a host's
+  true spread clears ``s``, absolute error within 45 below that.
+  Register updates are max-merges, so estimates are exactly independent
+  of flow arrival order — the property the hypothesis suite exploits.
+
+* :class:`CountMinSketch` — failure counting.  A conservative-update
+  count-min sketch (the counting-Bloom family): ``rows`` hashed rows of
+  ``width`` uint16 counters; estimate is the row minimum and *never
+  underestimates* the true count.  Overestimate is bounded by collision
+  load; the tested contract is exact agreement at light load and
+  ``estimate >= exact`` always.  :meth:`decay` halves every counter —
+  the standard sliding-exposure trick for long-lived streams.
+
+Both sketches take a ``capacity`` (the host population they are sized
+for) and report ``bytes_per_host`` so callers can assert the memory
+budget; both have numpy-vectorized batch paths (``add_pairs`` /
+``add_keys``) for chunked ingest.  The exact references
+(:class:`ExactDistinct`, :class:`ExactCounter`) share the same API for
+differential testing and for small-scale runs where exactness matters
+more than memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "VirtualHyperLogLog",
+    "CountMinSketch",
+    "ExactDistinct",
+    "ExactCounter",
+]
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+_C1 = np.uint64(0x9E3779B97F4A7C15)
+_C2 = np.uint64(0xBF58476D1CE4E5B9)
+_C3 = np.uint64(0x94D049BB133111EB)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer: uniform 64-bit mixing (vectorized)."""
+    z = (x + _C1) & _MASK64
+    z = ((z ^ (z >> np.uint64(30))) * _C2) & _MASK64
+    z = ((z ^ (z >> np.uint64(27))) * _C3) & _MASK64
+    return z ^ (z >> np.uint64(31))
+
+
+def _mix64_scalar(x: int) -> int:
+    z = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+def _hll_estimate(registers: np.ndarray) -> float:
+    """Standard HLL estimate with linear-counting small-range correction."""
+    n = registers.size
+    alpha = 0.7213 / (1.0 + 1.079 / n)
+    raw = alpha * n * n / float(
+        np.sum(np.exp2(-registers.astype(np.float64)))
+    )
+    if raw <= 2.5 * n:
+        zeros = int(np.count_nonzero(registers == 0))
+        if zeros:
+            return n * float(np.log(n / zeros))
+    return raw
+
+
+class VirtualHyperLogLog:
+    """Register-sharing distinct estimator (virtual HLL).
+
+    Parameters
+    ----------
+    capacity:
+        Host population the bank is sized for.
+    bytes_per_host:
+        Physical registers allotted per host of capacity (bank size is
+        ``capacity * bytes_per_host`` one-byte registers).
+    virtual_registers:
+        Registers per virtual sketch (``s``); must be a power of two
+        smaller than the bank.
+    """
+
+    def __init__(
+        self, capacity: int, *, bytes_per_host: int = 8,
+        virtual_registers: int = 64,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if bytes_per_host < 1:
+            raise ValueError(
+                f"bytes_per_host must be >= 1, got {bytes_per_host}"
+            )
+        s = virtual_registers
+        if s < 16 or s & (s - 1):
+            raise ValueError(
+                f"virtual_registers must be a power of two >= 16, got {s}"
+            )
+        m = capacity * bytes_per_host
+        if m <= 2 * s:
+            m = 4 * s  # floor so tiny capacities stay well-defined
+        self._m = m
+        self._s = s
+        self._registers = np.zeros(m, dtype=np.uint8)
+        self._capacity = capacity
+
+    @property
+    def bytes_per_host(self) -> float:
+        """Shared-bank bytes amortized per host of capacity."""
+        return self._registers.nbytes / self._capacity
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self._registers.nbytes)
+
+    def reset(self) -> None:
+        """Clear the bank (used for per-window estimation)."""
+        self._registers.fill(0)
+
+    # -- updates ---------------------------------------------------------
+
+    def add(self, host: int, item: int) -> None:
+        """Record that ``host`` contacted ``item``."""
+        s = self._s
+        he = _mix64_scalar(item)
+        j = he & (s - 1)
+        w = he >> 6
+        rho = 59 if w == 0 else ((w & -w).bit_length())  # tz + 1
+        phys = _mix64_scalar((_mix64_scalar(host) + j)) % self._m
+        if rho > self._registers[phys]:
+            self._registers[phys] = min(rho, 255)
+
+    def add_pairs(self, hosts: np.ndarray, items: np.ndarray) -> None:
+        """Vectorized :meth:`add` over parallel host/item arrays."""
+        if hosts.size == 0:
+            return
+        hosts64 = hosts.astype(np.uint64)
+        he = _mix64(items.astype(np.uint64))
+        j = he & np.uint64(self._s - 1)
+        w = he >> np.uint64(6)
+        lsb = w & (~w + np.uint64(1))
+        # log2 of a power of two is exact in float64.
+        rho = np.where(
+            w == 0, 59, np.log2(lsb.astype(np.float64) + (w == 0)) + 1
+        ).astype(np.uint8)
+        phys = (_mix64(_mix64(hosts64) + j) % np.uint64(self._m)).astype(
+            np.int64
+        )
+        np.maximum.at(self._registers, phys, rho)
+
+    # -- estimates -------------------------------------------------------
+
+    def _virtual_indices(self, host: int) -> np.ndarray:
+        base = _mix64_scalar(host)
+        j = np.arange(self._s, dtype=np.uint64)
+        return (
+            _mix64(np.uint64(base) + j) % np.uint64(self._m)
+        ).astype(np.int64)
+
+    def estimate(self, host: int) -> float:
+        """Approximate distinct items recorded for ``host`` (>= 0)."""
+        m, s = self._m, self._s
+        virtual = self._registers[self._virtual_indices(host)]
+        e_s = _hll_estimate(virtual)
+        e_m = _hll_estimate(self._registers)
+        n_hat = (m * s / (m - s)) * (e_s / s - e_m / m)
+        return max(0.0, n_hat)
+
+    def estimate_many(self, hosts: list[int]) -> dict[int, float]:
+        """Estimates for several hosts, sharing the grand-total pass."""
+        if not hosts:
+            return {}
+        m, s = self._m, self._s
+        e_m = _hll_estimate(self._registers)
+        scale = m * s / (m - s)
+        out: dict[int, float] = {}
+        for host in hosts:
+            virtual = self._registers[self._virtual_indices(host)]
+            e_s = _hll_estimate(virtual)
+            out[host] = max(0.0, scale * (e_s / s - e_m / m))
+        return out
+
+
+class CountMinSketch:
+    """Conservative-update count-min sketch (counting-Bloom counter).
+
+    ``estimate`` never underestimates; conservative update (only raise
+    the minimal cells) keeps overestimates near zero at light load.
+    """
+
+    def __init__(
+        self, capacity: int, *, rows: int = 2, width: int | None = None,
+        dtype: type = np.uint16,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        self._rows = rows
+        self._width = width if width is not None else max(capacity, 16)
+        self._table = np.zeros((rows, self._width), dtype=dtype)
+        self._capacity = capacity
+        self._max = int(np.iinfo(dtype).max)
+        self._salts = np.array(
+            [_mix64_scalar(0xABCD + r) for r in range(rows)], dtype=np.uint64
+        )
+
+    @property
+    def bytes_per_host(self) -> float:
+        return self._table.nbytes / self._capacity
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self._table.nbytes)
+
+    def reset(self) -> None:
+        self._table.fill(0)
+
+    def _columns(self, key: int) -> np.ndarray:
+        h = _mix64(np.uint64(key) + self._salts)
+        return (h % np.uint64(self._width)).astype(np.int64)
+
+    def add(self, key: int, count: int = 1) -> int:
+        """Count ``count`` occurrences of ``key``; returns new estimate."""
+        cols = self._columns(key)
+        cells = self._table[np.arange(self._rows), cols]
+        new = min(int(cells.min()) + count, self._max)
+        # Conservative update: only cells below the new floor move.
+        np.maximum(cells, new, out=cells)
+        self._table[np.arange(self._rows), cols] = cells
+        return new
+
+    def add_keys(self, keys: np.ndarray) -> None:
+        """Vectorized unit-count updates (non-conservative, still >=).
+
+        Batch mode raises every hashed cell by the key's batch
+        multiplicity — a plain count-min update.  It keeps the
+        never-underestimate guarantee but is looser than the scalar
+        conservative path; chunked ingest uses it for throughput.
+        """
+        if keys.size == 0:
+            return
+        keys64 = keys.astype(np.uint64)
+        for r in range(self._rows):
+            cols = (
+                _mix64(keys64 + self._salts[r]) % np.uint64(self._width)
+            ).astype(np.int64)
+            counts = np.bincount(cols, minlength=self._width).astype(
+                self._table.dtype
+            )
+            row = self._table[r]
+            headroom = self._max - row
+            np.minimum(counts, headroom.astype(counts.dtype), out=counts)
+            row += counts
+
+    def estimate(self, key: int) -> int:
+        """Estimated count for ``key`` (never below the true count)."""
+        cols = self._columns(key)
+        return int(self._table[np.arange(self._rows), cols].min())
+
+    def decay(self) -> None:
+        """Halve every counter (sliding exposure for long streams)."""
+        self._table >>= 1
+
+
+class ExactDistinct:
+    """Exact per-host distinct sets — the differential-test reference."""
+
+    def __init__(self) -> None:
+        self._sets: dict[int, set[int]] = {}
+
+    @property
+    def bytes_per_host(self) -> float:
+        return float("nan")  # unbounded; that is the point
+
+    def reset(self) -> None:
+        self._sets.clear()
+
+    def add(self, host: int, item: int) -> None:
+        self._sets.setdefault(host, set()).add(item)
+
+    def add_pairs(self, hosts: np.ndarray, items: np.ndarray) -> None:
+        for host, item in zip(hosts.tolist(), items.tolist()):
+            self.add(host, item)
+
+    def estimate(self, host: int) -> float:
+        return float(len(self._sets.get(host, ())))
+
+    def estimate_many(self, hosts: list[int]) -> dict[int, float]:
+        return {h: self.estimate(h) for h in hosts}
+
+
+class ExactCounter:
+    """Exact per-key counters — the differential-test reference."""
+
+    def __init__(self) -> None:
+        self._counts: dict[int, int] = {}
+
+    @property
+    def bytes_per_host(self) -> float:
+        return float("nan")
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def add(self, key: int, count: int = 1) -> int:
+        new = self._counts.get(key, 0) + count
+        self._counts[key] = new
+        return new
+
+    def add_keys(self, keys: np.ndarray) -> None:
+        for key in keys.tolist():
+            self.add(key)
+
+    def estimate(self, key: int) -> int:
+        return self._counts.get(key, 0)
+
+    def decay(self) -> None:
+        for key in list(self._counts):
+            self._counts[key] >>= 1
+            if not self._counts[key]:
+                del self._counts[key]

@@ -1,0 +1,520 @@
+"""Flow streams: time-ordered, memory-bounded sources of flow records.
+
+The batch pipeline materializes a whole :class:`~repro.traces.records.
+Trace` before anything looks at it.  Online detection inverts that: a
+*flow stream* hands records to consumers one at a time, in non-decreasing
+time order, and never requires the full trace to exist at once.  Three
+sources implement the protocol:
+
+* :class:`TraceReplayStream` — replays an existing in-memory trace
+  (records are already time-sorted);
+* :class:`SyntheticFlowStream` — generates flows *online* from the same
+  behavioural host census as :func:`repro.traces.synth.generate_trace`,
+  using a watermark merge over per-host state machines so memory stays
+  O(hosts), independent of how many flows are produced.  This is the
+  load path: millions of flows without a trace in memory.  (It shares
+  the batch generator's census and rate knobs but is a distinct,
+  time-ordered random process — the byte-identical batch path lives in
+  :func:`repro.traces.synth.iter_flow_records`.)
+* :class:`JsonlFlowStream` — decodes the wire format used by
+  ``repro stream`` and ``/v1/stream``, tolerating malformed lines
+  (counted, skipped) so one truncated line never kills a long-lived
+  stream.
+
+The JSONL wire format is one compact object per line::
+
+    {"t": 12.5, "src": 167837706, "dst": 3221225985, "proto": "tcp",
+     "sp": 40001, "dp": 135, "syn": 1}
+
+``echo``/``dns`` carry the ICMP-echo flag and DNS-answer address; absent
+keys default to 0/false/None.  Addresses are 32-bit integers (not dotted
+quads) — the hot path avoids string parsing beyond the JSON itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import random
+from collections.abc import Iterable, Iterator
+from typing import Callable, Protocol, runtime_checkable
+
+from ..traces.records import FlowRecord
+from ..traces.records import Protocol as FlowProtocol
+from ..traces.records import Trace, TraceError
+from ..traces.synth import DCOM_PORT, RESOLVER_IP, SERVICE_BASE, TraceConfig
+from ..traces.records import DNS_PORT
+
+__all__ = [
+    "FlowStream",
+    "TraceReplayStream",
+    "SyntheticFlowStream",
+    "JsonlFlowStream",
+    "record_to_json",
+    "record_from_json",
+    "private_internal",
+]
+
+_PROTO_BY_NAME = {p.value: p for p in FlowProtocol}
+
+
+def private_internal(ip: int) -> bool:
+    """Default "internal host" predicate: the 10.0.0.0/8 private net.
+
+    The synthetic census numbers its hosts inside 10.1.0.0/16, so this is
+    the right default for JSONL streams that carry no host census.
+    """
+    return (ip >> 24) == 10
+
+
+@runtime_checkable
+class FlowStream(Protocol):
+    """A time-ordered source of flow records.
+
+    Iteration yields :class:`FlowRecord` objects with non-decreasing
+    ``time``; ``is_internal`` tells detectors which addresses belong to
+    the monitored network.
+    """
+
+    def __iter__(self) -> Iterator[FlowRecord]: ...
+
+    def is_internal(self, ip: int) -> bool: ...
+
+
+class TraceReplayStream:
+    """Replay a materialized trace as a flow stream."""
+
+    def __init__(self, trace: Trace) -> None:
+        self._trace = trace
+
+    @property
+    def trace(self) -> Trace:
+        return self._trace
+
+    def is_internal(self, ip: int) -> bool:
+        return self._trace.is_internal(ip)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(self._trace.records)
+
+
+# ---------------------------------------------------------------------------
+# JSONL wire format
+# ---------------------------------------------------------------------------
+
+
+def record_to_json(record: FlowRecord) -> str:
+    """Encode one record as a compact JSONL line (no trailing newline)."""
+    payload: dict[str, object] = {
+        "t": record.time,
+        "src": record.src,
+        "dst": record.dst,
+        "proto": record.protocol.value,
+    }
+    if record.src_port:
+        payload["sp"] = record.src_port
+    if record.dst_port:
+        payload["dp"] = record.dst_port
+    if record.tcp_syn:
+        payload["syn"] = 1
+    if record.icmp_echo:
+        payload["echo"] = 1
+    if record.dns_answer is not None:
+        payload["dns"] = record.dns_answer
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def record_from_json(line: str) -> FlowRecord:
+    """Decode one JSONL line; raises :class:`TraceError` when malformed."""
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise TraceError(f"malformed JSONL line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise TraceError(f"JSONL line is not an object: {line[:80]!r}")
+    try:
+        protocol = _PROTO_BY_NAME[payload["proto"]]
+        return FlowRecord(
+            time=float(payload["t"]),
+            src=int(payload["src"]),
+            dst=int(payload["dst"]),
+            protocol=protocol,
+            src_port=int(payload.get("sp", 0)),
+            dst_port=int(payload.get("dp", 0)),
+            tcp_syn=bool(payload.get("syn", 0)),
+            icmp_echo=bool(payload.get("echo", 0)),
+            dns_answer=(
+                int(payload["dns"]) if payload.get("dns") is not None else None
+            ),
+        )
+    except TraceError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"malformed flow object: {exc}") from exc
+
+
+class JsonlFlowStream:
+    """Decode a JSONL line source into a flow stream, skipping bad lines.
+
+    Malformed lines (truncated JSON, missing fields, out-of-range values)
+    are counted in :attr:`bad_lines` and skipped — a corrupted byte in a
+    million-flow feed degrades one record, not the stream.  Out-of-order
+    records (time going backwards) are likewise counted in
+    :attr:`reordered` and dropped, preserving the stream's time-order
+    contract for downstream detectors.
+    """
+
+    def __init__(
+        self,
+        lines: Iterable[str],
+        *,
+        internal: Callable[[int], bool] = private_internal,
+        corrupt: Callable[[str], str] | None = None,
+    ) -> None:
+        self._lines = lines
+        self._internal = internal
+        self._corrupt = corrupt
+        self.good_lines = 0
+        self.bad_lines = 0
+        self.reordered = 0
+
+    def is_internal(self, ip: int) -> bool:
+        return self._internal(ip)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        last_time = float("-inf")
+        for line in self._lines:
+            if self._corrupt is not None:
+                line = self._corrupt(line)
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = record_from_json(line)
+            except TraceError:
+                self.bad_lines += 1
+                continue
+            if record.time < last_time:
+                self.reordered += 1
+                continue
+            last_time = record.time
+            self.good_lines += 1
+            yield record
+
+
+# ---------------------------------------------------------------------------
+# Online synthetic generation: watermark merge over host state machines
+# ---------------------------------------------------------------------------
+
+
+class _HostMachine:
+    """One host's behaviour as an incremental event process.
+
+    ``step(rng)`` emits the records of the host's next activity burst (at
+    times >= :attr:`next_time`) and advances :attr:`next_time`; a machine
+    whose next_time passes the horizon is retired.  Emitted record times
+    within one step may exceed next_time's new value — the stream's
+    watermark merge handles that overlap.
+    """
+
+    __slots__ = ("host", "next_time")
+
+    def __init__(self, host: int, first_time: float) -> None:
+        self.host = host
+        self.next_time = first_time
+
+    def step(self, rng: random.Random) -> list[FlowRecord]:  # pragma: no cover
+        raise NotImplementedError
+
+
+def _syn(t: float, src: int, dst: int, dst_port: int, sp: int) -> FlowRecord:
+    return FlowRecord(
+        time=t, src=src, dst=dst, protocol=FlowProtocol.TCP,
+        src_port=sp, dst_port=dst_port, tcp_syn=True,
+    )
+
+
+def _reply(t: float, src: int, dst: int, src_port: int, dp: int) -> FlowRecord:
+    return FlowRecord(
+        time=t, src=src, dst=dst, protocol=FlowProtocol.TCP,
+        src_port=src_port, dst_port=dp,
+    )
+
+
+class _BenignClient(_HostMachine):
+    """Normal desktop / P2P client: mostly-successful service contacts.
+
+    Each step is one contact: resolved service (DNS pair + SYN + likely
+    reply), or — with the complement of ``dns_fraction`` — a raw-address
+    peer contact that may be a dead peer (no reply): the benign
+    false-positive pressure on failure-based containment.
+    """
+
+    __slots__ = ("rate", "dns_fraction", "reply_p")
+
+    def __init__(
+        self, host: int, rng: random.Random, *, rate: float,
+        dns_fraction: float, reply_p: float,
+    ) -> None:
+        super().__init__(host, rng.expovariate(rate))
+        self.rate = rate
+        self.dns_fraction = dns_fraction
+        self.reply_p = reply_p
+
+    def step(self, rng: random.Random) -> list[FlowRecord]:
+        t = self.next_time
+        host = self.host
+        records: list[FlowRecord] = []
+        sp = 40000 + rng.randrange(20000)
+        if rng.random() < self.dns_fraction:
+            target = SERVICE_BASE + int(2000 ** rng.random()) - 1
+            records.append(FlowRecord(
+                time=t, src=host, dst=RESOLVER_IP,
+                protocol=FlowProtocol.UDP,
+                src_port=33000 + rng.randrange(20000), dst_port=DNS_PORT,
+            ))
+            records.append(FlowRecord(
+                time=t + 0.003, src=RESOLVER_IP, dst=host,
+                protocol=FlowProtocol.UDP,
+                src_port=DNS_PORT, dst_port=33000, dns_answer=target,
+            ))
+            records.append(_syn(t + 0.005, host, target, 80, sp))
+            if rng.random() < self.reply_p:
+                records.append(_reply(t + 0.015, target, host, 80, sp))
+        else:
+            target = _random_external(rng)
+            records.append(_syn(t, host, target, 6346, sp))
+            # Raw-address peers are flakier than named services.
+            if rng.random() < self.reply_p * 0.6:
+                records.append(_reply(t + 0.015, target, host, 6346, sp))
+        self.next_time = t + rng.expovariate(self.rate)
+        return records
+
+
+class _ServerHost(_HostMachine):
+    """Server: inbound connections answered immediately."""
+
+    __slots__ = ("rate",)
+
+    def __init__(self, host: int, rng: random.Random, *, rate: float) -> None:
+        super().__init__(host, rng.expovariate(rate))
+        self.rate = rate
+
+    def step(self, rng: random.Random) -> list[FlowRecord]:
+        t = self.next_time
+        remote = _random_external(rng)
+        sp = 40000 + rng.randrange(20000)
+        records = [
+            _syn(t, remote, self.host, 80, sp),
+            _reply(t + 0.002, self.host, remote, 80, sp),
+        ]
+        self.next_time = t + rng.expovariate(self.rate)
+        return records
+
+
+class _BlasterHost(_HostMachine):
+    """Sequential TCP/135 scanner; most probes fail."""
+
+    __slots__ = ("rate", "cursor", "unreachable_p")
+
+    def __init__(
+        self, host: int, rng: random.Random, *, rate: float,
+        unreachable_p: float,
+    ) -> None:
+        super().__init__(host, rng.expovariate(rate))
+        self.rate = rate
+        self.cursor = _random_external(rng) & 0xFFFF0000
+        self.unreachable_p = unreachable_p
+
+    def step(self, rng: random.Random) -> list[FlowRecord]:
+        t = self.next_time
+        target = self.cursor & 0xFFFFFFFF
+        self.cursor += 1
+        while (target >> 24) in (0, 10, 127) or (target >> 24) >= 224:
+            target = self.cursor & 0xFFFFFFFF
+            self.cursor += 1
+        records = [_syn(t, self.host, target, DCOM_PORT,
+                        40000 + rng.randrange(20000))]
+        if self.unreachable_p > 0 and rng.random() < self.unreachable_p:
+            records.append(FlowRecord(
+                time=t + 0.02, src=target, dst=self.host,
+                protocol=FlowProtocol.ICMP,
+            ))
+        self.next_time = t + rng.expovariate(self.rate)
+        return records
+
+
+class _WelchiaHost(_HostMachine):
+    """ICMP sweeper; responders draw a TCP/135 exploit probe."""
+
+    __slots__ = ("rate", "cursor", "probe_p", "unreachable_p")
+
+    def __init__(
+        self, host: int, rng: random.Random, *, rate: float,
+        probe_p: float, unreachable_p: float,
+    ) -> None:
+        super().__init__(host, rng.expovariate(rate))
+        self.rate = rate
+        self.cursor = _random_external(rng) & 0xFFFFFF00
+        self.probe_p = probe_p
+        self.unreachable_p = unreachable_p
+
+    def step(self, rng: random.Random) -> list[FlowRecord]:
+        t = self.next_time
+        target = self.cursor & 0xFFFFFFFF
+        self.cursor += 1
+        while (target >> 24) in (0, 10, 127) or (target >> 24) >= 224:
+            target = self.cursor & 0xFFFFFFFF
+            self.cursor += 1
+        records = [FlowRecord(
+            time=t, src=self.host, dst=target,
+            protocol=FlowProtocol.ICMP, icmp_echo=True,
+        )]
+        if rng.random() < self.probe_p:
+            records.append(_syn(t + 0.01, self.host, target, DCOM_PORT,
+                                40000 + rng.randrange(20000)))
+        elif self.unreachable_p > 0 and rng.random() < self.unreachable_p:
+            records.append(FlowRecord(
+                time=t + 0.02, src=target, dst=self.host,
+                protocol=FlowProtocol.ICMP,
+            ))
+        self.next_time = t + rng.expovariate(self.rate)
+        return records
+
+
+def _random_external(rng: random.Random) -> int:
+    """A routable pseudo-random address outside 10/8."""
+    while True:
+        address = rng.randrange(1 << 32)
+        first_octet = address >> 24
+        if first_octet not in (0, 10, 127) and first_octet < 224:
+            return address
+
+
+class SyntheticFlowStream:
+    """Online synthetic flow generation at O(hosts) memory.
+
+    A heap of per-host state machines is merged with a watermark: a
+    buffered record is released only once every machine's next event time
+    has passed it, so the output is globally time-ordered while the
+    buffer never holds more than the records of in-flight activity
+    bursts.  Memory is proportional to the host census — *not* to
+    ``max_flows`` — which is what lets ``repro stream --synthetic``
+    push millions of flows through a detector without a trace in memory.
+
+    Parameters
+    ----------
+    config:
+        Census and rate knobs (reuses :class:`TraceConfig`; the
+        ``service_reply_probability`` / ``scan_unreachable_probability``
+        failure knobs default to realistic nonzero values here when left
+        at 0.0, because a stream with no success signal would make every
+        host look failing).
+    max_flows:
+        Optional hard cap on yielded records (the generator stops
+        early); ``None`` runs to ``config.duration``.
+    """
+
+    #: Stream defaults when the batch-oriented config leaves them off.
+    DEFAULT_REPLY_PROBABILITY = 0.92
+    DEFAULT_UNREACHABLE_PROBABILITY = 0.30
+
+    def __init__(
+        self, config: TraceConfig | None = None, *,
+        max_flows: int | None = None,
+    ) -> None:
+        self.config = config or TraceConfig()
+        if max_flows is not None and max_flows < 0:
+            raise TraceError(f"max_flows must be >= 0, got {max_flows}")
+        self.max_flows = max_flows
+        base = INTERNAL_STREAM_BASE
+        self._hosts = [base + 10 + i for i in range(self.config.num_hosts)]
+
+    def is_internal(self, ip: int) -> bool:
+        return private_internal(ip)
+
+    @property
+    def internal_hosts(self) -> list[int]:
+        return list(self._hosts)
+
+    def _machines(self, rng: random.Random) -> list[_HostMachine]:
+        c = self.config
+        reply_p = c.service_reply_probability or self.DEFAULT_REPLY_PROBABILITY
+        unreach_p = (
+            c.scan_unreachable_probability
+            or self.DEFAULT_UNREACHABLE_PROBABILITY
+        )
+        machines: list[_HostMachine] = []
+        cursor = iter(self._hosts)
+        for _ in range(c.num_normal):
+            machines.append(_BenignClient(
+                next(cursor), rng,
+                rate=max(c.normal_session_rate * 20, 1e-6),
+                dns_fraction=1.0 - c.normal_direct_probability,
+                reply_p=reply_p,
+            ))
+        for _ in range(c.num_servers):
+            machines.append(_ServerHost(
+                next(cursor), rng, rate=max(c.server_inbound_rate, 1e-6),
+            ))
+        for _ in range(c.num_p2p):
+            machines.append(_BenignClient(
+                next(cursor), rng, rate=max(c.p2p_contact_rate, 1e-6),
+                dns_fraction=c.p2p_dns_fraction, reply_p=reply_p,
+            ))
+        for _ in range(c.num_blaster):
+            machines.append(_BlasterHost(
+                next(cursor), rng, rate=max(c.blaster_scan_rate, 1e-6),
+                unreachable_p=unreach_p,
+            ))
+        for _ in range(c.num_welchia):
+            machines.append(_WelchiaHost(
+                next(cursor), rng,
+                rate=max(
+                    c.welchia_sweep_rate * c.welchia_active_fraction, 1e-6
+                ),
+                probe_p=c.welchia_probe_probability,
+                unreachable_p=unreach_p,
+            ))
+        return machines
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        rng = random.Random(f"stream:{self.config.seed}")
+        duration = self.config.duration
+        machines = self._machines(rng)
+        # Heap of (next_time, tiebreak, machine); tiebreak keeps the
+        # ordering total (machines are not comparable).
+        ready = [
+            (m.next_time, i, m)
+            for i, m in enumerate(machines)
+            if m.next_time < duration
+        ]
+        heapq.heapify(ready)
+        pending: list[tuple[float, int, FlowRecord]] = []
+        emitted = 0
+        serial = len(machines)
+        cap = self.max_flows
+        while ready or pending:
+            # Pump machines until the earliest buffered record is safe
+            # to release (no machine can still emit anything earlier).
+            while ready and (not pending or ready[0][0] <= pending[0][0]):
+                _, _, machine = heapq.heappop(ready)
+                for record in machine.step(rng):
+                    serial += 1
+                    heapq.heappush(pending, (record.time, serial, record))
+                if machine.next_time < duration:
+                    serial += 1
+                    heapq.heappush(
+                        ready, (machine.next_time, serial, machine)
+                    )
+            if not pending:
+                continue
+            _, _, record = heapq.heappop(pending)
+            yield record
+            emitted += 1
+            if cap is not None and emitted >= cap:
+                return
+
+
+#: Streamed synthetic hosts live in the same 10.1.0.0/16 as batch traces.
+INTERNAL_STREAM_BASE = (10 << 24) | (1 << 16)

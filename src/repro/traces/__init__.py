@@ -13,7 +13,9 @@ from .analysis import (
 from .classify import HostProfile, census, classify_hosts, profile_hosts
 from .dns import DEFAULT_DNS_TTL, DnsCache
 from .records import (
+    DEFAULT_FAILURE_TIMEOUT,
     DNS_PORT,
+    FailedContact,
     FlowRecord,
     HostClass,
     Protocol,
@@ -22,7 +24,13 @@ from .records import (
     ip_to_str,
     str_to_ip,
 )
-from .synth import INTERNAL_BASE, RESOLVER_IP, TraceConfig, generate_trace
+from .synth import (
+    INTERNAL_BASE,
+    RESOLVER_IP,
+    TraceConfig,
+    generate_trace,
+    iter_flow_records,
+)
 from .windows import (
     Refinement,
     WindowCounts,
@@ -44,7 +52,9 @@ __all__ = [
     "profile_hosts",
     "DEFAULT_DNS_TTL",
     "DnsCache",
+    "DEFAULT_FAILURE_TIMEOUT",
     "DNS_PORT",
+    "FailedContact",
     "FlowRecord",
     "HostClass",
     "Protocol",
@@ -56,6 +66,7 @@ __all__ = [
     "RESOLVER_IP",
     "TraceConfig",
     "generate_trace",
+    "iter_flow_records",
     "Refinement",
     "WindowCounts",
     "count_contacts",

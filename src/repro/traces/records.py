@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import csv
 import io
+from collections import deque
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from enum import Enum
@@ -26,15 +27,22 @@ __all__ = [
     "Protocol",
     "HostClass",
     "FlowRecord",
+    "FailedContact",
     "Trace",
     "TraceError",
     "ip_to_str",
     "str_to_ip",
     "DNS_PORT",
+    "DEFAULT_FAILURE_TIMEOUT",
 ]
 
 #: Well-known DNS port.
 DNS_PORT = 53
+
+#: Seconds an initiated TCP contact may go unanswered before it counts
+#: as a connection failure (SYN-timeout scale, not the 75 s full TCP
+#: give-up: failure detectors act on the first unanswered retransmit).
+DEFAULT_FAILURE_TIMEOUT = 3.0
 
 
 class TraceError(ValueError):
@@ -140,6 +148,18 @@ class FlowRecord:
         return self.dns_answer is not None
 
     @property
+    def icmp_unreachable(self) -> bool:
+        """Whether this is an ICMP error (destination unreachable).
+
+        The trace model carries no echo *replies* — every non-echo ICMP
+        record is an error bounce (the synthetic generator only emits
+        unreachables there, and the paper's failure signal is exactly
+        the unreachable class).  An unreachable from ``src`` answers a
+        contact that ``dst`` previously initiated toward ``src``.
+        """
+        return self.protocol is Protocol.ICMP and not self.icmp_echo
+
+    @property
     def initiates_contact(self) -> bool:
         """Whether this record *initiates* a contact with ``dst``.
 
@@ -153,6 +173,34 @@ class FlowRecord:
             return self.icmp_echo
         # UDP: anything that is not DNS infrastructure traffic.
         return self.dst_port != DNS_PORT and self.dns_answer is None
+
+
+@dataclass(slots=True, frozen=True)
+class FailedContact:
+    """A contact initiation that drew a failure signal.
+
+    Attributes
+    ----------
+    time:
+        When the failed contact was *initiated* (the SYN/echo time).
+    detected_at:
+        When the failure became observable: the ICMP unreachable's
+        arrival, or ``time + timeout`` for an unanswered SYN.
+    src, dst:
+        Initiator and target of the failed contact.
+    dst_port:
+        Target port of the initiation (0 for ICMP echoes).
+    reason:
+        ``"timeout"`` (SYN never answered) or ``"unreachable"``
+        (explicit ICMP error bounce).
+    """
+
+    time: float
+    detected_at: float
+    src: int
+    dst: int
+    dst_port: int
+    reason: str
 
 
 _CSV_FIELDS = [
@@ -252,6 +300,95 @@ class Trace:
         return sorted(
             host for host, label in self.labels.items() if label is host_class
         )
+
+    def failed_contacts(
+        self, timeout: float = DEFAULT_FAILURE_TIMEOUT
+    ) -> list[FailedContact]:
+        """Contact initiations that drew a failure signal, time-ordered.
+
+        Two failure classes, matching the connection-failure containment
+        literature:
+
+        * ``"timeout"`` — a TCP SYN with no answering segment (non-SYN
+          TCP from the target back to the initiator) within ``timeout``
+          seconds.  An answer clears *every* outstanding SYN for that
+          (initiator, target) pair.  SYNs still unanswered when the
+          trace ends count as timeouts (their ``detected_at`` may fall
+          past the last record) — the same flush semantics the
+          streaming detector's ``finish()`` applies, so batch and
+          stream agree exactly.
+        * ``"unreachable"`` — an ICMP unreachable from the target fails
+          every outstanding contact (SYN or echo) the initiator had
+          toward it.  Unanswered ICMP echoes alone are *not* failures:
+          the trace carries no echo replies, so silence is
+          uninformative there.
+
+        Returns failures sorted by ``(detected_at, time, src, dst)``.
+        """
+        if timeout <= 0:
+            raise TraceError(f"timeout must be positive, got {timeout}")
+        failures: list[FailedContact] = []
+        # Entry: [time, src, dst, dst_port, is_tcp, alive]
+        queue: deque[list] = deque()
+        by_pair: dict[tuple[int, int], deque[list]] = {}
+
+        def expire(now: float | None) -> None:
+            while queue and (now is None or queue[0][0] + timeout < now):
+                t, src, dst, port, is_tcp, alive = entry = queue.popleft()
+                if alive and is_tcp:
+                    failures.append(
+                        FailedContact(
+                            time=t,
+                            detected_at=t + timeout,
+                            src=src,
+                            dst=dst,
+                            dst_port=port,
+                            reason="timeout",
+                        )
+                    )
+                entry[5] = False
+                # Global FIFO == per-pair FIFO, so the expired entry is
+                # at the front of its pair bucket; prune to bound memory.
+                bucket = by_pair.get((src, dst))
+                if bucket and bucket[0] is entry:
+                    bucket.popleft()
+                    if not bucket:
+                        del by_pair[(src, dst)]
+
+        for r in self._records:
+            expire(r.time)
+            if r.protocol is Protocol.TCP and not r.tcp_syn:
+                # Response traffic: answers contacts dst made toward src.
+                for entry in by_pair.pop((r.dst, r.src), ()):
+                    entry[5] = False
+            elif r.icmp_unreachable:
+                for entry in by_pair.pop((r.dst, r.src), ()):
+                    if entry[5]:
+                        failures.append(
+                            FailedContact(
+                                time=entry[0],
+                                detected_at=r.time,
+                                src=entry[1],
+                                dst=entry[2],
+                                dst_port=entry[3],
+                                reason="unreachable",
+                            )
+                        )
+                        entry[5] = False
+            elif r.initiates_contact and r.protocol is not Protocol.UDP:
+                entry = [
+                    r.time,
+                    r.src,
+                    r.dst,
+                    r.dst_port,
+                    r.protocol is Protocol.TCP,
+                    True,
+                ]
+                queue.append(entry)
+                by_pair.setdefault((r.src, r.dst), deque()).append(entry)
+        expire(None)
+        failures.sort(key=lambda f: (f.detected_at, f.time, f.src, f.dst))
+        return failures
 
     # ------------------------------------------------------------------
     # Serialization (CSV — the traces are header-only, CSV is faithful)

@@ -22,16 +22,39 @@ The generator emits DNS query/answer record pairs before resolved
 contacts, so the analysis pipeline can rebuild the translation state from
 the trace alone — the same information the paper's recorded DNS payloads
 provided.
+
+Generation is *incremental*: :func:`iter_flow_records` yields records
+host by host as each behaviour model runs, and :func:`generate_trace` is
+a thin collector over that stream (byte-identical to the historical
+batch output for a fixed seed — pinned by regression test).  The yielded
+order is generation order, not time order; :class:`~repro.traces.records.
+Trace` sorts on construction, and the streaming adapters in
+:mod:`repro.streaming.stream` handle time-ordering for online consumers.
+
+Failure semantics (both default-off so historical traces are unchanged):
+``service_reply_probability`` makes resolved benign contacts draw a TCP
+response from the service, and ``scan_unreachable_probability`` makes
+worm scan targets answer with an ICMP unreachable — the signals the
+connection-failure containment detector consumes.  At their 0.0 defaults
+neither knob consumes a single RNG draw, which is what preserves
+byte-identity.
 """
 
 from __future__ import annotations
 
 import random
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 from .records import DNS_PORT, FlowRecord, HostClass, Protocol, Trace, TraceError
 
-__all__ = ["TraceConfig", "generate_trace", "INTERNAL_BASE", "RESOLVER_IP"]
+__all__ = [
+    "TraceConfig",
+    "generate_trace",
+    "iter_flow_records",
+    "INTERNAL_BASE",
+    "RESOLVER_IP",
+]
 
 #: Base of the internal 10.1.0.0/16 network; hosts are numbered upward.
 INTERNAL_BASE = (10 << 24) | (1 << 16)
@@ -107,9 +130,25 @@ class TraceConfig:
     #: Probability a swept host "responds", triggering a TCP/135 probe.
     welchia_probe_probability: float = 0.10
 
+    # --- connection-failure semantics (default off: byte-identical
+    # --- traces; the streaming failure detector needs them on) ---------
+    #: Probability a resolved/known-service contact draws a TCP response
+    #: from the service (success signal).  0.0 emits no replies and
+    #: consumes no RNG draws.
+    service_reply_probability: float = 0.0
+    #: Probability a worm scan target answers with an ICMP unreachable
+    #: (explicit failure signal).  0.0 emits none and consumes no draws.
+    scan_unreachable_probability: float = 0.0
+
     def __post_init__(self) -> None:
         if self.duration <= 0:
             raise TraceError(f"duration must be positive, got {self.duration}")
+        for label, p in (
+            ("service_reply_probability", self.service_reply_probability),
+            ("scan_unreachable_probability", self.scan_unreachable_probability),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise TraceError(f"{label} must be in [0, 1], got {p}")
         counts = (
             self.num_normal,
             self.num_servers,
@@ -194,13 +233,23 @@ def _poisson_times(
 
 
 class _TraceBuilder:
-    """Accumulates records and the bookkeeping shared across behaviours."""
+    """Accumulates records and the bookkeeping shared across behaviours.
+
+    Records buffer in :attr:`records` in emission order; :meth:`drain`
+    hands the buffer off (and clears it) so the per-host generators can
+    run as an incremental stream instead of one monolithic batch.
+    """
 
     def __init__(self, config: TraceConfig, rng: random.Random) -> None:
         self.config = config
         self.rng = rng
         self.plan = _AddressPlan(config, rng)
         self.records: list[FlowRecord] = []
+
+    def drain(self) -> list[FlowRecord]:
+        """Hand off everything emitted since the last drain."""
+        emitted, self.records = self.records, []
+        return emitted
 
     # -- primitives ------------------------------------------------------
 
@@ -269,6 +318,34 @@ class _TraceBuilder:
             )
         )
 
+    def icmp_unreachable(self, t: float, src: int, dst: int) -> None:
+        """Emit an ICMP destination-unreachable (non-echo ICMP)."""
+        self.records.append(
+            FlowRecord(
+                time=t,
+                src=src,
+                dst=dst,
+                protocol=Protocol.ICMP,
+                icmp_echo=False,
+            )
+        )
+
+    # -- failure semantics (zero RNG draws at the 0.0 defaults) ----------
+
+    def maybe_service_reply(
+        self, t: float, client: int, service: int, src_port: int
+    ) -> None:
+        """With ``service_reply_probability``, the service answers."""
+        p = self.config.service_reply_probability
+        if p > 0 and self.rng.random() < p:
+            self.tcp_reply(t + 0.01, service, client, src_port=src_port)
+
+    def maybe_unreachable(self, t: float, scanner: int, target: int) -> None:
+        """With ``scan_unreachable_probability``, the scan bounces."""
+        p = self.config.scan_unreachable_probability
+        if p > 0 and self.rng.random() < p:
+            self.icmp_unreachable(t + 0.08, target, scanner)
+
     # -- behaviours --------------------------------------------------------
 
     def _inbound_stream(
@@ -312,16 +389,24 @@ class _TraceBuilder:
                 priors = self._eligible_prior(inbound, t_contact)
                 if priors and rng.random() < config.normal_reply_probability:
                     # Re-contacting someone who contacted us first.
-                    self.tcp_syn(
-                        t_contact, host, rng.choice(priors), dst_port=7001
+                    prior = rng.choice(priors)
+                    self.tcp_syn(t_contact, host, prior, dst_port=7001)
+                    self.maybe_service_reply(
+                        t_contact, host, prior, src_port=7001
                     )
                     continue
                 target = plan.pick_service(rng)
                 if rng.random() < config.normal_direct_probability:
                     self.tcp_syn(t_contact, host, target, dst_port=80)
+                    self.maybe_service_reply(
+                        t_contact, host, target, src_port=80
+                    )
                 else:
                     self.dns_lookup(t_contact, host, target)
                     self.tcp_syn(t_contact + 0.05, host, target, dst_port=80)
+                    self.maybe_service_reply(
+                        t_contact + 0.05, host, target, src_port=80
+                    )
 
     def generate_server(self, host: int) -> None:
         config, rng, plan = self.config, self.rng, self.plan
@@ -334,6 +419,7 @@ class _TraceBuilder:
             target = plan.pick_service(rng)
             self.dns_lookup(t, host, target)
             self.tcp_syn(t + 0.05, host, target, dst_port=25)
+            self.maybe_service_reply(t + 0.05, host, target, src_port=25)
 
     def generate_p2p_client(self, host: int) -> None:
         config, rng, plan = self.config, self.rng, self.plan
@@ -354,13 +440,18 @@ class _TraceBuilder:
         def emit_contact(t: float) -> None:
             priors = self._eligible_prior(inbound, t)
             if priors and rng.random() < config.p2p_reply_fraction:
-                self.tcp_syn(t, host, rng.choice(priors), dst_port=6346)
+                prior = rng.choice(priors)
+                self.tcp_syn(t, host, prior, dst_port=6346)
+                self.maybe_service_reply(t, host, prior, src_port=6346)
                 return
             if rng.random() < config.p2p_dns_fraction:
                 target = plan.pick_service(rng)
                 self.dns_lookup(t, host, target)
                 self.tcp_syn(t + 0.05, host, target, dst_port=6969)
+                self.maybe_service_reply(t + 0.05, host, target, src_port=6969)
             else:
+                # Peer-churn contacts stay unanswered: dead peers are the
+                # benign false-positive pressure on the failure detector.
                 target = plan.random_external(rng)
                 self.tcp_syn(t, host, target, dst_port=6346)
 
@@ -396,6 +487,7 @@ class _TraceBuilder:
                 offset += 1
                 if (target >> 24) not in (0, 10, 127):
                     self.tcp_syn(t, host, target, dst_port=DCOM_PORT)
+                    self.maybe_unreachable(t, host, target)
                 t += rng.expovariate(rate)
 
     def generate_welchia(self, host: int) -> None:
@@ -425,6 +517,9 @@ class _TraceBuilder:
                             self.tcp_syn(
                                 t_scan + 0.02, host, target, dst_port=DCOM_PORT
                             )
+                        else:
+                            # Non-responders may bounce the ping.
+                            self.maybe_unreachable(t_scan, host, target)
                     t_scan += rng.expovariate(rate)
                 t += sweep_length
             else:
@@ -432,23 +527,50 @@ class _TraceBuilder:
                 t += rng.uniform(5.0, 30.0)
 
 
-def generate_trace(config: TraceConfig | None = None) -> Trace:
-    """Generate a labeled synthetic trace per ``config`` (seeded)."""
+def _iter_builder_records(builder: _TraceBuilder) -> Iterator[FlowRecord]:
+    """Run every behaviour model, draining records host by host.
+
+    This is the single generation path: the class order and per-class
+    host order replicate the historical batch loop exactly, so a
+    collector over this iterator reproduces the pre-refactor
+    ``generate_trace`` output byte for byte.
+    """
+    behaviours = (
+        (HostClass.NORMAL, builder.generate_normal_client),
+        (HostClass.SERVER, builder.generate_server),
+        (HostClass.P2P, builder.generate_p2p_client),
+        (HostClass.WORM_BLASTER, builder.generate_blaster),
+        (HostClass.WORM_WELCHIA, builder.generate_welchia),
+    )
+    for host_class, behave in behaviours:
+        for host in builder.plan.hosts_of(host_class):
+            behave(host)
+            yield from builder.drain()
+
+
+def iter_flow_records(config: TraceConfig | None = None) -> Iterator[FlowRecord]:
+    """Incrementally generate the flow records of a synthetic trace.
+
+    Yields records in *generation* order (host by host), holding only
+    one host's worth of records at a time — the memory-bounded path the
+    streaming subsystem consumes.  ``list(iter_flow_records(c))`` is
+    exactly the record list ``generate_trace(c)`` is built from.
+    """
     config = config or TraceConfig()
-    rng = random.Random(config.seed)
-    builder = _TraceBuilder(config, rng)
-    for host in builder.plan.hosts_of(HostClass.NORMAL):
-        builder.generate_normal_client(host)
-    for host in builder.plan.hosts_of(HostClass.SERVER):
-        builder.generate_server(host)
-    for host in builder.plan.hosts_of(HostClass.P2P):
-        builder.generate_p2p_client(host)
-    for host in builder.plan.hosts_of(HostClass.WORM_BLASTER):
-        builder.generate_blaster(host)
-    for host in builder.plan.hosts_of(HostClass.WORM_WELCHIA):
-        builder.generate_welchia(host)
+    builder = _TraceBuilder(config, random.Random(config.seed))
+    yield from _iter_builder_records(builder)
+
+
+def generate_trace(config: TraceConfig | None = None) -> Trace:
+    """Generate a labeled synthetic trace per ``config`` (seeded).
+
+    A thin collector over :func:`iter_flow_records`' generation path.
+    """
+    config = config or TraceConfig()
+    builder = _TraceBuilder(config, random.Random(config.seed))
+    records = list(_iter_builder_records(builder))
     return Trace(
-        builder.records,
+        records,
         builder.plan.internal,
         labels=builder.plan.labels,
     )

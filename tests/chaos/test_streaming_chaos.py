@@ -1,0 +1,251 @@
+"""Streaming-subsystem degradation under injected faults.
+
+Three contracts:
+
+* appending the streaming sites to ``DEFAULT_SITES`` left every
+  pre-existing site's derived schedule byte-identical (append-only
+  plan evolution — old plan seeds still replay exactly);
+* a corrupted JSONL line (``streaming.ingest.line``) costs exactly the
+  records it hit — counted, skipped, never fatal — and seeded fault
+  schedules replay to identical fired logs and identical summaries;
+* a ``/v1/stream`` chunk fault surfaces as the documented transient
+  (429 on reject, 503 on error), and the very next retry lands on an
+  intact session.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.chaos import (
+    DEFAULT_SITES,
+    Fault,
+    FaultPlan,
+    chaos_active,
+    corrupt,
+    site_models,
+)
+from repro.service import ServiceConfig, ServiceThread
+from repro.streaming import (
+    JsonlFlowStream,
+    SyntheticFlowStream,
+    record_to_json,
+)
+from repro.traces.synth import TraceConfig
+
+from .conftest import seed_matrix
+
+pytestmark = [pytest.mark.chaos, pytest.mark.streaming]
+
+STREAMING_SITES = ("streaming.ingest.line", "service.stream.chunk")
+
+
+def flow_lines(count: int, seed: int = 3) -> list[str]:
+    config = TraceConfig(
+        duration=120.0, seed=seed, num_normal=20, num_servers=2,
+        num_p2p=2, num_blaster=2, num_welchia=1,
+    )
+    return [
+        record_to_json(r)
+        for r in SyntheticFlowStream(config, max_flows=count)
+    ]
+
+
+def ingest_hook(line: str) -> str:
+    """The CLI's chaos seam: route each line through the corrupt point."""
+    return corrupt(
+        "streaming.ingest.line", line.encode("utf-8")
+    ).decode("utf-8", "replace")
+
+
+class TestPlanCompatibility:
+    def test_streaming_sites_are_registered(self):
+        names = [model.site for model in DEFAULT_SITES]
+        for site in STREAMING_SITES:
+            assert site in names
+        # Appended at the end — order is the compatibility contract.
+        assert names[-2:] == list(STREAMING_SITES)
+
+    def test_appending_sites_kept_old_schedules_byte_identical(self):
+        legacy_sites = DEFAULT_SITES[: -len(STREAMING_SITES)]
+        assert not any(
+            model.site in STREAMING_SITES for model in legacy_sites
+        )
+        for seed in seed_matrix(20):
+            full = FaultPlan.from_seed(seed)
+            legacy = FaultPlan.from_seed(seed, sites=legacy_sites)
+            trimmed = {
+                site: events
+                for site, events in full.events.items()
+                if site not in STREAMING_SITES
+            }
+            assert trimmed == legacy.events, (
+                f"plan seed {seed}: pre-streaming site schedule changed"
+            )
+
+
+class TestIngestLineCorruption:
+    def test_truncated_line_degrades_one_record(self):
+        plan = FaultPlan.single(
+            "streaming.ingest.line", Fault("truncate", trim=30), at=2
+        )
+        lines = flow_lines(10)
+        with chaos_active(plan) as controller:
+            stream = JsonlFlowStream(lines, corrupt=ingest_hook)
+            records = list(stream)
+        assert len(records) == 9
+        assert stream.bad_lines == 1
+        times = [r.time for r in records]
+        assert times == sorted(times)
+        assert controller.fired_log() == [
+            ("streaming.ingest.line", 2, "truncate")
+        ]
+
+    def test_garbled_line_degrades_one_record(self):
+        plan = FaultPlan.single(
+            "streaming.ingest.line", Fault("garble"), at=0
+        )
+        lines = flow_lines(5)
+        with chaos_active(plan) as controller:
+            stream = JsonlFlowStream(lines, corrupt=ingest_hook)
+            records = list(stream)
+        assert len(records) == 4
+        assert stream.bad_lines == 1
+        assert controller.fired_log() == [
+            ("streaming.ingest.line", 0, "garble")
+        ]
+
+    def test_seeded_schedules_replay_identically(self, tag_plan_seed):
+        sites = site_models(["streaming.ingest.line"])
+        lines = flow_lines(64)
+
+        def run(plan):
+            with chaos_active(plan) as controller:
+                stream = JsonlFlowStream(lines, corrupt=ingest_hook)
+                records = list(stream)
+                return (
+                    controller.fired_log(),
+                    stream.bad_lines,
+                    [(r.time, r.src, r.dst) for r in records],
+                )
+
+        fired_any = False
+        for seed in seed_matrix(6):
+            tag_plan_seed(seed)
+            plan = FaultPlan.from_seed(seed, sites=sites)
+            first = run(plan)
+            second = run(FaultPlan.from_seed(seed, sites=sites))
+            assert first == second, f"plan seed {seed} did not replay"
+            fired_log, bad_lines, survivors = first
+            assert bad_lines == len(fired_log)
+            assert len(survivors) == len(lines) - bad_lines
+            fired_any = fired_any or bool(fired_log)
+        assert fired_any, "seed matrix never fired a single fault"
+
+
+@pytest.fixture()
+def stream_service_under():
+    def build(plan):
+        return _ServiceContext(plan)
+
+    return build
+
+
+class _ServiceContext:
+    def __init__(self, plan) -> None:
+        self._plan = plan
+
+    def __enter__(self):
+        self._chaos = chaos_active(self._plan)
+        self.controller = self._chaos.__enter__()
+        config = ServiceConfig(
+            port=0, jobs=1, max_queue=2, concurrency=1,
+            cache_enabled=False, max_streams=2, stream_ttl_s=60.0,
+        )
+        self._thread = ServiceThread(config)
+        thread = self._thread.__enter__()
+        self.connection = http.client.HTTPConnection(
+            "127.0.0.1", thread.port, timeout=10.0
+        )
+        return self
+
+    def __exit__(self, *exc):
+        try:
+            self.connection.close()
+        finally:
+            try:
+                self._thread.__exit__(*exc)
+            finally:
+                self._chaos.__exit__(*exc)
+        return False
+
+    def request(self, method, path, body=None):
+        payload = None if body is None else body.encode("utf-8")
+        self.connection.request(method, path, body=payload)
+        response = self.connection.getresponse()
+        data = response.read()
+        return response, json.loads(data) if data else {}
+
+
+class TestStreamChunkFaults:
+    def test_rejected_chunk_is_a_429_then_recovery(
+        self, stream_service_under
+    ):
+        plan = FaultPlan.single(
+            "service.stream.chunk", Fault("reject"), at=0
+        )
+        lines = flow_lines(50)
+        with stream_service_under(plan) as service:
+            response, opened = service.request(
+                "POST", "/v1/stream", "{}"
+            )
+            assert response.status == 201
+            stream_id = opened["id"]
+            body = "\n".join(lines)
+            response, payload = service.request(
+                "POST", f"/v1/stream/{stream_id}", body
+            )
+            assert response.status == 429
+            assert response.getheader("Retry-After") is not None
+            # The 429 consumed no records; the retry lands intact.
+            response, payload = service.request(
+                "POST", f"/v1/stream/{stream_id}", body
+            )
+            assert response.status == 200
+            assert payload["flows"] == 50
+            response, summary = service.request(
+                "POST", f"/v1/stream/{stream_id}/close"
+            )
+            assert summary["flows"] == 50
+            assert service.controller.fired_log() == [
+                ("service.stream.chunk", 0, "reject")
+            ]
+
+    def test_transient_error_is_a_503_then_recovery(
+        self, stream_service_under
+    ):
+        plan = FaultPlan.single(
+            "service.stream.chunk", Fault("error"), at=0
+        )
+        lines = flow_lines(20)
+        with stream_service_under(plan) as service:
+            response, opened = service.request(
+                "POST", "/v1/stream", "{}"
+            )
+            stream_id = opened["id"]
+            response, payload = service.request(
+                "POST", f"/v1/stream/{stream_id}", "\n".join(lines)
+            )
+            assert response.status == 503
+            assert "retry_after_s" in payload
+            response, payload = service.request(
+                "POST", f"/v1/stream/{stream_id}", "\n".join(lines)
+            )
+            assert response.status == 200
+            assert payload["flows"] == 20
+            assert service.controller.fired_log() == [
+                ("service.stream.chunk", 0, "error")
+            ]

@@ -1,0 +1,269 @@
+"""``/v1/stream`` chunked-ingest sessions: admission, ingest, eviction.
+
+Registry semantics (bounded admission, TTL eviction, summary flushing)
+are tested directly on :class:`StreamRegistry` with an injected clock —
+no sleeps.  The HTTP surface is then exercised end-to-end against a
+real :class:`ServiceThread`: open -> chunks -> close, plus the 400/404/
+429 error paths and the ``/metrics`` stream counters.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.service import ServiceConfig, ServiceThread
+from repro.service.streams import (
+    StreamLimitError,
+    StreamProtocolError,
+    StreamRegistry,
+    build_stream_engine,
+)
+from repro.streaming import SyntheticFlowStream, record_to_json
+from repro.traces.synth import TraceConfig
+
+pytestmark = [pytest.mark.service, pytest.mark.streaming]
+
+STREAM_CONFIG = TraceConfig(
+    duration=120.0, seed=2, num_normal=20, num_servers=2, num_p2p=2,
+    num_blaster=2, num_welchia=1,
+)
+
+
+def flow_lines(count: int) -> list[str]:
+    stream = SyntheticFlowStream(STREAM_CONFIG, max_flows=count)
+    return [record_to_json(record) for record in stream]
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestBuildStreamEngine:
+    def test_default_is_failure_ratio(self):
+        engine = build_stream_engine({})
+        assert [d.name for d in engine.detectors] == ["failure_ratio"]
+
+    def test_named_detectors_with_params(self):
+        engine = build_stream_engine({
+            "detectors": [
+                {"kind": "contact-rate",
+                 "params": {"window": 2.0, "threshold": 40.0}},
+                "failure-ratio",
+            ],
+        })
+        assert [d.name for d in engine.detectors] == [
+            "contact_rate", "failure_ratio",
+        ]
+        assert engine.detectors[0].window == 2.0
+
+    def test_compact_capacity_wires_shared_estimators(self):
+        engine = build_stream_engine({
+            "detectors": ["contact-rate", "failure-ratio"],
+            "compact_capacity": 512,
+        })
+        assert engine.estimator_bytes_per_host(512) == 16.0
+
+    @pytest.mark.parametrize("payload", [
+        [],  # not an object
+        {"detectors": []},  # empty
+        {"detectors": "failure-ratio"},  # not a list
+        {"detectors": ["warp-drive"]},  # unknown kind
+        {"detectors": [42]},  # not a name or object
+        {"detectors": [{"kind": "failure-ratio", "nope": 1}]},
+        {"detectors": ["failure-ratio"], "compact_capacity": 0},
+        {"detectors": ["failure-ratio"], "surprise": True},
+        {"detectors": [{"kind": "failure-ratio",
+                        "params": {"timeout": -1.0}}]},
+    ])
+    def test_bad_open_bodies_raise_protocol_error(self, payload):
+        with pytest.raises(StreamProtocolError):
+            build_stream_engine(payload)
+
+
+class TestStreamRegistry:
+    def test_session_keeps_state_across_chunks(self):
+        registry = StreamRegistry(max_streams=2, ttl_s=60.0)
+        session = registry.open({"detectors": ["contact-rate"]})
+        lines = flow_lines(400)
+        first = registry.chunk(session.id, "\n".join(lines[:200]))
+        second = registry.chunk(session.id, "\n".join(lines[200:]))
+        assert second["flows"] == 400 > first["flows"]
+        summary = registry.close(session.id)
+        assert summary["flows"] == 400
+        assert summary["chunks"] == 2
+        assert summary["total_events"] >= len(summary["events"])
+        assert set(summary["quarantined"]) == {"contact_rate"}
+
+    def test_bad_lines_and_regressions_degrade_not_kill(self):
+        registry = StreamRegistry()
+        session = registry.open({})
+        lines = flow_lines(10)
+        lines.insert(3, '{"torn')
+        lines.insert(7, lines[0])  # time regression mid-chunk
+        result = registry.chunk(session.id, "\n".join(lines))
+        assert result["flows"] == 10
+        assert result["bad_lines"] == 1
+        assert result["reordered"] == 1
+
+    def test_admission_is_bounded_with_retry_after(self):
+        clock = FakeClock()
+        registry = StreamRegistry(max_streams=2, ttl_s=60.0, clock=clock)
+        registry.open({})
+        clock.now += 10.0
+        registry.open({})
+        with pytest.raises(StreamLimitError) as excinfo:
+            registry.open({})
+        # The oldest session's TTL has 50s left; retry then.
+        assert excinfo.value.open_streams == 2
+        assert excinfo.value.retry_after_s == 50
+        assert registry.stats()["rejected"] == 1
+
+    def test_quiet_sessions_are_evicted_by_ttl(self):
+        clock = FakeClock()
+        registry = StreamRegistry(max_streams=1, ttl_s=30.0, clock=clock)
+        stale = registry.open({})
+        clock.now += 31.0
+        fresh = registry.open({})  # stale slot is reclaimed, not a 429
+        with pytest.raises(KeyError):
+            registry.chunk(stale.id, "")
+        stats = registry.stats()
+        assert stats["evicted"] == 1
+        assert stats["open"] == 1
+        registry.close(fresh.id)
+
+    def test_chunk_activity_refreshes_the_ttl(self):
+        clock = FakeClock()
+        registry = StreamRegistry(max_streams=1, ttl_s=30.0, clock=clock)
+        session = registry.open({})
+        for _ in range(4):
+            clock.now += 20.0  # each chunk arrives inside the TTL
+            registry.chunk(session.id, "")
+        assert registry.stats()["evicted"] == 0
+
+    def test_unknown_and_closed_ids_raise_key_error(self):
+        registry = StreamRegistry()
+        session = registry.open({})
+        registry.close(session.id)
+        with pytest.raises(KeyError):
+            registry.chunk(session.id, "")
+        with pytest.raises(KeyError):
+            registry.close("no-such-stream")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_streams": 0},
+        {"ttl_s": 0.0},
+    ])
+    def test_rejects_bad_limits(self, kwargs):
+        with pytest.raises(ValueError):
+            StreamRegistry(**kwargs)
+
+
+@pytest.fixture()
+def stream_service():
+    config = ServiceConfig(
+        port=0, jobs=1, max_queue=2, concurrency=1, cache_enabled=False,
+        max_streams=2, stream_ttl_s=60.0,
+    )
+    with ServiceThread(config) as thread:
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", thread.port, timeout=10.0
+        )
+        try:
+            yield connection
+        finally:
+            connection.close()
+
+
+def request(connection, method, path, body=None):
+    payload = None if body is None else body.encode("utf-8")
+    connection.request(method, path, body=payload)
+    response = connection.getresponse()
+    data = response.read()
+    return response, json.loads(data) if data else {}
+
+
+class TestStreamEndpoint:
+    def test_full_session_lifecycle(self, stream_service):
+        response, opened = request(
+            stream_service, "POST", "/v1/stream",
+            json.dumps({
+                "detectors": ["failure-ratio", "contact-rate"],
+                "compact_capacity": 256,
+            }),
+        )
+        assert response.status == 201
+        stream_id = opened["id"]
+        assert opened["detectors"] == ["failure_ratio", "contact_rate"]
+
+        lines = flow_lines(600)
+        for start in range(0, 600, 300):
+            response, chunk = request(
+                stream_service, "POST", f"/v1/stream/{stream_id}",
+                "\n".join(lines[start:start + 300]),
+            )
+            assert response.status == 200
+            assert chunk["bad_lines"] == 0
+        assert chunk["flows"] == 600
+
+        response, summary = request(
+            stream_service, "POST", f"/v1/stream/{stream_id}/close"
+        )
+        assert response.status == 200
+        assert summary["flows"] == 600
+        assert summary["chunks"] == 2
+        assert set(summary["quarantined"]) == {
+            "contact_rate", "failure_ratio",
+        }
+
+        response, metrics = request(stream_service, "GET", "/metrics")
+        assert response.status == 200
+        streams = metrics["streams"]
+        assert streams["opened"] == 1
+        assert streams["closed"] == 1
+        assert streams["flows"] == 600
+
+    def test_bad_open_body_is_a_400(self, stream_service):
+        response, body = request(
+            stream_service, "POST", "/v1/stream", "{not json"
+        )
+        assert response.status == 400
+        response, body = request(
+            stream_service, "POST", "/v1/stream",
+            json.dumps({"detectors": ["warp-drive"]}),
+        )
+        assert response.status == 400
+        assert "warp-drive" in body["error"]
+
+    def test_unknown_stream_id_is_a_404(self, stream_service):
+        response, _ = request(
+            stream_service, "POST", "/v1/stream/deadbeef", "{}"
+        )
+        assert response.status == 404
+        response, _ = request(
+            stream_service, "POST", "/v1/stream/deadbeef/close"
+        )
+        assert response.status == 404
+
+    def test_admission_limit_is_a_429_with_retry_after(self, stream_service):
+        ids = []
+        for _ in range(2):
+            response, opened = request(
+                stream_service, "POST", "/v1/stream", "{}"
+            )
+            assert response.status == 201
+            ids.append(opened["id"])
+        response, body = request(stream_service, "POST", "/v1/stream", "{}")
+        assert response.status == 429
+        assert response.getheader("Retry-After") is not None
+        assert body["retry_after_s"] >= 1
+        # Closing a session frees its slot immediately.
+        request(stream_service, "POST", f"/v1/stream/{ids[0]}/close")
+        response, _ = request(stream_service, "POST", "/v1/stream", "{}")
+        assert response.status == 201

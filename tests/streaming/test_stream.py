@@ -1,0 +1,184 @@
+"""Flow-stream sources: wire format, degradation, online generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streaming import (
+    FlowStream,
+    JsonlFlowStream,
+    SyntheticFlowStream,
+    TraceReplayStream,
+    private_internal,
+    record_from_json,
+    record_to_json,
+)
+from repro.traces.records import FlowRecord, Protocol, TraceError
+from repro.traces.synth import TraceConfig
+
+pytestmark = pytest.mark.streaming
+
+INTERNAL = (10 << 24) | (1 << 16) | 10
+EXTERNAL = (93 << 24) | 7
+
+
+def sample_records() -> list[FlowRecord]:
+    return [
+        FlowRecord(
+            time=1.0, src=INTERNAL, dst=EXTERNAL, protocol=Protocol.TCP,
+            src_port=40001, dst_port=135, tcp_syn=True,
+        ),
+        FlowRecord(
+            time=1.25, src=EXTERNAL, dst=INTERNAL, protocol=Protocol.TCP,
+            src_port=135, dst_port=40001,
+        ),
+        FlowRecord(
+            time=2.0, src=INTERNAL, dst=EXTERNAL, protocol=Protocol.ICMP,
+            icmp_echo=True,
+        ),
+        FlowRecord(
+            time=2.5, src=EXTERNAL, dst=INTERNAL, protocol=Protocol.ICMP,
+        ),
+        FlowRecord(
+            time=3.0, src=EXTERNAL, dst=INTERNAL, protocol=Protocol.UDP,
+            src_port=53, dst_port=33001, dns_answer=EXTERNAL + 1,
+        ),
+        # Full-precision float time must survive the wire exactly.
+        FlowRecord(
+            time=3.0000001192092896, src=INTERNAL, dst=EXTERNAL,
+            protocol=Protocol.UDP, src_port=5000, dst_port=5000,
+        ),
+    ]
+
+
+class TestWireFormat:
+    def test_roundtrip_is_exact(self):
+        for record in sample_records():
+            assert record_from_json(record_to_json(record)) == record
+
+    def test_defaults_are_omitted_from_the_wire(self):
+        line = record_to_json(sample_records()[3])
+        assert "sp" not in line and "syn" not in line and "dns" not in line
+
+    @pytest.mark.parametrize("line", [
+        "",  # empty
+        "{",  # truncated JSON
+        "[1, 2]",  # not an object
+        '{"t": 1.0}',  # missing fields
+        '{"t": 1.0, "src": 1, "dst": 2, "proto": "smtp"}',  # bad proto
+        '{"t": "x", "src": 1, "dst": 2, "proto": "tcp"}',  # bad time
+        '{"t": 1.0, "src": -5, "dst": 2, "proto": "tcp"}',  # bad address
+    ])
+    def test_malformed_lines_raise_trace_error(self, line):
+        with pytest.raises(TraceError):
+            record_from_json(line)
+
+
+class TestJsonlFlowStream:
+    def test_bad_lines_are_counted_and_skipped(self):
+        records = sample_records()
+        lines = [record_to_json(r) for r in records]
+        lines.insert(2, '{"t": 1.5, "src"')  # truncated mid-stream
+        lines.insert(4, "")  # blank lines are not errors
+        stream = JsonlFlowStream(lines)
+        assert list(stream) == records
+        assert stream.bad_lines == 1
+        assert stream.good_lines == len(records)
+
+    def test_time_regressions_are_dropped(self):
+        records = sample_records()
+        lines = [record_to_json(r) for r in records]
+        stale = record_to_json(
+            FlowRecord(
+                time=0.25, src=INTERNAL, dst=EXTERNAL,
+                protocol=Protocol.TCP, tcp_syn=True,
+            )
+        )
+        lines.insert(3, stale)
+        stream = JsonlFlowStream(lines)
+        out = list(stream)
+        assert out == records  # the stale record never surfaces
+        assert stream.reordered == 1
+        times = [r.time for r in out]
+        assert times == sorted(times)
+
+    def test_corrupt_hook_degrades_not_kills(self):
+        records = sample_records()
+        lines = [record_to_json(r) for r in records]
+        chopped = {1}
+
+        def corrupt(line: str) -> str:
+            # Truncate exactly one line, mimicking a torn write.
+            return line[:10] if lines.index(line) in chopped else line
+
+        stream = JsonlFlowStream(list(lines), corrupt=corrupt)
+        out = list(stream)
+        assert len(out) == len(records) - 1
+        assert stream.bad_lines == 1
+
+    def test_default_internal_predicate_is_ten_slash_eight(self):
+        stream = JsonlFlowStream([])
+        assert stream.is_internal(INTERNAL)
+        assert not stream.is_internal(EXTERNAL)
+        assert private_internal((10 << 24) | 5)
+
+
+class TestTraceReplayStream:
+    def test_replays_trace_records_in_order(self, small_trace):
+        stream = TraceReplayStream(small_trace)
+        replayed = list(stream)
+        assert replayed == list(small_trace.records)
+        assert stream.is_internal(next(iter(small_trace.internal_hosts)))
+
+    def test_satisfies_the_flow_stream_protocol(self, small_trace):
+        assert isinstance(TraceReplayStream(small_trace), FlowStream)
+        assert isinstance(JsonlFlowStream([]), FlowStream)
+        assert isinstance(SyntheticFlowStream(), FlowStream)
+
+
+class TestSyntheticFlowStream:
+    CONFIG = TraceConfig(
+        duration=60.0, seed=5, num_normal=30, num_servers=2, num_p2p=3,
+        num_blaster=2, num_welchia=1,
+    )
+
+    def test_output_is_time_ordered(self):
+        times = [r.time for r in SyntheticFlowStream(self.CONFIG)]
+        assert times and times == sorted(times)
+
+    def test_deterministic_for_a_seed(self):
+        a = list(SyntheticFlowStream(self.CONFIG))
+        b = list(SyntheticFlowStream(self.CONFIG))
+        assert a == b
+
+    def test_seeds_decorrelate(self):
+        other = TraceConfig(
+            duration=60.0, seed=6, num_normal=30, num_servers=2,
+            num_p2p=3, num_blaster=2, num_welchia=1,
+        )
+        a = list(SyntheticFlowStream(self.CONFIG))
+        b = list(SyntheticFlowStream(other))
+        assert a != b
+
+    def test_max_flows_caps_the_stream(self):
+        capped = list(SyntheticFlowStream(self.CONFIG, max_flows=100))
+        assert len(capped) == 100
+        full = list(SyntheticFlowStream(self.CONFIG))
+        assert capped == full[:100]
+
+    def test_census_hosts_are_internal(self):
+        stream = SyntheticFlowStream(self.CONFIG)
+        hosts = stream.internal_hosts
+        assert len(hosts) == self.CONFIG.num_hosts
+        assert all(stream.is_internal(h) for h in hosts)
+
+    def test_internal_sources_come_from_the_census(self):
+        stream = SyntheticFlowStream(self.CONFIG, max_flows=2000)
+        census = set(stream.internal_hosts)
+        for record in stream:
+            if stream.is_internal(record.src):
+                assert record.src in census
+
+    def test_rejects_negative_cap(self):
+        with pytest.raises(TraceError):
+            SyntheticFlowStream(self.CONFIG, max_flows=-1)

@@ -1,0 +1,159 @@
+"""Unit tests for the connection-failure helpers on the trace model.
+
+:meth:`Trace.failed_contacts` is the batch reference the streaming
+:class:`~repro.streaming.detectors.FailureRatioDetector` must agree with
+byte-for-byte, so its semantics are pinned here on hand-crafted record
+sequences: SYN timeouts, answers clearing outstanding SYNs, ICMP
+unreachables failing pending contacts (including echoes), the
+end-of-trace flush, and the sort order of the result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.records import (
+    FlowRecord,
+    Protocol,
+    Trace,
+    TraceError,
+)
+
+A = (10 << 24) | (1 << 16) | 10  # internal initiator
+B = (10 << 24) | (1 << 16) | 11  # second internal host
+X = (93 << 24) | 1  # external target
+Y = (93 << 24) | 2  # second external target
+
+
+def syn(t, src=A, dst=X, dport=135):
+    return FlowRecord(
+        time=t, src=src, dst=dst, protocol=Protocol.TCP,
+        src_port=40000, dst_port=dport, tcp_syn=True,
+    )
+
+
+def reply(t, src=X, dst=A):
+    return FlowRecord(
+        time=t, src=src, dst=dst, protocol=Protocol.TCP,
+        src_port=135, dst_port=40000,
+    )
+
+
+def echo(t, src=A, dst=X):
+    return FlowRecord(
+        time=t, src=src, dst=dst, protocol=Protocol.ICMP, icmp_echo=True,
+    )
+
+
+def unreachable(t, src=X, dst=A):
+    return FlowRecord(time=t, src=src, dst=dst, protocol=Protocol.ICMP)
+
+
+def trace(*records):
+    return Trace(records, internal_hosts=[A, B])
+
+
+class TestIcmpUnreachableFlag:
+    def test_non_echo_icmp_is_unreachable(self):
+        assert unreachable(1.0).icmp_unreachable
+
+    def test_echo_request_is_not(self):
+        assert not echo(1.0).icmp_unreachable
+
+    def test_tcp_is_not(self):
+        assert not syn(1.0).icmp_unreachable
+
+
+class TestTimeouts:
+    def test_unanswered_syn_times_out(self):
+        failures = trace(syn(1.0), reply(100.0, src=Y, dst=B)).failed_contacts(
+            timeout=3.0
+        )
+        assert len(failures) == 1
+        failure = failures[0]
+        assert (failure.time, failure.detected_at) == (1.0, 4.0)
+        assert (failure.src, failure.dst) == (A, X)
+        assert failure.dst_port == 135
+        assert failure.reason == "timeout"
+
+    def test_answered_syn_is_not_a_failure(self):
+        assert trace(syn(0.0), reply(1.0)).failed_contacts() == []
+
+    def test_answer_clears_every_outstanding_syn_for_the_pair(self):
+        # Three retransmits, one answer: all cleared.
+        failures = trace(
+            syn(0.0), syn(0.5), syn(1.0), reply(1.5)
+        ).failed_contacts(timeout=3.0)
+        assert failures == []
+
+    def test_late_answer_does_not_resurrect_a_timeout(self):
+        failures = trace(syn(0.0), reply(10.0)).failed_contacts(timeout=3.0)
+        assert [f.reason for f in failures] == ["timeout"]
+        assert failures[0].detected_at == 3.0
+
+    def test_pending_syns_flush_at_end_of_trace(self):
+        # detected_at lands past the last record — the flush contract
+        # the streaming detector's finish() mirrors.
+        failures = trace(syn(5.0), reply(5.1, src=Y, dst=B)).failed_contacts(
+            timeout=3.0
+        )
+        assert failures[0].detected_at == 8.0
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(TraceError):
+            trace(syn(0.0)).failed_contacts(timeout=0.0)
+
+
+class TestUnreachables:
+    def test_unreachable_fails_pending_syn_immediately(self):
+        failures = trace(syn(1.0), unreachable(1.2)).failed_contacts()
+        assert len(failures) == 1
+        assert failures[0].reason == "unreachable"
+        assert failures[0].detected_at == 1.2
+
+    def test_unreachable_fails_pending_echo(self):
+        failures = trace(echo(1.0), unreachable(1.1)).failed_contacts()
+        assert len(failures) == 1
+        assert failures[0].reason == "unreachable"
+        assert failures[0].dst_port == 0
+
+    def test_unanswered_echo_alone_is_not_a_failure(self):
+        # No echo replies exist in the model; silence is uninformative.
+        assert trace(echo(1.0), syn(2.0, dst=Y), reply(2.5, src=Y)) \
+            .failed_contacts() == []
+
+    def test_unreachable_only_fails_its_own_pair(self):
+        failures = trace(
+            syn(0.0, dst=X), syn(0.0, dst=Y), unreachable(0.5, src=X),
+            reply(1.0, src=Y),
+        ).failed_contacts()
+        assert [(f.dst, f.reason) for f in failures] == [
+            (X, "unreachable")
+        ]
+
+
+class TestOrderingAndScope:
+    def test_failures_sorted_by_detection_time(self):
+        failures = trace(
+            syn(0.0, dst=Y),  # times out, detected at 3.0
+            syn(1.0, dst=X),
+            unreachable(1.5, src=X),  # detected at 1.5
+        ).failed_contacts(timeout=3.0)
+        assert [f.reason for f in failures] == ["unreachable", "timeout"]
+        detected = [f.detected_at for f in failures]
+        assert detected == sorted(detected)
+
+    def test_udp_initiations_are_not_tracked(self):
+        packet = FlowRecord(
+            time=0.0, src=A, dst=X, protocol=Protocol.UDP,
+            src_port=5000, dst_port=5000,
+        )
+        assert trace(packet, syn(1.0, dst=Y), reply(1.2, src=Y)) \
+            .failed_contacts() == []
+
+    def test_two_hosts_fail_independently(self):
+        failures = trace(
+            syn(0.0, src=A, dst=X), syn(0.0, src=B, dst=X),
+            reply(1.0, src=X, dst=A),
+        ).failed_contacts(timeout=3.0)
+        assert [(f.src, f.reason) for f in failures] == [(B, "timeout")]
