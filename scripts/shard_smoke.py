@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""CI smoke test for the sharded service front door.
+
+Boots ``repro serve --shards 2`` as a real subprocess — one router,
+two supervised worker shards, one shared durable job store — and
+asserts the scale-out contract end to end:
+
+* submissions round-robin: accepted job ids carry both shard prefixes;
+* a SIGKILL'd shard mid-run is a blip: the supervisor restarts it, the
+  fleet returns to full strength, and every admitted job still
+  completes (recovery replays the dead shard's journal);
+* results survive the crash byte-identically: polling an id twice —
+  before and after the kill — returns the same payload bytes;
+* SIGTERM drains the router and its shards gracefully: exit code 0
+  and a clean shutdown banner.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/shard_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.runner import EnsembleSpec, RunSpec, TopologySpec  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+NUM_JOBS = 6
+KILL_AFTER = 2  # SIGKILL one shard once this many jobs are admitted
+
+
+def smoke_spec(index: int) -> EnsembleSpec:
+    return EnsembleSpec(
+        template=RunSpec(
+            topology=TopologySpec(kind="star", num_nodes=120),
+            max_ticks=50,
+            engine="fast",
+        ),
+        num_runs=3,
+        base_seed=300 + index,
+        label=f"shard-smoke-{index}",
+    )
+
+
+def start_router(store_dir: str, cache_dir: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro", "serve",
+            "--port", "0",
+            "--shards", "2",
+            "--jobs", "1",
+            "--max-queue", "16",
+            "--concurrency", "1",
+            "--store-dir", store_dir,
+            "--cache-dir", cache_dir,
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 90
+    while time.monotonic() < deadline:
+        banner = process.stdout.readline()
+        if not banner:
+            if process.poll() is not None:
+                raise SystemExit(
+                    f"router died before binding (rc={process.returncode})"
+                )
+            continue
+        if "listening on http://" in banner:
+            port = int(
+                banner.split("http://")[1].split()[0].rsplit(":", 1)[1]
+            )
+            print(f"[shard-smoke] {banner.strip()}")
+            return process, port
+    process.kill()
+    raise SystemExit("router never printed its banner")
+
+
+def with_retry(action, *, timeout: float = 60.0, what: str = "request"):
+    """Run one client action, retrying across restart blips."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return action()
+        except Exception as exc:  # noqa: BLE001 - blips are the point
+            if time.monotonic() >= deadline:
+                raise SystemExit(f"{what} never succeeded: {exc!r}")
+            time.sleep(0.3)
+
+
+def shard_pids(port: int) -> dict[str, int]:
+    with ServiceClient(port=port, timeout=10) as client:
+        health = client.healthz()
+    return {
+        entry["shard"]: entry["pid"]
+        for entry in health["shards"]
+        if entry["alive"]
+    }
+
+
+def wait_full_fleet(port: int, want: int, timeout: float = 60.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            pids = shard_pids(port)
+        except Exception:  # noqa: BLE001
+            time.sleep(0.3)
+            continue
+        if len(pids) == want:
+            return pids
+        time.sleep(0.3)
+    raise SystemExit("fleet never returned to full strength")
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="shard-smoke-")
+    store_dir = os.path.join(tmp, "jobs")
+    cache_dir = os.path.join(tmp, "cache")
+    process, port = start_router(store_dir, cache_dir)
+    try:
+        pids = wait_full_fleet(port, want=2)
+        print(f"[shard-smoke] fleet up: {pids}")
+
+        ids: list[str] = []
+        victim_pid: int | None = None
+        for index in range(NUM_JOBS):
+            spec = smoke_spec(index)
+            body = with_retry(
+                lambda s=spec: ServiceClient(port=port, timeout=10)
+                .submit(s),
+                what=f"submit #{index}",
+            )
+            ids.append(body["id"])
+            if index + 1 == KILL_AFTER:
+                victim = sorted(pids)[0]
+                victim_pid = pids[victim]
+                os.kill(victim_pid, signal.SIGKILL)
+                print(
+                    f"[shard-smoke] SIGKILL'd shard {victim} "
+                    f"(pid {victim_pid}) with jobs in flight"
+                )
+
+        prefixes = {job_id.split("-", 1)[0] for job_id in ids}
+        assert prefixes == {"s0", "s1"}, f"no round-robin: {ids}"
+
+        payloads: dict[str, bytes] = {}
+        for job_id in ids:
+            payloads[job_id] = with_retry(
+                lambda j=job_id: ServiceClient(port=port, timeout=10)
+                .wait(j, timeout=30),
+                timeout=180,
+                what=f"wait {job_id}",
+            )
+        print(
+            f"[shard-smoke] all {len(ids)} jobs completed across the kill"
+        )
+
+        # The fleet healed: two live shards again, and the supervisor
+        # counted the restart.
+        after = wait_full_fleet(port, want=2)
+        assert victim_pid not in after.values(), "victim pid still listed"
+        metrics = with_retry(
+            lambda: ServiceClient(port=port, timeout=10).metrics(),
+            what="metrics",
+        )
+        restarts = metrics["router"]["counters"]["restarts"]
+        assert restarts >= 1, f"supervisor never restarted: {restarts}"
+        print(f"[shard-smoke] fleet healed: {after} (restarts={restarts})")
+
+        # Byte-stability across the crash: a second poll of every id
+        # (some now answered from the shared store by the reborn
+        # shard) returns identical bytes.
+        for job_id, payload in payloads.items():
+            again = with_retry(
+                lambda j=job_id: ServiceClient(port=port, timeout=10)
+                .wait(j, timeout=30),
+                what=f"re-poll {job_id}",
+            )
+            assert again == payload, f"{job_id} payload changed"
+        print("[shard-smoke] re-polled payloads byte-identical")
+
+        process.send_signal(signal.SIGTERM)
+        output, _ = process.communicate(timeout=90)
+        print(f"[shard-smoke] router said: {output.strip().splitlines()[-1]}")
+        assert process.returncode == 0, f"exit {process.returncode}"
+        assert "stopped (clean)" in output, output
+        print("[shard-smoke] PASS")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

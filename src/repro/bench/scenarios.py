@@ -417,7 +417,14 @@ register_scenario(ScenarioDef(
 
 
 class ServiceLoadWorkload(Workload):
-    """Drives a live ServiceThread with concurrent blocking clients."""
+    """Drives a live service with concurrent blocking clients.
+
+    ``shards=1`` (the default) drives an in-process ``ServiceThread``;
+    ``shards>1`` spawns a real ``repro serve --shards N`` subprocess —
+    router, supervised worker shards, shared durable job store — and
+    drives it through the front door, so the sharded ledger pays every
+    real cost (proxy hop, process scheduling, journal appends).
+    """
 
     def __init__(
         self,
@@ -426,6 +433,7 @@ class ServiceLoadWorkload(Workload):
         requests: int,
         clients: int,
         concurrency: int,
+        shards: int = 1,
     ) -> None:
         if mode not in ("unique", "duplicates", "hot_cache"):
             raise ValueError(
@@ -436,8 +444,13 @@ class ServiceLoadWorkload(Workload):
         self.requests = int(requests)
         self.clients = int(clients)
         self.concurrency = int(concurrency)
+        self.shards = int(shards)
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self._thread = None
         self._tmpdir = None
+        self._process = None
+        self._port: int | None = None
 
     def _spec(self, index: int) -> EnsembleSpec:
         return EnsembleSpec(
@@ -463,51 +476,119 @@ class ServiceLoadWorkload(Workload):
     def setup(self) -> None:
         # Imported lazily so engine-only matrices never pay for the
         # service layer.
+        import tempfile
+
         from ..service import ServiceConfig, ServiceThread
 
-        kwargs: dict[str, Any] = {}
-        if self.mode == "hot_cache":
-            import tempfile
-
-            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-bench-")
-            kwargs = {"cache_dir": self._tmpdir.name}
+        if self.shards > 1:
+            self._tmpdir = tempfile.TemporaryDirectory(
+                prefix="repro-bench-"
+            )
+            self._start_sharded()
         else:
-            kwargs = {"cache_enabled": False}
-        config = ServiceConfig(
-            port=0,
-            jobs=1,
-            max_queue=max(64, self.requests),
-            concurrency=self.concurrency,
-            **kwargs,
-        )
-        self._thread = ServiceThread(config).__enter__()
+            kwargs: dict[str, Any] = {}
+            if self.mode == "hot_cache":
+                self._tmpdir = tempfile.TemporaryDirectory(
+                    prefix="repro-bench-"
+                )
+                kwargs = {"cache_dir": self._tmpdir.name}
+            else:
+                kwargs = {"cache_enabled": False}
+            config = ServiceConfig(
+                port=0,
+                jobs=1,
+                max_queue=max(64, self.requests),
+                concurrency=self.concurrency,
+                **kwargs,
+            )
+            self._thread = ServiceThread(config).__enter__()
+            self._port = self._thread.port
         if self.mode == "hot_cache":
             self._drive()  # warm the shared result cache
+
+    def _start_sharded(self) -> None:
+        import os
+        import subprocess
+        import sys
+        import time
+
+        import repro
+
+        assert self._tmpdir is not None
+        argv = [
+            sys.executable, "-u", "-m", "repro", "serve",
+            "--port", "0",
+            "--shards", str(self.shards),
+            "--jobs", "1",
+            "--max-queue", str(max(64, self.requests)),
+            "--concurrency", str(self.concurrency),
+            "--store-dir", os.path.join(self._tmpdir.name, "jobs"),
+        ]
+        if self.mode == "hot_cache":
+            argv += ["--cache-dir", os.path.join(self._tmpdir.name, "cache")]
+        else:
+            argv.append("--no-cache")
+        env = dict(os.environ)
+        package_parent = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [package_parent] + ([existing] if existing else [])
+        )
+        process = subprocess.Popen(
+            argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        deadline = time.monotonic() + 120
+        assert process.stdout is not None
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                if process.poll() is not None:
+                    raise RuntimeError(
+                        f"sharded server died before binding "
+                        f"(rc={process.returncode})"
+                    )
+                continue
+            if "listening on http://" in line:
+                address = line.split("http://", 1)[1].split()[0]
+                self._process = process
+                self._port = int(address.rsplit(":", 1)[1])
+                return
+        process.kill()
+        raise RuntimeError("sharded server never printed its banner")
 
     def _drive(self) -> dict[str, Any]:
         from concurrent.futures import ThreadPoolExecutor
 
         from ..service import ServiceClient
 
-        thread = self._thread
-        assert thread is not None, "setup() must run first"
+        port = self._port
+        assert port is not None, "setup() must run first"
 
         def one_request(spec: EnsembleSpec) -> None:
-            with ServiceClient(port=thread.port, timeout=120) as client:
+            with ServiceClient(port=port, timeout=120) as client:
                 payload = client.run_bytes(spec, timeout=120)
             assert payload  # every request must round-trip
 
         specs = self._specs()
         with ThreadPoolExecutor(max_workers=self.clients) as pool:
             list(pool.map(one_request, specs))
-        with ServiceClient(port=thread.port) as client:
+        with ServiceClient(port=port) as client:
             metrics = client.metrics()
         return {
             "requests": len(specs),
             "clients": self.clients,
+            "shards": self.shards,
             "coalesced": metrics["jobs"]["coalesced"],
             "completed": metrics["jobs"]["completed"],
-            "cache": metrics["cache"],
+            # The router's aggregated document has no single cache
+            # table (each shard owns one); absent is fine.
+            "cache": metrics.get("cache"),
         }
 
     def run(self) -> dict[str, Any]:
@@ -517,6 +598,19 @@ class ServiceLoadWorkload(Workload):
         if self._thread is not None:
             self._thread.__exit__(None, None, None)
             self._thread = None
+        if self._process is not None:
+            import signal as signal_module
+            import subprocess
+
+            if self._process.poll() is None:
+                self._process.send_signal(signal_module.SIGTERM)
+                try:
+                    self._process.communicate(timeout=60)
+                except subprocess.TimeoutExpired:
+                    self._process.kill()
+                    self._process.communicate()
+            self._process = None
+        self._port = None
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
             self._tmpdir = None
@@ -528,17 +622,19 @@ def _service_load(axes: dict[str, Any]) -> Workload:
         requests=axes["requests"],
         clients=axes["clients"],
         concurrency=axes["concurrency"],
+        shards=axes["shards"],
     )
 
 
 register_scenario(ScenarioDef(
     name="service_load",
     factory=_service_load,
-    axes=("mode", "requests", "clients", "concurrency"),
+    axes=("mode", "requests", "clients", "concurrency", "shards"),
     defaults={"mode": "unique", "requests": 24, "clients": 8,
-              "concurrency": 4},
+              "concurrency": 4, "shards": 1},
     description="simulation-service load: unique requests, coalesced "
-    "duplicates, or a warmed result cache",
+    "duplicates, or a warmed result cache; shards>1 drives a real "
+    "sharded front door (router + worker processes + durable store)",
 ))
 
 

@@ -141,6 +141,15 @@ DEFAULT_SITES = (
         "streaming.ingest.line", ("truncate", "garble"), horizon=64
     ),
     SiteModel("service.stream.chunk", ("delay", "error", "reject")),
+    # Sharded-service sites (PR 10), appended for the same reason:
+    # shard.kill SIGKILLs one worker shard from the router's health
+    # tick (the supervisor restarts it the same tick), jobstore.truncate
+    # tears the tail off one journal append (replay must skip exactly
+    # that line), quota.clock skews the quota table's observed clock
+    # backwards (buckets must never over-admit or go negative).
+    SiteModel("service.shard.kill", ("error",), max_faults=1, horizon=8),
+    SiteModel("service.jobstore.truncate", ("truncate",)),
+    SiteModel("service.quota.clock", ("delay",)),
 )
 
 #: The soak's site model: every fault here degrades without failing a

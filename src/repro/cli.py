@@ -387,6 +387,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--stream-ttl", type=float, default=300.0, metavar="SECONDS",
         help="idle /v1/stream sessions are evicted after this long",
     )
+    serve.add_argument(
+        "--shards", type=_positive_int, default=1, metavar="N",
+        help="run N supervised worker shard processes behind a "
+        "front-door router (1 = single process, no router)",
+    )
+    serve.add_argument(
+        "--shard-tag", default="s0", metavar="TAG",
+        help=argparse.SUPPRESS,  # internal: set by the shard supervisor
+    )
+    serve.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="durable job-store root (default <cache-dir>/jobs; "
+        "with --no-cache durability is off unless this is given)",
+    )
+    serve.add_argument(
+        "--quota-rate", type=float, default=None, metavar="RPS",
+        help="per-tenant admission: requests/second each tenant "
+        "accrues (default: quotas disabled)",
+    )
+    serve.add_argument(
+        "--quota-burst", type=float, default=None, metavar="N",
+        help="per-tenant bucket ceiling (default 2x --quota-rate)",
+    )
+    serve.add_argument(
+        "--quota-tenant", action="append", default=[],
+        metavar="NAME=RATE[:BURST]",
+        help="override one tenant's rate (and burst); repeatable",
+    )
 
     bench = commands.add_parser(
         "bench",
@@ -787,9 +815,34 @@ def _cmd_cache(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
+def _parse_quota_tenants(
+    entries: list[str],
+) -> tuple[tuple[str, float, float], ...]:
+    """Parse repeated ``NAME=RATE[:BURST]`` tenant overrides."""
+    parsed = []
+    for entry in entries:
+        name, sep, rest = entry.partition("=")
+        if not sep or not name:
+            raise SystemExit(
+                f"error: bad --quota-tenant {entry!r} "
+                "(expected NAME=RATE[:BURST])"
+            )
+        rate_s, _, burst_s = rest.partition(":")
+        try:
+            rate = float(rate_s)
+            burst = float(burst_s) if burst_s else max(1.0, 2.0 * rate)
+        except ValueError:
+            raise SystemExit(
+                f"error: bad --quota-tenant {entry!r} "
+                "(expected NAME=RATE[:BURST])"
+            ) from None
+        parsed.append((name, rate, burst))
+    return tuple(parsed)
+
+
 def _cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
     # Imported lazily: the service layer is only needed by this command.
-    from .service import ServiceConfig, run_server
+    from .service import ServiceConfig, run_server, run_sharded_server
 
     configure_runner(
         cache_enabled=not args.no_cache,
@@ -808,7 +861,16 @@ def _cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
         cache_dir=args.cache_dir,
         max_streams=args.max_streams,
         stream_ttl_s=args.stream_ttl,
+        shard_tag=args.shard_tag,
+        job_store_dir=args.store_dir,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        quota_tenants=_parse_quota_tenants(args.quota_tenant),
     )
+    if args.shards > 1:
+        return run_sharded_server(
+            config, args.shards, engine=args.engine, out=out
+        )
     return run_server(config, out=out)
 
 

@@ -21,6 +21,12 @@ dynamic quarantine itself has:
   observability layer's decade buckets;
 * :mod:`repro.service.app` — routes, graceful SIGTERM drain, and the
   ``repro serve`` / in-thread entry points;
+* :mod:`repro.service.jobstore` — durable append-only job journal +
+  content-addressed results, so ``/v1/result`` survives restarts;
+* :mod:`repro.service.quotas` — per-tenant token-bucket admission
+  (the simulator's own bucket math at the API edge);
+* :mod:`repro.service.router` — the ``--shards N`` front door: shard
+  spawning/supervision, prefix routing, fleet metrics;
 * :mod:`repro.service.client` — a blocking stdlib client.
 
 Quickstart::
@@ -40,7 +46,8 @@ Quickstart::
 """
 
 from .app import ServiceConfig, ServiceThread, SimulationService, run_server
-from .client import JobFailed, QueueFull, ServiceClient, ServiceError
+from .client import JobFailed, JobLost, QueueFull, ServiceClient, ServiceError
+from .jobstore import JobStore, StoredJob, default_job_store_dir
 from .protocol import (
     ProtocolError,
     canonical_json,
@@ -48,25 +55,38 @@ from .protocol import (
     encode_ensemble_result,
     result_payload,
 )
+from .quotas import QuotaConfig, QuotaDecision, QuotaTable
+from .router import Router, ShardSupervisor, StaticShards, run_sharded_server
 from .scheduler import Job, QueueFullError, Scheduler
 from .workers import WorkerTier
 
 __all__ = [
     "Job",
     "JobFailed",
+    "JobLost",
+    "JobStore",
     "ProtocolError",
     "QueueFull",
     "QueueFullError",
+    "QuotaConfig",
+    "QuotaDecision",
+    "QuotaTable",
+    "Router",
     "Scheduler",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
     "ServiceThread",
+    "ShardSupervisor",
     "SimulationService",
+    "StaticShards",
+    "StoredJob",
     "WorkerTier",
     "canonical_json",
     "decode_ensemble_result",
+    "default_job_store_dir",
     "encode_ensemble_result",
     "result_payload",
     "run_server",
+    "run_sharded_server",
 ]

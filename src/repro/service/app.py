@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import sys
 import threading
@@ -33,10 +34,13 @@ from dataclasses import dataclass
 from ..chaos.controller import fault_point
 from ..observability.hub import observability_hub
 from ..runner.api import expand_runs
-from ..runner.cache import ResultCache, spec_digest
+from ..runner.cache import ResultCache, default_cache_dir, spec_digest
+from ..runner.spec import EnsembleSpec, SpecError
 from .http11 import HttpError, Request, encode_response, read_request
+from .jobstore import JobStore, default_job_store_dir
 from .metrics import ServiceMetrics
 from .protocol import ProtocolError, canonical_json, parse_run_request
+from .quotas import QuotaConfig, QuotaTable
 from .scheduler import (
     DONE,
     EXPIRED,
@@ -77,6 +81,18 @@ class ServiceConfig:
         Bounded admission for ``/v1/stream`` detection sessions: at
         most ``max_streams`` live at once (429 beyond), and a session
         idle for ``stream_ttl_s`` seconds is evicted.
+    shard_tag:
+        This process's shard name; job ids are prefixed ``<tag>-`` so a
+        front-door router can route result polls by id alone.
+    job_store_dir:
+        Root of the durable job store.  ``None`` (the default) places
+        it under the result-cache dir when the cache is enabled, and
+        disables durability entirely when it is not.
+    quota_rate, quota_burst, quota_tenants:
+        Per-tenant token-bucket admission on ``POST /v1/run``;
+        ``quota_rate=None`` (the default) disables quotas.  In sharded
+        mode the front-door router owns the one quota table and shards
+        run with quotas off, so N shards never multiply a budget.
     """
 
     host: str = "127.0.0.1"
@@ -90,6 +106,11 @@ class ServiceConfig:
     cache_dir: str | None = None
     max_streams: int = 8
     stream_ttl_s: float = 300.0
+    shard_tag: str = "s0"
+    job_store_dir: str | None = None
+    quota_rate: float | None = None
+    quota_burst: float | None = None
+    quota_tenants: tuple[tuple[str, float, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -106,6 +127,39 @@ class ServiceConfig:
             raise ValueError(
                 f"stream_ttl_s must be positive, got {self.stream_ttl_s}"
             )
+        if not self.shard_tag or "-" in self.shard_tag:
+            raise ValueError(
+                f"shard_tag must be non-empty and dash-free, "
+                f"got {self.shard_tag!r}"
+            )
+
+    def quota_config(self) -> QuotaConfig | None:
+        """The quota table this config asks for, or ``None`` (disabled)."""
+        if self.quota_rate is None:
+            return None
+        burst = (
+            self.quota_burst
+            if self.quota_burst is not None
+            else max(1.0, 2.0 * self.quota_rate)
+        )
+        return QuotaConfig(
+            rate=self.quota_rate,
+            burst=burst,
+            tenants={
+                name: (rate, b) for name, rate, b in self.quota_tenants
+            },
+        )
+
+    def resolved_store_dir(self) -> str | None:
+        """Where the durable job store lives, or ``None`` (no store)."""
+        if self.job_store_dir is not None:
+            return self.job_store_dir
+        if not self.cache_enabled:
+            return None
+        cache_root = (
+            self.cache_dir if self.cache_dir else str(default_cache_dir())
+        )
+        return str(default_job_store_dir(cache_root))
 
 
 def coalesce_key(spec) -> tuple:
@@ -134,12 +188,25 @@ class SimulationService:
         )
         self.workers = WorkerTier(jobs=config.jobs, cache=cache)
         self.cache = cache
+        store_dir = config.resolved_store_dir()
+        self.store = (
+            JobStore(store_dir, shard=config.shard_tag)
+            if store_dir is not None
+            else None
+        )
         # ``runner`` injection lets tests drive the scheduler with a
         # gate-controlled function instead of real simulations.
         self.scheduler = Scheduler(
             runner if runner is not None else self.workers.run,
             max_queue=config.max_queue,
+            store=self.store,
+            id_prefix=f"{config.shard_tag}-",
         )
+        quota_config = config.quota_config()
+        self.quotas = (
+            QuotaTable(quota_config) if quota_config is not None else None
+        )
+        self.recovered = 0
         self.metrics = ServiceMetrics()
         self.streams = StreamRegistry(
             max_streams=config.max_streams, ttl_s=config.stream_ttl_s
@@ -156,6 +223,7 @@ class SimulationService:
 
     async def start(self) -> None:
         """Bind the listener and spawn the worker slots."""
+        self._recover()
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
         )
@@ -164,6 +232,37 @@ class SimulationService:
             asyncio.ensure_future(self.scheduler.worker_loop())
             for _ in range(self.config.concurrency)
         ]
+
+    def _recover(self) -> None:
+        """Resubmit journaled-but-unfinished jobs under their own ids.
+
+        Runs before the listener binds, so a poll that reaches the
+        restarted shard either finds the job queued (202) or already
+        terminal — never unknown.  Payloads are pure functions of the
+        spec, so the recovered result is byte-identical to what the
+        crashed run would have produced.
+        """
+        if self.store is None:
+            return
+        for stored in self.store.incomplete():
+            try:
+                spec = EnsembleSpec.from_dict(stored.spec)
+            except (SpecError, TypeError, KeyError, ValueError):
+                # A journal written by a newer/older spec schema: leave
+                # the line for operators, don't wedge startup.
+                continue
+            try:
+                self.scheduler.submit(
+                    spec,
+                    key=coalesce_key(spec),
+                    deadline_s=None,
+                    job_id=stored.id,
+                    record=False,
+                    coalesce=False,
+                )
+            except QueueFullError:
+                break  # admission bound still applies during recovery
+            self.recovered += 1
 
     async def stop(self, *, drain: bool = True) -> bool:
         """Stop accepting, optionally drain, release the pool.
@@ -189,6 +288,8 @@ class SimulationService:
             writer.close()
         await asyncio.sleep(0)
         self.workers.close()
+        if self.store is not None:
+            self.store.close()
         return drained
 
     # ------------------------------------------------------------------
@@ -294,6 +395,20 @@ class SimulationService:
     def _handle_run(self, request: Request) -> bytes:
         if self.draining:
             return self._error(503, "service is draining")
+        if self.quotas is not None:
+            decision = self.quotas.check(
+                request.headers.get("x-repro-tenant")
+            )
+            if not decision.allowed:
+                return self._json(
+                    429,
+                    {
+                        "error": "tenant quota exceeded",
+                        "tenant": decision.tenant,
+                        "retry_after_s": round(decision.retry_after_s, 3),
+                    },
+                    headers={"Retry-After": decision.retry_after_header},
+                )
         try:
             spec, deadline_s = parse_run_request(request.body)
         except ProtocolError as exc:
@@ -327,7 +442,7 @@ class SimulationService:
     def _handle_result(self, job_id: str) -> bytes:
         job = self.scheduler.get(job_id)
         if job is None:
-            return self._error(404, f"unknown job id: {job_id}")
+            return self._stored_result(job_id)
         if job.status == DONE:
             assert job.payload is not None
             return encode_response(200, job.payload)
@@ -341,6 +456,40 @@ class SimulationService:
                 {"id": job.id, "status": EXPIRED, "error": job.error},
             )
         return self._json(202, {"id": job.id, "status": job.status})
+
+    def _stored_result(self, job_id: str) -> bytes:
+        """Serve an id the scheduler forgot from the durable store.
+
+        Covers two lives the in-memory table cannot: jobs finished
+        before a restart, and jobs aged past the retention window —
+        plus *any* shard's terminal jobs, since journals are shared.
+        """
+        if self.store is None:
+            return self._error(404, f"unknown job id: {job_id}")
+        stored = self.store.lookup_any(job_id)
+        if stored is None:
+            return self._error(404, f"unknown job id: {job_id}")
+        if stored.status == "done":
+            payload = self.store.payload_bytes(stored)
+            if payload is not None:
+                return encode_response(200, payload)
+            return self._error(
+                404, f"stored result missing for job id: {job_id}"
+            )
+        if stored.status == "failed":
+            return self._json(
+                500,
+                {"id": job_id, "status": FAILED, "error": stored.error},
+            )
+        if stored.status == "expired":
+            return self._json(
+                504,
+                {"id": job_id, "status": EXPIRED, "error": stored.error},
+            )
+        # Submitted on some shard but not terminal yet: tell the client
+        # to keep polling (it is queued or running over there, or about
+        # to be recovered by that shard's restart).
+        return self._json(202, {"id": job_id, "status": "queued"})
 
     def _handle_stream_open(self, request: Request) -> bytes:
         if self.draining:
@@ -413,6 +562,8 @@ class SimulationService:
             {
                 "status": "draining" if self.draining else "ok",
                 "uptime_s": round(self.metrics.uptime_s, 3),
+                "shard": self.config.shard_tag,
+                "pid": os.getpid(),
             },
         )
 
@@ -431,6 +582,8 @@ class SimulationService:
             }
         payload = {
             "uptime_s": round(self.metrics.uptime_s, 3),
+            "shard": self.config.shard_tag,
+            "recovered": self.recovered,
             "queue": {
                 "depth": self.scheduler.queue_depth,
                 "running": self.scheduler.running,
@@ -438,6 +591,8 @@ class SimulationService:
                 "concurrency": self.config.concurrency,
             },
             "jobs": dict(self.scheduler.counters),
+            "jobstore": self.store.stats() if self.store else None,
+            "quotas": self.quotas.stats() if self.quotas else None,
             "cache": cache_stats,
             "streams": self.streams.stats(),
             "workers": {

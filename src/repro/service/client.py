@@ -24,6 +24,7 @@ __all__ = [
     "ServiceError",
     "QueueFull",
     "JobFailed",
+    "JobLost",
     "ServiceClient",
 ]
 
@@ -49,8 +50,29 @@ class JobFailed(ServiceError):
     """The job reached a terminal non-success state (failed/expired)."""
 
 
+class JobLost(ServiceError):
+    """A previously-accepted job id now 404s: the server *lost* it.
+
+    Distinct from the generic :class:`ServiceError` a never-submitted
+    id gets — a 404 for an id this client saw 202-accepted means the
+    job fell out of every table (no in-memory record, no journal line),
+    which the durable job store exists to prevent.  Tests and callers
+    use this to tell recovered-after-crash jobs (202/200 across the
+    restart) from genuinely lost ones.
+    """
+
+    def __init__(self, status: int, payload: Any, job_id: str) -> None:
+        super().__init__(status, payload)
+        self.job_id = job_id
+
+
 class ServiceClient:
-    """One connection to one service instance."""
+    """One connection to one service instance.
+
+    ``tenant`` stamps every submit with an ``X-Repro-Tenant`` header so
+    per-tenant quotas at the service (or the sharded router) bill the
+    right bucket.
+    """
 
     def __init__(
         self,
@@ -58,11 +80,17 @@ class ServiceClient:
         port: int = 8321,
         *,
         timeout: float = 60.0,
+        tenant: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.tenant = tenant
         self._connection: http.client.HTTPConnection | None = None
+        # Ids this client saw 202-accepted and has not yet seen reach a
+        # terminal state — the set a 404 is checked against to raise
+        # JobLost instead of a generic error.
+        self._accepted: set[str] = set()
 
     # ------------------------------------------------------------------
     # Transport
@@ -93,6 +121,8 @@ class ServiceClient:
         headers = {}
         if body is not None:
             headers["Content-Type"] = "application/json"
+        if self.tenant is not None:
+            headers["X-Repro-Tenant"] = self.tenant
         for attempt in (1, 2):
             connection = self._connect()
             try:
@@ -143,18 +173,31 @@ class ServiceClient:
             )
         if status != 202:
             raise ServiceError(status, body)
+        if isinstance(body, dict) and isinstance(body.get("id"), str):
+            self._accepted.add(body["id"])
         return body
 
     def poll(self, job_id: str) -> dict[str, Any]:
-        """GET the job once; ``{"status": ..., "payload": bytes?}``."""
+        """GET the job once; ``{"status": ..., "payload": bytes?}``.
+
+        Raises :class:`JobLost` when an id this client saw accepted now
+        404s (the server forgot a job it had admitted); other 404s stay
+        generic :class:`ServiceError`.
+        """
         status, _headers, payload = self._request(
             "GET", f"/v1/result/{job_id}"
         )
         if status == 200:
+            self._accepted.discard(job_id)
             return {"status": "done", "payload": payload}
         body = self._decode(payload)
-        if status in (202, 500, 504):
+        if status in (500, 504):
+            self._accepted.discard(job_id)
             return body
+        if status == 202:
+            return body
+        if status == 404 and job_id in self._accepted:
+            raise JobLost(status, body, job_id)
         raise ServiceError(status, body)
 
     def wait(

@@ -1,0 +1,343 @@
+"""Durable on-disk job store: jobs and results that survive restarts.
+
+The scheduler's in-memory job table dies with the process and forgets
+finished jobs past its retention window; the job store makes the job
+lifecycle *durable* with two crash-safe pieces under one root directory
+(by default ``<cache_dir>/jobs``):
+
+* ``results/<sha256>.json`` — content-addressed canonical payload
+  files, written temp-then-rename so a reader never sees a torn
+  payload.  Identical payloads (coalesced duplicates, recovered reruns)
+  share one file.
+* ``journal-<shard>.jsonl`` — one append-only JSONL journal per shard
+  process recording every job transition: a ``submit`` line (with the
+  full ensemble spec, so the job is re-runnable from the journal alone)
+  and exactly one terminal line (``done`` pointing at a result digest,
+  or ``failed`` / ``expired`` with the error).  The result file is
+  always durable *before* its ``done`` line is appended, so a journal
+  that mentions a digest can always serve it.
+
+**Recovery protocol.**  On startup a shard replays its own journal:
+jobs with a terminal line are served straight from the store; jobs with
+a ``submit`` line but no terminal line were in flight when the process
+died and are resubmitted to the scheduler under their original ids —
+payloads are pure functions of the spec (the protocol layer's
+byte-identity contract), so the recovered result is byte-identical to
+what the crashed run would have produced.
+
+**Torn tails.**  A crash (or the ``service.jobstore.truncate`` chaos
+fault) can leave a half-written final line.  Replay tolerates any
+journal *prefix*: undecodable lines are counted and skipped, and the
+surviving prefix always yields a consistent index (every id at most one
+status, terminal states only with their evidence).  The hypothesis
+suite in ``tests/service/test_jobstore.py`` pins exactly that.
+
+Sibling shards share the root: journals are single-writer (one shard
+appends only to its own), but any shard may *read* every journal, so
+``GET /v1/result/<id>`` can be answered by whichever shard the router
+picks once the job is terminal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..chaos.controller import fault_point
+
+__all__ = ["StoredJob", "JobStore", "default_job_store_dir"]
+
+#: Journal line types.
+_SUBMIT = "submit"
+_TERMINAL = ("done", "failed", "expired")
+
+
+def default_job_store_dir(cache_dir: str | Path) -> Path:
+    """The job store root that rides along a given result-cache dir."""
+    return Path(cache_dir) / "jobs"
+
+
+@dataclass(frozen=True)
+class StoredJob:
+    """One job's durable state, as replayed from a journal."""
+
+    id: str
+    status: str  # "submitted" | "done" | "failed" | "expired"
+    spec: dict[str, Any] | None = None
+    digest: str | None = None
+    error: str | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in _TERMINAL
+
+
+class JobStore:
+    """One shard's view of the shared durable job store.
+
+    Parameters
+    ----------
+    root:
+        Shared store directory (journals + ``results/``).
+    shard:
+        This process's journal name; appends go only here.  Reads via
+        :meth:`lookup_any` cover every sibling journal.
+    fsync:
+        Whether to fsync journal appends.  The default (False) is
+        durable against process crashes (the write reaches the kernel
+        before the append returns); True additionally survives the
+        machine dying, at a per-append cost.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        shard: str = "s0",
+        fsync: bool = False,
+    ) -> None:
+        self.root = Path(root)
+        self.shard = shard
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._handle = None
+        self._tail_open = False
+        self.appends = 0
+        self.bad_lines = 0
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    @property
+    def journal_path(self) -> Path:
+        """This shard's own append-only journal."""
+        return self.root / f"journal-{self.shard}.jsonl"
+
+    @property
+    def results_dir(self) -> Path:
+        return self.root / "results"
+
+    def result_path(self, digest: str) -> Path:
+        return self.results_dir / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def _append(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        data = (line + "\n").encode("utf-8")
+        # Chaos: a ``truncate`` fault models the torn tail a crash
+        # mid-append leaves behind — the journal keeps accepting later
+        # appends and replay must skip exactly the damaged line.
+        fault = fault_point("service.jobstore.truncate")
+        if fault is not None and fault.kind == "truncate" and fault.trim:
+            data = data[: -fault.trim] if fault.trim < len(data) else b""
+        with self._lock:
+            if self._handle is None:
+                self.root.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.journal_path, "ab")
+                # Seal a torn tail a crash mid-append left behind:
+                # without the newline the next record would glue onto
+                # the fragment and *both* lines would be lost.
+                if self._handle.tell() > 0:
+                    with open(self.journal_path, "rb") as probe:
+                        probe.seek(-1, os.SEEK_END)
+                        sealed = probe.read(1) == b"\n"
+                    if not sealed:
+                        self._handle.write(b"\n")
+            elif self._tail_open:
+                # A chaos-trimmed append left the current line open;
+                # seal it so this record doesn't glue onto the fragment.
+                self._handle.write(b"\n")
+            self._tail_open = bool(data) and not data.endswith(b"\n")
+            self._handle.write(data)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self.appends += 1
+
+    def record_submit(self, job_id: str, spec_dict: dict[str, Any]) -> None:
+        """Journal a job's admission (before it may start running)."""
+        self._append(
+            {
+                "type": _SUBMIT,
+                "id": job_id,
+                "spec": spec_dict,
+                "t": round(time.time(), 3),
+            }
+        )
+
+    def record_done(self, job_id: str, payload: bytes) -> str:
+        """Persist a payload content-addressed, then journal completion.
+
+        Returns the payload digest.  The result file is durable before
+        the ``done`` line exists — a journal never references bytes the
+        store cannot serve.
+        """
+        digest = hashlib.sha256(payload).hexdigest()
+        path = self.result_path(digest)
+        if not path.exists():
+            self.results_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.results_dir, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    if self.fsync:
+                        os.fsync(handle.fileno())
+                os.replace(tmp_name, path)
+            except OSError:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        self._append(
+            {"type": "done", "id": job_id, "digest": digest,
+             "size": len(payload)}
+        )
+        return digest
+
+    def record_failed(self, job_id: str, status: str, error: str) -> None:
+        """Journal a non-success terminal state (failed/expired)."""
+        if status not in ("failed", "expired"):
+            raise ValueError(f"not a failure status: {status!r}")
+        self._append({"type": status, "id": job_id, "error": error})
+
+    def close(self) -> None:
+        """Close the journal handle (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # ------------------------------------------------------------------
+    # Replay / lookup
+    # ------------------------------------------------------------------
+
+    def _iter_journal(self, path: Path) -> Iterator[dict[str, Any]]:
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                self.bad_lines += 1
+                continue
+            if not isinstance(record, dict) or "id" not in record:
+                self.bad_lines += 1
+                continue
+            yield record
+
+    def _fold(
+        self, records: Iterator[dict[str, Any]],
+        index: dict[str, StoredJob],
+    ) -> None:
+        for record in records:
+            kind = record.get("type")
+            job_id = record["id"]
+            known = index.get(job_id)
+            if kind == _SUBMIT:
+                if known is None:
+                    index[job_id] = StoredJob(
+                        id=job_id, status="submitted",
+                        spec=record.get("spec"),
+                    )
+                # A submit after a terminal line (or a duplicate) never
+                # regresses the job: latest *status* wins, first spec.
+            elif kind == "done":
+                digest = record.get("digest")
+                if not isinstance(digest, str) or not digest:
+                    self.bad_lines += 1
+                    continue
+                index[job_id] = StoredJob(
+                    id=job_id, status="done", digest=digest,
+                    spec=known.spec if known else None,
+                )
+            elif kind in ("failed", "expired"):
+                index[job_id] = StoredJob(
+                    id=job_id, status=kind,
+                    error=record.get("error"),
+                    spec=known.spec if known else None,
+                )
+            else:
+                self.bad_lines += 1
+
+    def replay(self) -> dict[str, StoredJob]:
+        """Fold this shard's own journal into a consistent job index."""
+        index: dict[str, StoredJob] = {}
+        self._fold(self._iter_journal(self.journal_path), index)
+        return index
+
+    def incomplete(self) -> list[StoredJob]:
+        """Own jobs submitted but not terminal — the recovery work-list."""
+        return [
+            job
+            for job in self.replay().values()
+            if job.status == "submitted" and job.spec is not None
+        ]
+
+    def lookup_any(self, job_id: str) -> StoredJob | None:
+        """Find a job across *every* shard's journal (read-only).
+
+        Own journal first (the common case — the router shards result
+        polls by id prefix), then siblings.  Linear in journal size;
+        only consulted when the in-memory scheduler does not know the
+        id, i.e. after a restart or past the retention window.
+        """
+        own: dict[str, StoredJob] = {}
+        self._fold(self._iter_journal(self.journal_path), own)
+        if job_id in own:
+            return own[job_id]
+        try:
+            siblings = sorted(self.root.glob("journal-*.jsonl"))
+        except OSError:
+            return None
+        for path in siblings:
+            if path == self.journal_path:
+                continue
+            index: dict[str, StoredJob] = {}
+            self._fold(self._iter_journal(path), index)
+            if job_id in index:
+                return index[job_id]
+        return None
+
+    def payload_bytes(self, job: StoredJob) -> bytes | None:
+        """The stored canonical payload of a ``done`` job, if readable."""
+        if job.digest is None:
+            return None
+        try:
+            return self.result_path(job.digest).read_bytes()
+        except OSError:
+            return None
+
+    def stats(self) -> dict[str, Any]:
+        """Store-level counters for ``/metrics``."""
+        journals = 0
+        entries = 0
+        if self.root.is_dir():
+            journals = len(list(self.root.glob("journal-*.jsonl")))
+        if self.results_dir.is_dir():
+            entries = len(list(self.results_dir.glob("*.json")))
+        return {
+            "shard": self.shard,
+            "appends": self.appends,
+            "bad_lines": self.bad_lines,
+            "journals": journals,
+            "results": entries,
+        }

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import time
 
-from ..observability.stats import bucket_label
+from ..observability.stats import bucket_label, merge_counts
 
-__all__ = ["EndpointLatency", "ServiceMetrics"]
+__all__ = ["EndpointLatency", "ServiceMetrics", "merge_latency_tables"]
 
 
 class EndpointLatency:
@@ -78,3 +78,46 @@ class ServiceMetrics:
             endpoint: latency.snapshot()
             for endpoint, latency in sorted(self.endpoints.items())
         }
+
+
+def merge_latency_tables(tables: list[dict]) -> dict:
+    """Fold several ``ServiceMetrics.snapshot()`` tables into one.
+
+    The router's ``/metrics`` aggregates its shards' per-endpoint
+    latency tables: counts and totals add, maxima take the max, and
+    the decade histograms merge with the observability layer's
+    ``merge_counts`` (same bucket labels on every shard, so the merge
+    is exact, not approximate).
+    """
+    merged: dict[str, dict] = {}
+    for table in tables:
+        if not isinstance(table, dict):
+            continue
+        for endpoint, stats in table.items():
+            if not isinstance(stats, dict):
+                continue
+            into = merged.setdefault(
+                endpoint,
+                {
+                    "count": 0,
+                    "total_ms": 0.0,
+                    "max_ms": 0.0,
+                    "histogram_ms": {},
+                },
+            )
+            into["count"] += int(stats.get("count", 0))
+            into["total_ms"] += float(stats.get("total_ms", 0.0))
+            into["max_ms"] = max(
+                into["max_ms"], float(stats.get("max_ms", 0.0))
+            )
+            into["histogram_ms"] = merge_counts(
+                [into["histogram_ms"], stats.get("histogram_ms", {})]
+            )
+    for stats in merged.values():
+        stats["total_ms"] = round(stats["total_ms"], 3)
+        stats["mean_ms"] = (
+            round(stats["total_ms"] / stats["count"], 3)
+            if stats["count"]
+            else 0.0
+        )
+    return {endpoint: merged[endpoint] for endpoint in sorted(merged)}

@@ -27,6 +27,15 @@ most recent :attr:`Scheduler.retain_finished` of them — a long-lived
 server must bound per-request state (cf. the hyper-compact estimator
 line of work in PAPERS.md), so old results age out of memory and live
 on only in the result cache.
+
+**Durability.**  With a :class:`~repro.service.jobstore.JobStore`
+attached, every admission journals a ``submit`` line and every terminal
+transition journals its outcome (``done`` payloads content-addressed on
+disk first), so ``/v1/result/<id>`` outlives both the retention window
+and the process.  Recovery resubmits journaled-but-unfinished jobs
+under their *original* ids via :meth:`Scheduler.submit`'s ``job_id``
+hook.  Job ids carry the shard tag as a prefix (``s0-<hex>``) so a
+front-door router can route result polls by id alone.
 """
 
 from __future__ import annotations
@@ -119,12 +128,18 @@ class Scheduler:
         *,
         max_queue: int = 64,
         retain_finished: int = 1024,
+        store=None,
+        id_prefix: str = "",
     ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         self._runner = runner
         self.max_queue = max_queue
         self.retain_finished = retain_finished
+        #: Optional durable JobStore; terminal states are journaled.
+        self.store = store
+        #: Shard tag prepended to job ids (e.g. ``"s0-"``) for routing.
+        self.id_prefix = id_prefix
         self._queue: asyncio.Queue[Job] = asyncio.Queue()
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[Hashable, Job] = {}
@@ -168,16 +183,29 @@ class Scheduler:
         *,
         key: Hashable,
         deadline_s: float | None = None,
+        job_id: str | None = None,
+        record: bool = True,
+        coalesce: bool = True,
     ) -> tuple[Job, bool]:
         """Admit (or coalesce) a request; returns ``(job, coalesced)``.
 
         Raises :class:`QueueFullError` when the waiting line is at
         capacity — the service maps that to 429 + ``Retry-After``.
+
+        ``job_id`` pins the id instead of minting one: recovery replays
+        a crashed shard's journal and resubmits unfinished jobs under
+        their original ids (with ``record=False`` — the submit line is
+        already durable), so clients polling across the restart never
+        see the id change.  Recovery also passes ``coalesce=False``:
+        every journaled id must reach its *own* terminal line, so two
+        recovered duplicates may not share one job (the rerun is cheap
+        — the result cache already holds the leader's runs).
         """
-        existing = self._inflight.get(key)
-        if existing is not None and existing.status in _COALESCABLE:
-            self.counters["coalesced"] += 1
-            return existing, True
+        if coalesce:
+            existing = self._inflight.get(key)
+            if existing is not None and existing.status in _COALESCABLE:
+                self.counters["coalesced"] += 1
+                return existing, True
         # Chaos: ``reject`` faults refuse admission as if the queue
         # were saturated, exercising the full 429 + Retry-After path.
         fault = fault_point("service.scheduler.admit")
@@ -189,12 +217,17 @@ class Scheduler:
             raise QueueFullError(self._queue.qsize(), self.retry_after())
         now = time.monotonic()
         job = Job(
-            id=uuid.uuid4().hex[:16],
+            id=job_id or f"{self.id_prefix}{uuid.uuid4().hex[:16]}",
             spec=spec,
             key=key,
             deadline=(now + deadline_s) if deadline_s is not None else None,
             created=now,
         )
+        if self.store is not None and record:
+            # Journal *before* the job becomes runnable: a crash after
+            # this point leaves a recoverable submit line, never a job
+            # the store has no record of.
+            self.store.record_submit(job.id, spec.to_dict())
         self._jobs[job.id] = job
         self._inflight[key] = job
         self._queue.put_nowait(job)
@@ -279,6 +312,22 @@ class Scheduler:
         if job.finished is not None:
             return
         job.finished = time.monotonic()
+        if self.store is not None:
+            # Durability before visibility: the terminal line (and for
+            # DONE, the content-addressed payload file) hits disk before
+            # waiters wake, so a poll that sees the state can always be
+            # re-answered after a crash.
+            try:
+                if job.status == DONE and job.payload is not None:
+                    self.store.record_done(job.id, job.payload)
+                else:
+                    self.store.record_failed(
+                        job.id, job.status, job.error or ""
+                    )
+            except OSError:
+                # A full/broken disk degrades durability, not service:
+                # the in-memory result still serves until retention.
+                pass
         if job.started is not None and job.status == DONE:
             elapsed = job.finished - job.started
             self._ema_job_seconds = (

@@ -59,9 +59,18 @@ class TokenBucket:
         """Currently available tokens."""
         return self._tokens
 
-    def refill(self) -> None:
-        """Advance one tick: accrue ``rate`` tokens up to the burst cap."""
-        self._tokens = min(self._tokens + self._rate, self._burst)
+    def refill(self, ticks: float = 1.0) -> None:
+        """Advance ``ticks`` ticks: accrue ``rate * ticks`` up to the cap.
+
+        The default (one tick) is the simulator's discrete clock; the
+        service quota layer reuses the same bucket on a wall clock by
+        passing fractional elapsed seconds.  Negative ``ticks`` (a
+        clock running backwards) accrue nothing rather than debiting —
+        tokens only ever move down through :meth:`try_consume`.
+        """
+        if ticks <= 0:
+            return
+        self._tokens = min(self._tokens + self._rate * ticks, self._burst)
 
     def try_consume(self, amount: float = 1.0) -> bool:
         """Spend ``amount`` tokens if available; returns success."""

@@ -20,9 +20,11 @@ import pytest
 from repro.runner import EnsembleSpec, RunSpec, TopologySpec
 from repro.service import (
     JobFailed,
+    JobLost,
     QueueFull,
     ServiceClient,
     ServiceConfig,
+    ServiceError,
     ServiceThread,
 )
 pytestmark = pytest.mark.service
@@ -165,6 +167,83 @@ class TestBackPressureResponses:
         with pytest.raises(Exception) as excinfo:
             client.healthz()
         assert "not json at all" in str(excinfo.value)
+
+
+class TestJobLost:
+    """404 after 202: a *lost* job is typed, not a generic error."""
+
+    @staticmethod
+    def _accepted_frame(job_id: str) -> bytes:
+        body = json.dumps(
+            {"id": job_id, "status": "queued", "coalesced": False}
+        ).encode()
+        return http_frame("202 Accepted", body)
+
+    @staticmethod
+    def _missing_frame(job_id: str) -> bytes:
+        body = json.dumps({"error": f"unknown job id: {job_id}"}).encode()
+        return http_frame("404 Not Found", body)
+
+    def test_404_for_accepted_id_raises_job_lost(self, canned):
+        server = canned(
+            [
+                self._accepted_frame("s0-abc123"),
+                self._missing_frame("s0-abc123"),
+            ]
+        )
+        client = ServiceClient(port=server.port, timeout=2.0)
+        job = client.submit(spec_with("lost"))
+        with pytest.raises(JobLost) as excinfo:
+            client.poll(job["id"])
+        assert excinfo.value.job_id == "s0-abc123"
+        assert excinfo.value.status == 404
+
+    def test_404_for_never_accepted_id_stays_generic(self, canned):
+        server = canned([self._missing_frame("s0-stranger")])
+        client = ServiceClient(port=server.port, timeout=2.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.poll("s0-stranger")
+        assert not isinstance(excinfo.value, JobLost)
+        assert excinfo.value.status == 404
+
+    def test_retrieved_id_is_forgotten(self, canned):
+        # Once the payload has been served, a later 404 (the id aged
+        # out of retention) is expected lifecycle, not a lost job.
+        server = canned(
+            [
+                self._accepted_frame("s0-served"),
+                http_frame("200 OK", b'{"schema":1}'),
+                self._missing_frame("s0-served"),
+            ]
+        )
+        client = ServiceClient(port=server.port, timeout=2.0)
+        job = client.submit(spec_with("served"))
+        assert client.poll(job["id"])["status"] == "done"
+        with pytest.raises(ServiceError) as excinfo:
+            client.poll(job["id"])
+        assert not isinstance(excinfo.value, JobLost)
+
+    def test_real_service_404_vs_lost_distinction(self):
+        # End to end against a live service: an unknown id 404s
+        # generically; a known id on a retention-starved scheduler
+        # raises JobLost once it is evicted.
+        config = ServiceConfig(
+            port=0, jobs=1, max_queue=8, concurrency=1, cache_enabled=False
+        )
+        with ServiceThread(config) as thread:
+            thread.service.scheduler.retain_finished = 1
+            client = ServiceClient(port=thread.port)
+            with pytest.raises(ServiceError) as excinfo:
+                client.poll("s0-neverseen")
+            assert excinfo.value.status == 404
+            # Submit A but never retrieve it; once B finishes, the
+            # retention window of 1 evicts A.  With no durable store,
+            # polling the accepted-but-evicted id is a lost job.
+            first = client.submit(spec_with("evict-a"))
+            second = client.submit(spec_with("evict-b"))
+            client.wait(second["id"], timeout=60)
+            with pytest.raises(JobLost):
+                client.poll(first["id"])
 
 
 class StallingRunner:

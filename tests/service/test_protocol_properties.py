@@ -1,0 +1,116 @@
+"""Canonical payload bytes are insertion-order blind (hypothesis).
+
+The durable job store and the single-flight coalescer both lean on one
+contract: a spec denotes the same canonical bytes no matter how the
+client happened to order its JSON keys.  These properties permute the
+dict insertion order of real request bodies — recursively, at every
+nesting level — and require byte-identical ``canonical_json``, equal
+parsed specs, equal coalescing keys, and (one real differential run)
+byte-identical served payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import EnsembleSpec, RunSpec, TopologySpec, run_ensemble
+from repro.service.app import coalesce_key
+from repro.service.protocol import (
+    canonical_json,
+    parse_run_request,
+    result_payload,
+)
+
+pytestmark = pytest.mark.service
+
+
+def base_spec(label: str = "perm") -> EnsembleSpec:
+    return EnsembleSpec(
+        template=RunSpec(
+            topology=TopologySpec(kind="star", num_nodes=40),
+            max_ticks=12,
+        ),
+        num_runs=2,
+        base_seed=11,
+        label=label,
+    )
+
+
+def shuffled(obj, rng: random.Random):
+    """Deep-copy ``obj`` with every dict's insertion order permuted."""
+    if isinstance(obj, dict):
+        keys = list(obj)
+        rng.shuffle(keys)
+        return {key: shuffled(obj[key], rng) for key in keys}
+    if isinstance(obj, list):
+        return [shuffled(item, rng) for item in obj]
+    return obj
+
+
+class TestInsertionOrderBlindness:
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_canonical_json_ignores_key_order(self, seed):
+        rng = random.Random(seed)
+        spec_dict = base_spec().to_dict()
+        assert canonical_json(shuffled(spec_dict, rng)) == canonical_json(
+            spec_dict
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_parsed_specs_and_coalesce_keys_agree(self, seed):
+        rng = random.Random(seed)
+        body = {"spec": base_spec().to_dict(), "deadline_s": 30}
+        canonical_spec, canonical_deadline = parse_run_request(
+            json.dumps(body).encode("utf-8")
+        )
+        permuted_spec, permuted_deadline = parse_run_request(
+            json.dumps(shuffled(body, rng)).encode("utf-8")
+        )
+        assert permuted_spec == canonical_spec
+        assert permuted_deadline == canonical_deadline
+        # Same coalescing key => the scheduler would single-flight the
+        # two orderings onto one job.
+        assert coalesce_key(permuted_spec) == coalesce_key(canonical_spec)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        label=st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Ll", "Lu", "Nd"),
+                whitelist_characters="-_",
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    def test_round_trip_canonicalization_is_stable(self, seed, label):
+        # canonical -> json-load -> shuffle -> canonical is a fixpoint
+        # for any label the spec might carry.
+        rng = random.Random(seed)
+        payload = canonical_json(base_spec(label=label).to_dict())
+        reloaded = json.loads(payload)
+        assert canonical_json(shuffled(reloaded, rng)) == payload
+
+
+class TestServedPayloadDifferential:
+    def test_permuted_spec_runs_to_identical_payload_bytes(self):
+        """The end-to-end version: two insertion orders, one payload."""
+        spec_dict = base_spec(label="perm-e2e").to_dict()
+        rng = random.Random(1234)
+        spec_a, _ = parse_run_request(
+            json.dumps({"spec": spec_dict}).encode("utf-8")
+        )
+        spec_b, _ = parse_run_request(
+            json.dumps({"spec": shuffled(spec_dict, rng)}).encode("utf-8")
+        )
+        payload_a = result_payload(run_ensemble(spec_a, use_cache=False))
+        payload_b = result_payload(run_ensemble(spec_b, use_cache=False))
+        assert payload_a == payload_b

@@ -1,0 +1,323 @@
+"""Restart recovery: the durable store across real process death.
+
+The headline differentials of the sharded-service work: a job admitted
+before its process dies must be retrievable afterwards with payload
+bytes identical to an uninterrupted run — first with an in-process
+journal replay (fast, deterministic), then across a real SIGKILL of a
+``repro serve`` subprocess, then a multi-process soak that SIGKILLs
+shards behind a live ``--shards 2`` router while a full batch of jobs
+is in flight and requires *zero unaccounted jobs* at the end.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.runner import EnsembleSpec, RunSpec, TopologySpec, run_ensemble
+from repro.service import (
+    JobStore,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+)
+from repro.service.protocol import result_payload
+
+pytestmark = pytest.mark.service
+
+
+def spec_with(label: str, *, runs: int = 2, ticks: int = 12) -> EnsembleSpec:
+    return EnsembleSpec(
+        template=RunSpec(
+            topology=TopologySpec(kind="star", num_nodes=40),
+            max_ticks=ticks,
+        ),
+        num_runs=runs,
+        base_seed=23,
+        label=label,
+    )
+
+
+def expected_payload(spec: EnsembleSpec) -> bytes:
+    return result_payload(run_ensemble(spec, use_cache=False))
+
+
+# ----------------------------------------------------------------------
+# In-process: journal replay is the recovery protocol
+# ----------------------------------------------------------------------
+
+
+class TestInProcessRecovery:
+    def test_journaled_submit_is_recovered_byte_identically(self, tmp_path):
+        spec = spec_with("recover-inproc")
+        store_dir = tmp_path / "jobs"
+        # A past life journaled the admission and died before running.
+        past = JobStore(store_dir, shard="s0")
+        past.record_submit("s0-cafe0123", spec.to_dict())
+        past.close()
+
+        config = ServiceConfig(
+            port=0,
+            jobs=1,
+            cache_enabled=True,
+            cache_dir=str(tmp_path / "cache"),
+            shard_tag="s0",
+            job_store_dir=str(store_dir),
+        )
+        with ServiceThread(config) as thread:
+            with ServiceClient(port=thread.port, timeout=60) as client:
+                # The id minted before the "crash" still answers.
+                payload = client.wait("s0-cafe0123", timeout=60)
+        assert payload == expected_payload(spec)
+
+    def test_two_incomplete_duplicates_both_reach_terminal(self, tmp_path):
+        # Coalescing is forbidden during recovery: each journaled id
+        # must get its own terminal line.
+        spec = spec_with("recover-dup")
+        store_dir = tmp_path / "jobs"
+        past = JobStore(store_dir, shard="s0")
+        past.record_submit("s0-aaaa0000", spec.to_dict())
+        past.record_submit("s0-bbbb1111", spec.to_dict())
+        past.close()
+
+        config = ServiceConfig(
+            port=0,
+            jobs=1,
+            cache_enabled=True,
+            cache_dir=str(tmp_path / "cache"),
+            shard_tag="s0",
+            job_store_dir=str(store_dir),
+        )
+        with ServiceThread(config) as thread:
+            with ServiceClient(port=thread.port, timeout=60) as client:
+                first = client.wait("s0-aaaa0000", timeout=60)
+                second = client.wait("s0-bbbb1111", timeout=60)
+        assert first == second == expected_payload(spec)
+        final = JobStore(store_dir, shard="s0").replay()
+        assert final["s0-aaaa0000"].status == "done"
+        assert final["s0-bbbb1111"].status == "done"
+
+    def test_done_jobs_survive_restart_without_rerun(self, tmp_path):
+        spec = spec_with("recover-done")
+        store_dir = str(tmp_path / "jobs")
+        config = ServiceConfig(
+            port=0,
+            jobs=1,
+            cache_enabled=True,
+            cache_dir=str(tmp_path / "cache"),
+            shard_tag="s0",
+            job_store_dir=store_dir,
+        )
+        with ServiceThread(config) as thread:
+            with ServiceClient(port=thread.port, timeout=60) as client:
+                job = client.submit(spec_with("recover-done"))
+                payload = client.wait(job["id"], timeout=60)
+        # Second life: brand-new scheduler, empty in-memory tables.
+        with ServiceThread(config) as thread:
+            with ServiceClient(port=thread.port, timeout=60) as client:
+                assert client.wait(job["id"], timeout=60) == payload
+                metrics = client.metrics()
+        assert payload == expected_payload(spec)
+        assert metrics["recovered"] == 0  # terminal, nothing to rerun
+
+
+# ----------------------------------------------------------------------
+# Subprocess helpers
+# ----------------------------------------------------------------------
+
+
+def _serve_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
+    )
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([existing] if existing else [])
+    )
+    return env
+
+
+def _start_server(args: list[str], timeout: float = 60.0):
+    """Spawn ``repro serve`` and return (process, bound_port)."""
+    process = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve", "--port", "0", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=_serve_env(),
+        text=True,
+    )
+    deadline = time.monotonic() + timeout
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"server died before binding (rc={process.returncode})"
+                )
+            continue
+        if "listening on http://" in line:
+            address = line.split("http://", 1)[1].split()[0]
+            return process, int(address.rsplit(":", 1)[1])
+    process.kill()
+    raise RuntimeError("server did not print its banner in time")
+
+
+def _stop_server(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+
+
+def _poll_until_done(
+    port: int, job_id: str, *, timeout: float = 90.0
+) -> bytes:
+    """Poll across connection blips (restarts) until the payload lands."""
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient(port=port, timeout=10) as client:
+                state = client.poll(job_id)
+        except Exception as exc:  # noqa: BLE001 - blips are the point
+            last_error = exc
+            time.sleep(0.2)
+            continue
+        if state["status"] == "done":
+            return state["payload"]
+        if state["status"] in ("failed", "expired"):
+            raise AssertionError(f"job {job_id} ended {state!r}")
+        time.sleep(0.1)
+    raise AssertionError(
+        f"job {job_id} not done within {timeout}s "
+        f"(last error: {last_error!r})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Real SIGKILL differential
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestSigkillRecovery:
+    def test_sigkilled_server_restart_serves_byte_identical_result(
+        self, tmp_path
+    ):
+        spec = spec_with("recover-sigkill", runs=3, ticks=40)
+        store = str(tmp_path / "jobs")
+        cache = str(tmp_path / "cache")
+        args = ["--store-dir", store, "--cache-dir", cache]
+        process, port = _start_server(args)
+        try:
+            with ServiceClient(port=port, timeout=30) as client:
+                job = client.submit(spec)
+        finally:
+            # SIGKILL: no drain, no journal flush courtesy — the
+            # admission line must already be durable.
+            process.kill()
+            process.wait()
+
+        restarted, port = _start_server(args)
+        try:
+            payload = _poll_until_done(port, job["id"])
+        finally:
+            _stop_server(restarted)
+        assert payload == expected_payload(spec)
+
+
+# ----------------------------------------------------------------------
+# Multi-process soak: zero unaccounted jobs across shard crashes
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestShardedSoak:
+    def test_zero_unaccounted_jobs_across_three_shard_kills(self, tmp_path):
+        store = str(tmp_path / "jobs")
+        cache = str(tmp_path / "cache")
+        args = [
+            "--shards",
+            "2",
+            "--store-dir",
+            store,
+            "--cache-dir",
+            cache,
+        ]
+        process, port = _start_server(args, timeout=90)
+        specs = [
+            spec_with(f"soak-{i}", runs=3, ticks=60) for i in range(8)
+        ]
+        kills = 0
+
+        def wait_for_full_fleet(timeout: float = 30.0) -> list[int]:
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                try:
+                    with ServiceClient(port=port, timeout=10) as client:
+                        health = client.healthz()
+                except Exception:  # noqa: BLE001 - router mid-blip
+                    time.sleep(0.2)
+                    continue
+                pids = [
+                    s["pid"] for s in health["shards"] if s["alive"]
+                ]
+                if len(pids) == len(health["shards"]):
+                    return pids
+                time.sleep(0.2)
+            raise AssertionError("fleet never returned to full strength")
+
+        def kill_one_shard() -> None:
+            # Wait until the supervisor has every shard back up, so
+            # each of the three kills is a real crash of a freshly
+            # supervised process (and never empties the whole fleet).
+            nonlocal kills
+            pids = wait_for_full_fleet()
+            os.kill(pids[kills % len(pids)], signal.SIGKILL)
+            kills += 1
+
+        def submit_with_retry(spec, timeout: float = 30.0) -> str:
+            # A submit may land in the blip between a crash and the
+            # next health tick; 503/429 + Retry-After means try again.
+            deadline = time.monotonic() + timeout
+            while True:
+                try:
+                    with ServiceClient(port=port, timeout=10) as client:
+                        return client.submit(spec)["id"]
+                except Exception:  # noqa: BLE001 - blips are the point
+                    if time.monotonic() >= deadline:
+                        raise
+                    time.sleep(0.2)
+
+        try:
+            # Interleave admissions with three injected shard crashes
+            # so each SIGKILL lands while jobs are genuinely in flight;
+            # the supervisor restarts the victim within one health tick
+            # and recovery resubmits whatever died in place.
+            ids = {}
+            for i, spec in enumerate(specs):
+                ids[spec.label] = submit_with_retry(spec)
+                if i in (2, 4, 6):
+                    kill_one_shard()
+
+            payloads = {
+                label: _poll_until_done(port, job_id, timeout=120)
+                for label, job_id in ids.items()
+            }
+        finally:
+            _stop_server(process)
+        assert kills == 3
+        # Zero unaccounted: every admitted id produced bytes, and the
+        # bytes are exactly the uninterrupted-run payloads.
+        for spec in specs:
+            assert payloads[spec.label] == expected_payload(spec)

@@ -1,0 +1,242 @@
+"""Front-door routing against in-process shards (no subprocesses).
+
+:class:`StaticShards` stands in for the supervisor, so these tests
+exercise the router's actual routing, fallback, quota, and aggregation
+logic against real :class:`ServiceThread` shards — the subprocess
+spawning path is covered separately by the recovery/soak suite and the
+sharded CI smoke.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.runner import EnsembleSpec, RunSpec, TopologySpec
+from repro.service import (
+    QueueFull,
+    QuotaConfig,
+    QuotaTable,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+    StaticShards,
+)
+from repro.service.router import Router, shard_index_for_job, shard_tag
+
+pytestmark = pytest.mark.service
+
+
+def spec_with(label: str) -> EnsembleSpec:
+    return EnsembleSpec(
+        template=RunSpec(
+            topology=TopologySpec(kind="star", num_nodes=30),
+            max_ticks=10,
+        ),
+        num_runs=2,
+        base_seed=7,
+        label=label,
+    )
+
+
+class RouterThread:
+    """A started Router on a private loop thread (test harness)."""
+
+    def __init__(self, shards, *, quotas=None) -> None:
+        self.router = Router(
+            shards, port=0, quotas=quotas, health_interval_s=0.2
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    @property
+    def port(self) -> int:
+        assert self.router.port is not None
+        return self.router.port
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.router.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self.router.stop()
+
+    def __enter__(self) -> "RouterThread":
+        self._thread.start()
+        assert self._ready.wait(timeout=30)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+
+
+@pytest.fixture()
+def two_shards(tmp_path):
+    """Two ServiceThread shards sharing one durable store root."""
+    store = str(tmp_path / "jobs")
+    shards = []
+    threads = []
+    for index in range(2):
+        config = ServiceConfig(
+            port=0,
+            jobs=1,
+            max_queue=32,
+            concurrency=2,
+            cache_enabled=True,
+            cache_dir=str(tmp_path / "cache"),
+            shard_tag=shard_tag(index),
+            job_store_dir=store,
+        )
+        thread = ServiceThread(config).start()
+        threads.append(thread)
+        shards.append(("127.0.0.1", thread.port))
+    try:
+        yield StaticShards(shards), threads
+    finally:
+        for thread in threads:
+            thread.stop()
+
+
+class TestIdRouting:
+    def test_shard_index_round_trip(self):
+        assert shard_index_for_job("s0-abcd") == 0
+        assert shard_index_for_job("s17-ff00") == 17
+
+    def test_malformed_ids_route_nowhere(self):
+        for job_id in ("", "abcd", "s-x", "sX-1", "x0-1", "s1"):
+            assert shard_index_for_job(job_id) is None
+
+
+class TestRouting:
+    def test_run_round_robins_across_shards(self, two_shards):
+        shards, _ = two_shards
+        with RouterThread(shards) as front:
+            with ServiceClient(port=front.port, timeout=60) as client:
+                ids = [
+                    client.submit(spec_with(f"rr-{i}"))["id"]
+                    for i in range(4)
+                ]
+        prefixes = {job_id.split("-", 1)[0] for job_id in ids}
+        assert prefixes == {"s0", "s1"}
+
+    def test_result_polls_route_to_owner(self, two_shards):
+        shards, threads = two_shards
+        with RouterThread(shards) as front:
+            with ServiceClient(port=front.port, timeout=60) as client:
+                job = client.submit(spec_with("owner"))
+                payload = client.wait(job["id"], timeout=60)
+        # Differential: the routed payload matches what the owning
+        # shard serves directly.
+        owner = int(job["id"].split("-", 1)[0][1:])
+        with ServiceClient(port=threads[owner].port, timeout=60) as direct:
+            assert direct.wait(job["id"], timeout=60) == payload
+
+    def test_dead_owner_falls_back_to_store_via_sibling(self, two_shards):
+        shards, threads = two_shards
+        with RouterThread(shards) as front:
+            with ServiceClient(port=front.port, timeout=60) as client:
+                job = client.submit(spec_with("fallback"))
+                payload = client.wait(job["id"], timeout=60)
+                # Take the owning shard down; the poll must still be
+                # answered byte-identically from the shared store by
+                # the surviving sibling.
+                owner = int(job["id"].split("-", 1)[0][1:])
+                shards.set_address(owner, None)
+                assert client.wait(job["id"], timeout=60) == payload
+
+    def test_no_healthy_shard_is_503_with_retry_after(self, two_shards):
+        shards, _ = two_shards
+        with RouterThread(shards) as front:
+            shards.set_address(0, None)
+            shards.set_address(1, None)
+            with ServiceClient(port=front.port, timeout=60) as client:
+                with pytest.raises(Exception) as excinfo:
+                    client.submit(spec_with("nobody-home"))
+        assert "503" in str(excinfo.value) or "no healthy shard" in str(
+            excinfo.value
+        )
+
+    def test_unknown_id_is_404_not_error_storm(self, two_shards):
+        shards, _ = two_shards
+        from repro.service import ServiceError
+
+        with RouterThread(shards) as front:
+            with ServiceClient(port=front.port, timeout=60) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.poll("s0-feedfacedeadbeef")
+        assert excinfo.value.status == 404
+
+
+class TestFrontDoorQuotas:
+    def test_quota_429_with_deficit_retry_after(self, two_shards):
+        shards, _ = two_shards
+        quotas = QuotaTable(QuotaConfig(rate=0.5, burst=2.0))
+        with RouterThread(shards, quotas=quotas) as front:
+            with ServiceClient(
+                port=front.port, timeout=60, tenant="hammer"
+            ) as client:
+                client.submit(spec_with("q-0"))
+                client.submit(spec_with("q-1"))
+                with pytest.raises(QueueFull) as excinfo:
+                    client.submit(spec_with("q-2"))
+        # Empty bucket at rate 0.5: next token is <= 2 s away, and the
+        # header ceilings the deficit.
+        assert 1 <= excinfo.value.retry_after_s <= 2
+        stats = quotas.stats()
+        assert stats["tenants"]["hammer"]["admitted"] == 2
+        assert stats["tenants"]["hammer"]["throttled"] == 1
+
+    def test_tenants_isolated_at_the_front_door(self, two_shards):
+        shards, _ = two_shards
+        quotas = QuotaTable(QuotaConfig(rate=0.5, burst=1.0))
+        with RouterThread(shards, quotas=quotas) as front:
+            with ServiceClient(
+                port=front.port, timeout=60, tenant="greedy"
+            ) as greedy:
+                greedy.submit(spec_with("iso-0"))
+                with pytest.raises(QueueFull):
+                    greedy.submit(spec_with("iso-1"))
+            with ServiceClient(
+                port=front.port, timeout=60, tenant="polite"
+            ) as polite:
+                polite.submit(spec_with("iso-2"))  # unaffected
+
+
+class TestIntrospection:
+    def test_healthz_reports_shard_liveness(self, two_shards):
+        shards, _ = two_shards
+        with RouterThread(shards) as front:
+            with ServiceClient(port=front.port, timeout=60) as client:
+                health = client.healthz()
+                assert health["router"] is True
+                assert health["alive"] == 2
+                shards.set_address(1, None)
+                health = client.healthz()
+                assert health["alive"] == 1
+                assert health["status"] == "ok"
+                by_tag = {s["shard"]: s for s in health["shards"]}
+                assert by_tag["s1"]["alive"] is False
+
+    def test_metrics_aggregates_shard_counters(self, two_shards):
+        shards, _ = two_shards
+        with RouterThread(shards) as front:
+            with ServiceClient(port=front.port, timeout=60) as client:
+                for i in range(3):
+                    job = client.submit(spec_with(f"agg-{i}"))
+                    client.wait(job["id"], timeout=60)
+                metrics = client.metrics()
+        assert metrics["jobs"]["completed"] >= 3
+        assert metrics["router"]["counters"]["forwarded"] >= 6
+        assert "/v1/run" in metrics["latency"]
+        # Router-side latency table tracks the front-door endpoints.
+        assert "/v1/run" in metrics["router"]["latency"]

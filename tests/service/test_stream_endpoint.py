@@ -147,6 +147,83 @@ class TestStreamRegistry:
             registry.chunk(session.id, "")
         assert registry.stats()["evicted"] == 0
 
+    def test_two_expired_sessions_fall_in_one_eviction_pass(self):
+        # Lazy eviction must reap *every* expired session on one
+        # trigger, not just the first it happens to see — otherwise a
+        # full registry with two stale slots still 429s the opener.
+        clock = FakeClock()
+        registry = StreamRegistry(max_streams=2, ttl_s=30.0, clock=clock)
+        first = registry.open({})
+        clock.now += 5.0
+        second = registry.open({})
+        registry.chunk(first.id, "\n".join(flow_lines(3)))
+        registry.chunk(second.id, "\n".join(flow_lines(4)))
+        clock.now += 40.0  # both sessions are now past their TTL
+        fresh = registry.open({})  # one pass reclaims both slots
+        stats = registry.stats()
+        assert stats["evicted"] == 2
+        assert stats["open"] == 1
+        for stale in (first, second):
+            with pytest.raises(KeyError):
+                registry.chunk(stale.id, "")
+        # Evicted sessions' flow counts are folded into the totals, not
+        # dropped with their state.
+        assert stats["flows"] == 7
+        registry.close(fresh.id)
+
+    def test_eviction_race_with_refresh_spares_the_active_session(self):
+        # Two sessions straddle the TTL boundary at eviction time: one
+        # refreshed just inside, one quiet just outside.  The same lazy
+        # pass must evict exactly the quiet one.
+        clock = FakeClock()
+        registry = StreamRegistry(max_streams=2, ttl_s=30.0, clock=clock)
+        quiet = registry.open({})
+        active = registry.open({})
+        clock.now += 29.0
+        registry.chunk(active.id, "")  # refresh inside the window
+        clock.now += 2.0  # quiet: 31s stale; active: 2s stale
+        fresh = registry.open({})
+        stats = registry.stats()
+        assert stats["evicted"] == 1
+        assert stats["open"] == 2
+        with pytest.raises(KeyError):
+            registry.chunk(quiet.id, "")
+        registry.chunk(active.id, "")  # survived the pass
+        registry.close(active.id)
+        registry.close(fresh.id)
+
+    def test_retry_after_at_capacity_is_the_oldest_ttl_remainder(self):
+        # At the capacity boundary the 429 names the exact moment a
+        # slot frees: the *oldest* session's TTL remainder, ceilinged
+        # to whole seconds and floored at 1.
+        clock = FakeClock()
+        registry = StreamRegistry(max_streams=2, ttl_s=60.0, clock=clock)
+        oldest = registry.open({})
+        clock.now += 25.0
+        registry.open({})
+        clock.now += 10.5  # oldest has 60 - 35.5 = 24.5s of TTL left
+        with pytest.raises(StreamLimitError) as excinfo:
+            registry.open({})
+        assert excinfo.value.retry_after_s == 25  # ceil(24.5)
+        # Refreshing the oldest session pushes the promise out again.
+        registry.chunk(oldest.id, "")
+        with pytest.raises(StreamLimitError) as excinfo:
+            registry.open({})
+        # Now the *other* session is oldest: 60 - 10.5 = 49.5s left.
+        assert excinfo.value.retry_after_s == 50
+
+    def test_retry_after_never_reports_below_one_second(self):
+        clock = FakeClock()
+        registry = StreamRegistry(max_streams=1, ttl_s=30.0, clock=clock)
+        registry.open({})
+        clock.now += 29.9  # slot frees in 0.1s; header still says 1
+        with pytest.raises(StreamLimitError) as excinfo:
+            registry.open({})
+        assert excinfo.value.retry_after_s == 1.0
+        # And once the TTL truly lapses the very next open is admitted.
+        clock.now += excinfo.value.retry_after_s
+        registry.open({})
+
     def test_unknown_and_closed_ids_raise_key_error(self):
         registry = StreamRegistry()
         session = registry.open({})
